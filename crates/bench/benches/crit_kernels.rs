@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the performance claims:
+//!
+//! * the recommender's end-to-end detection latency (paper: 95th
+//!   percentile 80 ms — ours runs far faster since the matrices are tiny
+//!   and native);
+//! * the SVD and SGD kernels behind it;
+//! * one simulated probe ramp.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bolt_linalg::sgd::{PqModel, SgdConfig};
+use bolt_linalg::svd::Svd;
+use bolt_probes::{Microbenchmark, RampConfig};
+use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
+use bolt_sim::vm::VmRole;
+use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
+use bolt_workloads::{catalog, training::training_set, Resource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_recommender(c: &mut Criterion) {
+    let data = TrainingData::from_profiles(&training_set(7)).expect("training data");
+    let rec = HybridRecommender::fit(data, RecommenderConfig::default()).expect("fit");
+    let obs = [
+        (Resource::L1i, 80.0),
+        (Resource::Llc, 76.0),
+        (Resource::DiskBw, 0.0),
+    ];
+    c.bench_function("recommender_end_to_end", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let v = rec.recommend(black_box(&obs), &mut rng).expect("recommend");
+            black_box(v.scores.len())
+        })
+    });
+    c.bench_function("recommender_subspace_match", |b| {
+        let core_obs = [
+            (Resource::L1i, 80.0),
+            (Resource::L1d, 42.0),
+            (Resource::L2, 30.0),
+            (Resource::Cpu, 35.0),
+        ];
+        b.iter(|| {
+            let v = rec.match_subspace(black_box(&core_obs)).expect("match");
+            black_box(v.len())
+        })
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let data = TrainingData::from_profiles(&training_set(7)).expect("training data");
+    c.bench_function("svd_120x10", |b| {
+        b.iter(|| {
+            let svd = Svd::compute(black_box(data.matrix())).expect("svd");
+            black_box(svd.singular_values()[0])
+        })
+    });
+    c.bench_function("pq_train_120x10", |b| {
+        let config = SgdConfig {
+            max_epochs: 50,
+            ..SgdConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let m = PqModel::train(black_box(data.matrix()), &config, &mut rng).expect("train");
+            black_box(m.rmse())
+        })
+    });
+}
+
+fn bench_probe_ramp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut cluster =
+        Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default()).expect("cluster");
+    let adv = cluster
+        .launch_on(
+            0,
+            catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut rng),
+            VmRole::Adversarial,
+            0.0,
+        )
+        .expect("adversary placed");
+    cluster
+        .launch_on(
+            0,
+            catalog::spark::profile(
+                &catalog::spark::Algorithm::KMeans,
+                bolt_workloads::DatasetScale::Medium,
+                &mut rng,
+            ),
+            VmRole::Friendly,
+            0.0,
+        )
+        .expect("victim placed");
+    let bench = Microbenchmark::new(Resource::MemBw);
+    let config = RampConfig::default();
+    c.bench_function("probe_ramp_membw", |b| {
+        b.iter(|| {
+            let r = bench
+                .measure(&cluster, adv, 10.0, &config, &mut rng)
+                .expect("measure");
+            black_box(r.pressure)
+        })
+    });
+}
+
+criterion_group!(benches, bench_recommender, bench_kernels, bench_probe_ramp);
+criterion_main!(benches);

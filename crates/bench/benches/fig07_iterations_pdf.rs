@@ -1,0 +1,77 @@
+//! Fig. 7: PDF of the number of detection iterations until a workload is
+//! correctly identified — overall and by co-resident count.
+//!
+//! Paper: 71% of victims need a single iteration, another 15% a second;
+//! jobs unidentified by the sixth iteration do not benefit from more.
+//! More co-residents need more iterations.
+
+use bolt::experiment::{run_experiment, ExperimentConfig};
+use bolt::report::Table;
+use bolt_bench::{emit, full_scale};
+use bolt_sim::LeastLoaded;
+
+fn main() {
+    let config = if full_scale() {
+        ExperimentConfig::default()
+    } else {
+        ExperimentConfig {
+            servers: 16,
+            victims: 44,
+            ..ExperimentConfig::default()
+        }
+    };
+    eprintln!("running the controlled experiment ({} victims)...", config.victims);
+    let results = run_experiment(&config, &LeastLoaded).expect("experiment runs");
+    let max_iters = config.detector.max_iterations;
+
+    // (a) overall PDF.
+    let pdf = results.iterations_pdf(max_iters);
+    let paper = ["71%", "15%", "~6%", "~4%", "~2%", "~2%"];
+    let mut table = Table::new(vec!["iterations", "paper PDF", "measured PDF"]);
+    for (i, p) in pdf.iter().enumerate() {
+        table.row(vec![
+            (i + 1).to_string(),
+            paper.get(i).copied().unwrap_or("-").to_string(),
+            format!("{:.0}%", p * 100.0),
+        ]);
+    }
+    emit(
+        "fig07a_iterations_pdf",
+        "71% of victims are identified in one iteration, 15% in two",
+        &table,
+    );
+
+    // (b) per co-resident count.
+    let mut per = Table::new(vec!["co-residents", "1 iter", "2", "3", "4", "5", "6"]);
+    let max_co = results
+        .records
+        .iter()
+        .map(|r| r.co_residents)
+        .max()
+        .unwrap_or(1);
+    for n in 1..=max_co {
+        if let Some(pdf) = results.iterations_pdf_for_co_residents(n, max_iters) {
+            let mut row = vec![n.to_string()];
+            row.extend(pdf.iter().map(|p| format!("{:.0}%", p * 100.0)));
+            per.row(row);
+        }
+    }
+    emit(
+        "fig07b_iterations_by_coresidents",
+        "single jobs detect in one iteration; more co-residents need more",
+        &per,
+    );
+
+    // Shape check: the PDF is front-loaded — a single iteration carries
+    // the plurality of the mass, well clear of the uniform baseline.
+    let max_tail = pdf[1..].iter().cloned().fold(0.0, f64::max);
+    println!(
+        "one-iteration mass: {:.0}% (paper 71%) — {}",
+        pdf[0] * 100.0,
+        if pdf[0] >= 0.4 && pdf[0] >= max_tail {
+            "shape holds (front-loaded PDF)"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

@@ -1,0 +1,76 @@
+//! Fig. 14: detection accuracy under stacked isolation mechanisms, for
+//! baremetal, containers, and virtual machines.
+//!
+//! Paper: mechanisms stack from 81% (baremetal, none) down to ~50% with
+//! everything short of core isolation; core isolation collapses accuracy
+//! to 14% for containers/VMs (46% when used alone) at a cost of 34%
+//! execution time or 45% utilization; the residual is disk-heavy
+//! workloads — nothing isolates disk.
+
+use bolt::experiment::ExperimentConfig;
+use bolt::isolation_study::run_isolation_study;
+use bolt::report::{pct, Table};
+use bolt_bench::{emit, full_scale};
+use bolt_sim::OsSetting;
+
+fn main() {
+    let base = if full_scale() {
+        ExperimentConfig {
+            servers: 24,
+            victims: 58,
+            ..ExperimentConfig::default()
+        }
+    } else {
+        ExperimentConfig {
+            servers: 10,
+            victims: 24,
+            ..ExperimentConfig::default()
+        }
+    };
+    eprintln!("running 21 detection experiments (3 settings x 7 stacks)...");
+    let study = run_isolation_study(&base).expect("study runs");
+
+    let stacks = [
+        "none",
+        "thread pinning",
+        "+net bw partitioning",
+        "+mem bw partitioning",
+        "+cache partitioning",
+        "+core isolation",
+    ];
+    let mut table = Table::new(vec!["stack", "baremetal", "containers", "VMs"]);
+    for (i, stack) in stacks.iter().enumerate() {
+        let mut row = vec![stack.to_string()];
+        for setting in OsSetting::ALL {
+            row.push(study.accuracy(setting, i).map(pct).unwrap_or_else(|| "-".into()));
+        }
+        table.row(row);
+    }
+    emit(
+        "fig14_isolation",
+        "81% (baremetal/none) declining to ~50%; +core isolation collapses to ~14%",
+        &table,
+    );
+
+    let mut core_only = Table::new(vec!["setting", "core isolation alone"]);
+    for (setting, acc) in &study.core_isolation_only {
+        core_only.row(vec![setting.name().to_string(), pct(*acc)]);
+    }
+    emit("fig14_core_isolation_alone", "core isolation alone still allows 46%", &core_only);
+
+    // Shape checks.
+    let bm_none = study.accuracy(OsSetting::Baremetal, 0).unwrap_or(0.0);
+    let vm_none = study.accuracy(OsSetting::VirtualMachines, 0).unwrap_or(0.0);
+    let vm_full = study.accuracy(OsSetting::VirtualMachines, 4).unwrap_or(0.0);
+    let vm_core = study.accuracy(OsSetting::VirtualMachines, 5).unwrap_or(0.0);
+    println!("baremetal/none {} >= VMs/none {}: {}", pct(bm_none), pct(vm_none),
+        if bm_none >= vm_none - 0.05 { "holds" } else { "MISMATCH" });
+    // The decline must be monotone; the absolute core-isolation floor is
+    // higher than the paper's 14% because this victim population is more
+    // disk-heavy (disk is never isolated) — see EXPERIMENTS.md.
+    println!("VMs none {} -> full-stack {} -> +core isolation {}: {}", pct(vm_none), pct(vm_full), pct(vm_core),
+        if vm_none >= vm_full && vm_full >= vm_core { "declines as in the paper (floor is disk-borne)" } else { "MISMATCH" });
+    println!(
+        "core isolation cost: 34% execution time or 45% utilization (modeled constants)"
+    );
+}

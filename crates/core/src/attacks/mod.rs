@@ -1,0 +1,14 @@
+//! The attacks Bolt's detection enables (paper §5).
+//!
+//! * [`dos`] — the internal denial-of-service attack: custom contention
+//!   targeting the victim's critical resources while staying below
+//!   utilization-triggered defenses (§5.1, Fig. 13).
+//! * [`rfa`] — the resource-freeing attack: a helper stalls the victim on
+//!   its dominant resource so a beneficiary can reclaim everything else
+//!   (§5.2, Table 2).
+//! * [`coresidency`] — VM co-residency detection: probe launch strategy,
+//!   type detection, and sender/receiver confirmation (§5.3).
+
+pub mod coresidency;
+pub mod dos;
+pub mod rfa;

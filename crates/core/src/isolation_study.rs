@@ -1,0 +1,202 @@
+//! The isolation study of paper §6 (Fig. 14): how far existing isolation
+//! mechanisms go toward defeating interference-based detection.
+//!
+//! For each OS-level setting (baremetal, containers, VMs) the study stacks
+//! mechanisms cumulatively — thread pinning, network bandwidth
+//! partitioning, memory bandwidth isolation, cache partitioning, core
+//! isolation — re-running the controlled detection experiment each time.
+//! The paper's findings this reproduction preserves:
+//!
+//! * accuracy decreases monotonically as mechanisms stack;
+//! * baremetal leaks the most, VMs the least, at every stack depth;
+//! * even the full non-core-isolation stack leaves ~50% accuracy;
+//! * core isolation collapses accuracy (to ~14% for containers/VMs) but
+//!   costs 34% performance or 45% utilization;
+//! * the residual accuracy under core isolation is disk-heavy workloads —
+//!   no mechanism isolates disk.
+
+use serde::{Deserialize, Serialize};
+
+use bolt_sim::{IsolationConfig, LeastLoaded, Mechanisms, OsSetting};
+
+use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::BoltError;
+
+/// One cell of the Fig. 14 matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsolationCell {
+    /// The OS-level setting.
+    pub setting: OsSetting,
+    /// Name of the topmost mechanism in the cumulative stack.
+    pub stack: String,
+    /// Label-detection accuracy under this configuration.
+    pub accuracy: f64,
+    /// The blanket performance penalty of this configuration.
+    pub performance_penalty: f64,
+    /// The utilization loss of this configuration.
+    pub utilization_penalty: f64,
+}
+
+/// Full results of the isolation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsolationStudy {
+    /// All setting × stack cells, settings outermost, stacks in cumulative
+    /// order.
+    pub cells: Vec<IsolationCell>,
+    /// Accuracy with core isolation *alone* (no other mechanisms), per
+    /// setting — the paper notes this still allows 46%.
+    pub core_isolation_only: Vec<(OsSetting, f64)>,
+}
+
+impl IsolationStudy {
+    /// The accuracy for one setting and cumulative stack index (0 = no
+    /// mechanisms ... 5 = +core isolation).
+    pub fn accuracy(&self, setting: OsSetting, stack_index: usize) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter(|c| c.setting == setting)
+            .nth(stack_index)
+            .map(|c| c.accuracy)
+    }
+}
+
+/// Runs the full Fig. 14 sweep. `base` controls the experiment scale; its
+/// `isolation` field is overridden per cell.
+///
+/// # Errors
+///
+/// Propagates [`BoltError`] from the underlying experiments.
+pub fn run_isolation_study(base: &ExperimentConfig) -> Result<IsolationStudy, BoltError> {
+    let mut cells = Vec::new();
+    for setting in OsSetting::ALL {
+        for mechanisms in Mechanisms::cumulative_stacks() {
+            let isolation = IsolationConfig {
+                setting,
+                mechanisms,
+            };
+            let config = ExperimentConfig {
+                isolation,
+                ..*base
+            };
+            let results = run_experiment(&config, &LeastLoaded)?;
+            cells.push(IsolationCell {
+                setting,
+                stack: mechanisms.stack_name().to_string(),
+                accuracy: results.label_accuracy(),
+                performance_penalty: isolation.performance_penalty(),
+                utilization_penalty: isolation.utilization_penalty(),
+            });
+        }
+    }
+
+    let mut core_only = Vec::new();
+    for setting in OsSetting::ALL {
+        let isolation = IsolationConfig {
+            setting,
+            mechanisms: Mechanisms::core_isolation_only(),
+        };
+        let config = ExperimentConfig {
+            isolation,
+            ..*base
+        };
+        let results = run_experiment(&config, &LeastLoaded)?;
+        core_only.push((setting, results.label_accuracy()));
+    }
+
+    Ok(IsolationStudy {
+        cells,
+        core_isolation_only: core_only,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            servers: 6,
+            victims: 12,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn study_produces_full_matrix() {
+        let study = run_isolation_study(&tiny()).unwrap();
+        assert_eq!(study.cells.len(), 18); // 3 settings × 6 stacks
+        assert_eq!(study.core_isolation_only.len(), 3);
+    }
+
+    #[test]
+    fn accuracy_trends_match_the_paper() {
+        // At this test's scale each victim is worth ~8 accuracy points, so
+        // only the robust Fig. 14 claims are asserted: the full mechanism
+        // stack never beats no isolation, and core isolation collapses
+        // accuracy for virtualized settings. Per-step monotonicity is
+        // checked by the full-scale `fig14_isolation` bench.
+        let study = run_isolation_study(&tiny()).unwrap();
+        let mean = |idx: usize| -> f64 {
+            OsSetting::ALL
+                .iter()
+                .map(|&s| study.accuracy(s, idx).unwrap())
+                .sum::<f64>()
+                / 3.0
+        };
+        let none = mean(0);
+        let full = mean(4); // +cache partitioning, pre-core
+        let core = mean(5);
+        assert!(
+            full <= none + 0.1,
+            "the full stack should not beat no isolation on average ({none} -> {full})"
+        );
+        assert!(
+            core <= full + 0.1,
+            "core isolation should not raise average accuracy ({full} -> {core})"
+        );
+        // Under the full stack + core isolation, whatever remains
+        // detectable must flow through the disk channel — nothing
+        // isolates disk (the paper's residual claim).
+        assert!(
+            core <= none + 0.05,
+            "core isolation should not leak more than no isolation ({none} -> {core})"
+        );
+    }
+
+    #[test]
+    fn core_isolation_residual_is_disk_borne() {
+        use bolt_sim::LeastLoaded;
+        let config = ExperimentConfig {
+            isolation: IsolationConfig {
+                setting: OsSetting::VirtualMachines,
+                mechanisms: Mechanisms::cumulative_stacks()[5],
+            },
+            ..tiny()
+        };
+        let results = run_experiment(&config, &LeastLoaded).unwrap();
+        for r in &results.records {
+            if r.label_correct {
+                let disk_visible = r.truth_pressure[bolt_workloads::Resource::DiskBw] > 5.0
+                    || r.truth_pressure[bolt_workloads::Resource::DiskCap] > 5.0;
+                assert!(
+                    disk_visible,
+                    "{} detected under full isolation without any disk footprint",
+                    r.truth
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn core_isolation_cells_carry_penalties() {
+        let study = run_isolation_study(&tiny()).unwrap();
+        for cell in &study.cells {
+            if cell.stack == "+core isolation" {
+                assert!((cell.performance_penalty - 1.34).abs() < 1e-9);
+                assert!((cell.utilization_penalty - 0.45).abs() < 1e-9);
+            } else {
+                assert!(cell.performance_penalty < 1.1);
+            }
+        }
+    }
+}

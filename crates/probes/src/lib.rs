@@ -1,0 +1,51 @@
+//! Tunable contentious microbenchmarks for the Bolt reproduction.
+//!
+//! Bolt's entire detection signal comes from a handful of iBench-style
+//! microbenchmarks of tunable intensity (paper §3.2): each one pressures a
+//! single shared resource, ramping from 0 to 100% until its own performance
+//! falls below the isolated expectation — the knee reveals how much of the
+//! resource co-residents already occupy.
+//!
+//! * [`Microbenchmark`] + [`RampConfig`] — the per-resource probe and ramp
+//!   protocol, executed against the simulated cluster.
+//! * [`Profiler`] — the 2–3 benchmark selection policy (one core, one
+//!   uncore, plus adaptive extras).
+//! * [`shutter`] — the brief-frame profiling mode that disentangles
+//!   multiple co-residents when no core is shared (§3.3, Fig. 3).
+//! * [`native`] — real, self-timing stress kernels (pointer chasing,
+//!   memory streaming, ALU chains) runnable on the actual host.
+//!
+//! # Example
+//!
+//! ```
+//! use bolt_probes::{Profiler, ProfilerConfig};
+//! use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
+//! use bolt_sim::vm::VmRole;
+//! use bolt_workloads::catalog;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), bolt_sim::SimError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let mut cluster = Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default())?;
+//! let adv = cluster.launch_on(
+//!     0,
+//!     catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut rng),
+//!     VmRole::Adversarial,
+//!     0.0,
+//! )?;
+//! let snapshot = Profiler::default().snapshot(&cluster, adv, 0.0, &mut rng)?;
+//! assert!(!snapshot.readings.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod microbench;
+pub mod native;
+mod profiler;
+pub mod shutter;
+
+pub use microbench::{Microbenchmark, ProbeReading, RampConfig};
+pub use profiler::{Profiler, ProfilerConfig, Snapshot};
+pub use shutter::{capture as shutter_capture, ShutterCapture, ShutterConfig};

@@ -1,0 +1,339 @@
+//! Native stress kernels: real contentious microbenchmarks for the host.
+//!
+//! The simulator mediates probe execution in the experiments, but the ramp
+//! protocol is only credible if the underlying kernels exist. This module
+//! implements the real thing for the resources a plain userspace process
+//! can stress portably: the data-cache hierarchy (pointer chasing over a
+//! sized working set), memory bandwidth (streaming writes/reads), and CPU
+//! functional units (dependent ALU chains). Each kernel is tunable —
+//! working-set size or duty cycle maps to the paper's 0–100% intensity —
+//! and self-timing, so an adversary can detect the performance drop that
+//! signals co-resident pressure.
+//!
+//! The L1-i kernel (large instruction footprint) and the network/disk
+//! kernels need generated code and I/O targets; they are out of scope for
+//! a library crate and are approximated in simulation only.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Result of one native kernel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelRun {
+    /// Operations performed (accesses, bytes, or ALU ops).
+    pub ops: u64,
+    /// Wall-clock seconds elapsed.
+    pub seconds: f64,
+}
+
+impl KernelRun {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.seconds
+    }
+}
+
+/// Builds a pseudo-random cyclic permutation over `len` slots — the classic
+/// pointer-chase pattern that defeats hardware prefetchers. Uses a simple
+/// LCG-driven Sattolo shuffle so the crate needs no RNG here.
+fn chase_pattern(len: usize, seed: u64) -> Vec<usize> {
+    assert!(len >= 2, "chase pattern needs at least two slots");
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut state = seed | 1;
+    // Sattolo's algorithm yields a single cycle through all slots.
+    for i in (1..len).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % i;
+        order.swap(i, j);
+    }
+    let mut next = vec![0usize; len];
+    for w in 0..len {
+        next[order[w]] = order[(w + 1) % len];
+    }
+    next
+}
+
+/// Pointer-chases a working set of `working_set_bytes` for `iterations`
+/// dependent loads and reports the achieved load rate.
+///
+/// Working-set size selects the stressed cache level: ≤32 KiB exercises
+/// L1d, ~256 KiB exercises L2, multi-MiB sizes exercise the LLC, and
+/// beyond-LLC sizes become a memory-latency probe. A co-resident occupying
+/// the same level evicts the chase's lines and the measured ns/access
+/// rises — the degradation signal of the ramp protocol.
+///
+/// # Panics
+///
+/// Panics if `working_set_bytes < 16` or `iterations == 0`.
+pub fn cache_chase(working_set_bytes: usize, iterations: u64) -> KernelRun {
+    assert!(working_set_bytes >= 16, "working set too small");
+    assert!(iterations > 0, "need at least one iteration");
+    let slots = (working_set_bytes / std::mem::size_of::<usize>()).max(2);
+    let next = chase_pattern(slots, 0x9E3779B97F4A7C15);
+    let mut idx = 0usize;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        idx = next[idx];
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    black_box(idx);
+    KernelRun {
+        ops: iterations,
+        seconds,
+    }
+}
+
+/// Streams over a `buffer_bytes` buffer `passes` times (read-modify-write),
+/// reporting bytes moved — a memory-bandwidth stressor.
+///
+/// # Panics
+///
+/// Panics if `buffer_bytes < 64` or `passes == 0`.
+pub fn memory_stream(buffer_bytes: usize, passes: u32) -> KernelRun {
+    assert!(buffer_bytes >= 64, "buffer too small");
+    assert!(passes > 0, "need at least one pass");
+    let len = buffer_bytes / std::mem::size_of::<u64>();
+    let mut buf: Vec<u64> = (0..len as u64).collect();
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for p in 0..passes {
+        for v in buf.iter_mut() {
+            *v = v.wrapping_mul(2862933555777941757).wrapping_add(p as u64);
+            acc = acc.wrapping_add(*v);
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    black_box(acc);
+    KernelRun {
+        ops: (len as u64) * passes as u64 * 8,
+        seconds,
+    }
+}
+
+/// Runs a dependent integer ALU chain of `ops` operations — a pure
+/// functional-unit stressor whose throughput drops when a hyperthread
+/// sibling competes for issue slots.
+///
+/// # Panics
+///
+/// Panics if `ops == 0`.
+pub fn alu_burn(ops: u64) -> KernelRun {
+    assert!(ops > 0, "need at least one op");
+    let mut x = 0x2545F4914F6CDD1Du64;
+    let start = Instant::now();
+    for _ in 0..ops {
+        // xorshift body: cheap, dependent, unvectorizable.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    black_box(x);
+    KernelRun { ops, seconds }
+}
+
+/// Maps a 0–100% intensity to a pointer-chase working-set size within one
+/// cache level's span: intensity 100 occupies `level_bytes`, intensity 0 a
+/// minimal footprint. This is how the tunable ramp drives the cache
+/// kernels.
+pub fn intensity_to_working_set(level_bytes: usize, intensity: f64) -> usize {
+    let f = (intensity / 100.0).clamp(0.0, 1.0);
+    let min = 4 * 1024;
+    ((level_bytes as f64 * f) as usize).max(min)
+}
+
+/// Measures this machine's own pointer-chase latency curve across
+/// `points` working-set sizes up to `max_bytes`, returning
+/// `(working_set_bytes, ns_per_access)` pairs — the raw material of a
+/// miss-rate curve (latency rises with each cache level the working set
+/// spills out of). An adversary co-located with a victim would see this
+/// curve *shift* according to how much cache the victim occupies, which is
+/// the paper's §3.3 future-work signal (`bolt_workloads::mrc`).
+///
+/// # Panics
+///
+/// Panics if `points == 0` or `max_bytes < 8192`.
+pub fn measure_latency_curve(max_bytes: usize, points: usize) -> Vec<(usize, f64)> {
+    assert!(points > 0, "need at least one point");
+    assert!(max_bytes >= 8192, "max working set too small");
+    let min_bytes = 4 * 1024;
+    let ratio = (max_bytes as f64 / min_bytes as f64).powf(1.0 / points as f64);
+    let mut out = Vec::with_capacity(points);
+    let mut size = min_bytes as f64;
+    for _ in 0..points {
+        size *= ratio;
+        let bytes = size as usize;
+        let iterations = 1_000_000;
+        let run = cache_chase(bytes, iterations);
+        out.push((bytes, 1e9 / run.ops_per_sec()));
+    }
+    out
+}
+
+/// Writes then reads back `bytes` of data through a scratch file in the
+/// system temp directory, reporting bytes moved per second — the disk
+/// bandwidth stressor. The file is synced after the write pass so the
+/// measurement reflects the storage path rather than only the page cache,
+/// and removed before returning.
+///
+/// # Errors
+///
+/// Propagates [`std::io::Error`] from the filesystem.
+///
+/// # Panics
+///
+/// Panics if `bytes < 4096`.
+pub fn disk_stream(bytes: usize) -> std::io::Result<KernelRun> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+
+    assert!(bytes >= 4096, "buffer too small for a disk measurement");
+    let path = std::env::temp_dir().join(format!(
+        "bolt-probe-disk-{}-{}",
+        std::process::id(),
+        bytes
+    ));
+    let chunk = vec![0xB5u8; 64 * 1024];
+    let start = Instant::now();
+    let mut moved = 0u64;
+    {
+        let mut file = std::fs::File::create(&path)?;
+        let mut written = 0usize;
+        while written < bytes {
+            let n = chunk.len().min(bytes - written);
+            file.write_all(&chunk[..n])?;
+            written += n;
+            moved += n as u64;
+        }
+        file.sync_all()?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut file = std::fs::File::open(&path)?;
+        let mut buf = vec![0u8; chunk.len()];
+        loop {
+            let n = file.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            moved += n as u64;
+            black_box(buf[0]);
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    Ok(KernelRun {
+        ops: moved,
+        seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chase_pattern_is_single_full_cycle() {
+        let next = chase_pattern(64, 42);
+        let mut seen = vec![false; 64];
+        let mut idx = 0;
+        for _ in 0..64 {
+            assert!(!seen[idx], "revisited slot {idx} before full cycle");
+            seen[idx] = true;
+            idx = next[idx];
+        }
+        assert_eq!(idx, 0, "must return to start after visiting all slots");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cache_chase_runs_and_counts() {
+        let run = cache_chase(16 * 1024, 100_000);
+        assert_eq!(run.ops, 100_000);
+        assert!(run.seconds > 0.0);
+        assert!(run.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn l1_resident_chase_faster_than_memory_chase() {
+        // 16 KiB fits in L1d; 64 MiB misses every cache on any machine this
+        // runs on. Latency per access must differ markedly.
+        let l1 = cache_chase(16 * 1024, 2_000_000);
+        let mem = cache_chase(64 * 1024 * 1024, 2_000_000);
+        assert!(
+            l1.ops_per_sec() > mem.ops_per_sec() * 2.0,
+            "L1 {} ops/s should dwarf memory {} ops/s",
+            l1.ops_per_sec(),
+            mem.ops_per_sec()
+        );
+    }
+
+    #[test]
+    fn memory_stream_reports_bytes() {
+        let run = memory_stream(1024 * 1024, 4);
+        assert_eq!(run.ops, (1024 * 1024 / 8) * 4 * 8);
+        assert!(run.ops_per_sec() > 1e6, "should exceed 1 MB/s trivially");
+    }
+
+    #[test]
+    fn alu_burn_throughput_positive() {
+        let run = alu_burn(10_000_000);
+        assert!(run.ops_per_sec() > 1e6);
+    }
+
+    #[test]
+    fn intensity_mapping_monotone_and_bounded() {
+        let level = 8 * 1024 * 1024;
+        let lo = intensity_to_working_set(level, 10.0);
+        let hi = intensity_to_working_set(level, 90.0);
+        assert!(lo < hi);
+        assert_eq!(intensity_to_working_set(level, 100.0), level);
+        assert!(intensity_to_working_set(level, 0.0) >= 4 * 1024);
+        // Out-of-range intensities clamp.
+        assert_eq!(
+            intensity_to_working_set(level, 150.0),
+            intensity_to_working_set(level, 100.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "working set too small")]
+    fn tiny_working_set_rejected() {
+        cache_chase(4, 10);
+    }
+
+    #[test]
+    fn latency_curve_is_sized_and_roughly_rising() {
+        let curve = measure_latency_curve(8 * 1024 * 1024, 6);
+        assert_eq!(curve.len(), 6);
+        for w in curve.windows(2) {
+            assert!(w[1].0 > w[0].0, "working sets must grow");
+        }
+        // The largest working set should be meaningfully slower than the
+        // smallest (it spills at least one cache level).
+        assert!(
+            curve.last().unwrap().1 > curve.first().unwrap().1 * 1.3,
+            "latency cliff missing: {curve:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn latency_curve_rejects_zero_points() {
+        measure_latency_curve(1 << 20, 0);
+    }
+
+    #[test]
+    fn disk_stream_moves_write_plus_read() {
+        let bytes = 256 * 1024;
+        let run = disk_stream(bytes).expect("temp dir writable");
+        assert_eq!(run.ops, 2 * bytes as u64, "write pass + read pass");
+        assert!(run.ops_per_sec() > 1e5, "should exceed 100 KB/s trivially");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn tiny_disk_buffer_rejected() {
+        let _ = disk_stream(16);
+    }
+}

@@ -1,0 +1,1102 @@
+//! The hybrid recommender: collaborative filtering + content-based matching.
+//!
+//! Paper §3.2 ("Practical data mining"): the sparse probe signal is fed to
+//! a hybrid recommender using feature augmentation. First a collaborative-
+//! filtering stage recovers the victim's pressure on the resources that
+//! were *not* profiled — matrix factorization with SVD plus
+//! PQ-reconstruction trained by SGD. The SVD's singular values are
+//! *similarity concepts*; only the largest, preserving 90% of the total
+//! energy, are kept. Then a content-based stage scores the victim against
+//! every previously-seen application with a *weighted Pearson* correlation
+//! (Eq. 1) over concept space, weighting each concept by its singular
+//! value. The output is a distribution of similarity scores — e.g. 65%
+//! memcached, 18% Spark/PageRank, 10% Hadoop/SVM...
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use bolt_linalg::sgd::{PqModel, SgdConfig};
+use bolt_linalg::stats::{pearson, weighted_pearson};
+use bolt_linalg::svd::{energy_rank, Svd};
+use bolt_linalg::LinalgError;
+use bolt_workloads::{
+    AppLabel, PressureVector, Resource, ResourceCharacteristics, RESOURCE_COUNT,
+};
+
+use crate::dataset::TrainingData;
+
+/// Recommender configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecommenderConfig {
+    /// Fraction of spectral energy the retained similarity concepts must
+    /// preserve (paper: 90%).
+    pub energy_fraction: f64,
+    /// Below this best-correlation the recommender declares "no match" —
+    /// either an unseen application type or entangled co-residents
+    /// (paper §3.3 uses 0.1).
+    pub match_threshold: f64,
+    /// Use the weighted Pearson of Eq. 1; `false` falls back to plain
+    /// Pearson (the ablation baseline).
+    pub weighted: bool,
+    /// Measurement-noise floor (percentage points) of the probes. A
+    /// resource whose cross-tenant signal variance sits at or below this
+    /// floor — e.g. the residual leakage of a partitioned cache — carries
+    /// no usable information and is discounted Wiener-style in all
+    /// matching weights.
+    pub noise_floor: f64,
+    /// SGD hyperparameters for the completion stage.
+    pub sgd: SgdConfig,
+}
+
+impl Default for RecommenderConfig {
+    fn default() -> Self {
+        RecommenderConfig {
+            energy_fraction: 0.90,
+            match_threshold: 0.1,
+            weighted: true,
+            noise_floor: 2.0,
+            sgd: SgdConfig {
+                factors: 4,
+                learning_rate: 0.004,
+                regularization: 0.02,
+                max_epochs: 150,
+                target_rmse: 2.0,
+                init_scale: 3.0,
+            },
+        }
+    }
+}
+
+/// One entry of the similarity distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityScore {
+    /// Index of the training example.
+    pub index: usize,
+    /// The matched label.
+    pub label: AppLabel,
+    /// Raw correlation in `[-1, 1]`.
+    pub correlation: f64,
+    /// Share of the normalized positive-correlation mass in `[0, 1]`.
+    pub share: f64,
+}
+
+/// The recommender's verdict for one profiling snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Similarity scores, highest correlation first.
+    pub scores: Vec<SimilarityScore>,
+    /// The victim's completed (dense) pressure estimate.
+    pub completed: PressureVector,
+    /// Resource characteristics derived from the completed estimate.
+    pub characteristics: ResourceCharacteristics,
+}
+
+impl Recommendation {
+    /// The best match, if its correlation clears the threshold used at
+    /// recommendation time. `None` means "never seen anything like this"
+    /// (or an entangled multi-tenant signal, §3.3).
+    pub fn best(&self) -> Option<&SimilarityScore> {
+        self.scores.first()
+    }
+
+    /// The best-matching label if one cleared the threshold.
+    pub fn label(&self) -> Option<&AppLabel> {
+        self.scores.first().map(|s| &s.label)
+    }
+}
+
+/// The fitted hybrid recommender.
+///
+/// # Example
+///
+/// ```
+/// use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
+/// use bolt_workloads::{training::training_set, Resource};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bolt_linalg::LinalgError> {
+/// let data = TrainingData::from_profiles(&training_set(7))?;
+/// let rec = HybridRecommender::fit(data, RecommenderConfig::default())?;
+/// // A sparse probe of a memcached-looking victim.
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let obs = [(Resource::L1i, 80.0), (Resource::Llc, 76.0), (Resource::DiskBw, 0.0)];
+/// let verdict = rec.recommend(&obs, &mut rng)?;
+/// assert!(verdict.best().is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridRecommender {
+    data: TrainingData,
+    svd: Svd,
+    /// Column means of the training matrix: the SVD runs on the
+    /// *standardized* matrix so the similarity concepts capture variation
+    /// between applications rather than the grand-mean profile.
+    col_means: Vec<f64>,
+    /// Column standard deviations (floored away from zero) used for the
+    /// standardization.
+    col_stds: Vec<f64>,
+    /// The PQ factorization trained once on the dense training matrix;
+    /// each detection folds the victim's sparse row in against it.
+    pq: PqModel,
+    rank: usize,
+    config: RecommenderConfig,
+}
+
+impl HybridRecommender {
+    /// Fits the recommender: computes the SVD of the column-standardized
+    /// training matrix and selects the similarity-concept rank by the
+    /// energy criterion.
+    ///
+    /// Standardization matters twice over: an uncentered pressure matrix
+    /// has one giant singular value pointing at the average profile (which
+    /// would satisfy the 90%-energy criterion with a single uninformative
+    /// concept), and unequal per-resource variances would let one noisy
+    /// resource dominate the concept basis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the SVD (non-finite training data).
+    pub fn fit(data: TrainingData, config: RecommenderConfig) -> Result<Self, LinalgError> {
+        let m = data.matrix();
+        let n = m.rows() as f64;
+        let col_means: Vec<f64> = (0..m.cols())
+            .map(|c| (0..m.rows()).map(|r| m[(r, c)]).sum::<f64>() / n)
+            .collect();
+        let col_stds: Vec<f64> = (0..m.cols())
+            .map(|c| {
+                let var = (0..m.rows())
+                    .map(|r| (m[(r, c)] - col_means[c]).powi(2))
+                    .sum::<f64>()
+                    / n;
+                var.sqrt().max(1e-6)
+            })
+            .collect();
+        let mut standardized = m.clone();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                standardized[(r, c)] = (m[(r, c)] - col_means[c]) / col_stds[c];
+            }
+        }
+        let svd = Svd::compute(&standardized)?;
+        // Weighted Pearson needs enough concept dimensions to be
+        // meaningful; keep at least 3.
+        let rank = energy_rank(svd.singular_values(), config.energy_fraction)
+            .max(3)
+            .min(svd.singular_values().len());
+        // Deterministic PQ training: the factorization is part of the
+        // fitted model, so it uses its own fixed-seed RNG rather than the
+        // caller's stream.
+        let mut pq_rng = rand::rngs::StdRng::seed_from_u64(0xB017_F17);
+        let pq = PqModel::train(m, &config.sgd, &mut pq_rng)?;
+        Ok(HybridRecommender {
+            data,
+            svd,
+            col_means,
+            col_stds,
+            pq,
+            rank,
+            config,
+        })
+    }
+
+    /// The retained similarity-concept count.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The training data this recommender was fitted on.
+    pub fn training_data(&self) -> &TrainingData {
+        &self.data
+    }
+
+    /// The singular values (similarity-concept magnitudes), strongest
+    /// first. The §3.2 "system insights" analysis reads resource value for
+    /// detection out of these and of [`Self::concept_resource_loading`].
+    pub fn concept_magnitudes(&self) -> &[f64] {
+        self.svd.singular_values()
+    }
+
+    /// How strongly resource `r` loads on similarity concept `k` (the
+    /// V-matrix entry) — large magnitudes mean the resource carries much
+    /// of that concept's information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= RESOURCE_COUNT`.
+    pub fn concept_resource_loading(&self, r: Resource, k: usize) -> f64 {
+        self.svd.v()[(r.index(), k)]
+    }
+
+    /// Runs the full pipeline on a sparse probe signal: SGD completion of
+    /// the unprofiled resources, projection into concept space, weighted
+    /// Pearson scoring against every training example.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InsufficientData`] if `observations` is empty.
+    /// * [`LinalgError::NonFiniteInput`] if an observed value is not
+    ///   finite.
+    pub fn recommend<R: Rng>(
+        &self,
+        observations: &[(Resource, f64)],
+        rng: &mut R,
+    ) -> Result<Recommendation, LinalgError> {
+        let obs: Vec<(usize, f64)> = observations
+            .iter()
+            .map(|&(r, v)| (r.index(), v))
+            .collect();
+        if obs.is_empty() {
+            return Err(LinalgError::InsufficientData {
+                op: "recommend",
+                got: 0,
+                need: 1,
+            });
+        }
+        for &(_, v) in &obs {
+            if !v.is_finite() {
+                return Err(LinalgError::NonFiniteInput { op: "recommend" });
+            }
+        }
+        let w = self.solve_concept_coords(&obs, rng);
+
+        // Reconstruct the dense profile from the concept coordinates:
+        // unobserved resources default toward the training column means
+        // (regularization pulls w toward zero), then clamp into the valid
+        // pressure domain and pin the actually-probed entries to their
+        // measured values — measurements outrank estimates.
+        let v = self.svd.v();
+        let mut vals = [0.0; RESOURCE_COUNT];
+        for (j, val) in vals.iter_mut().enumerate() {
+            let recon: f64 = (0..self.rank).map(|k| w[k] * v[(j, k)]).sum();
+            *val = (self.col_means[j] + self.col_stds[j] * recon).clamp(0.0, 100.0);
+        }
+        for &(i, v) in &obs {
+            vals[i] = v.clamp(0.0, 100.0);
+        }
+        let completed = PressureVector::from_raw(vals);
+
+        let scores = self.score_profile(&completed)?;
+        // Characteristics must be reported at *full load*: a victim caught
+        // in a low-traffic phase has its non-capacity pressure uniformly
+        // shrunk, which would misrank capacity vs. bandwidth resources.
+        // Estimate the current load level through the best match (whose
+        // own level relative to its full-load reference is known) and
+        // descale the completed profile before ranking.
+        let characteristics = match scores.first() {
+            Some(best) => {
+                let full = self.descale_to_full_load(&completed, best.index, observations);
+                ResourceCharacteristics::from_pressure(&full)
+            }
+            None => ResourceCharacteristics::from_pressure(&completed),
+        };
+        Ok(Recommendation {
+            characteristics,
+            completed,
+            scores,
+        })
+    }
+
+    /// Descales a completed (observed-load) profile to a full-load
+    /// estimate: non-capacity pressure is divided by the estimated total
+    /// load level, capacity pressure stays resident.
+    fn descale_to_full_load(
+        &self,
+        completed: &PressureVector,
+        best_index: usize,
+        observations: &[(Resource, f64)],
+    ) -> PressureVector {
+        let ex = self.data.example(best_index);
+        // The training instance's own level relative to its reference.
+        let (mut num, mut den) = (0.0, 0.0);
+        for r in Resource::ALL {
+            if !r.is_capacity() {
+                num += ex.pressure[r];
+                den += ex.reference[r];
+            }
+        }
+        let inst_level = if den > 0.0 { (num / den).clamp(0.05, 1.0) } else { 1.0 };
+        // The victim's level relative to the instance.
+        let lambda = self.estimate_scale(best_index, observations).max(0.05);
+        let total = (inst_level * lambda).clamp(0.05, 1.0);
+        let mut full = *completed;
+        for r in Resource::ALL {
+            if !r.is_capacity() {
+                full[r] = (completed[r] / total).clamp(0.0, 100.0);
+            }
+        }
+        full
+    }
+
+    /// Scores a *dense* pressure profile against the training set (the
+    /// content-based stage on its own; also used to score shutter-derived
+    /// residual profiles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the correlation computation.
+    pub fn score_profile(
+        &self,
+        profile: &PressureVector,
+    ) -> Result<Vec<SimilarityScore>, LinalgError> {
+        let sigma = &self.svd.singular_values()[..self.rank];
+        let u_new = self.project(profile);
+
+        let mut raw: Vec<(usize, f64)> = Vec::with_capacity(self.data.len());
+        for i in 0..self.data.len() {
+            let u_row = self.svd.concept_row(i, self.rank);
+            let corr = if self.config.weighted {
+                weighted_pearson(&u_new, &u_row, sigma)?
+            } else {
+                pearson(&u_new, &u_row)?
+            };
+            raw.push((i, corr));
+        }
+        raw.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite correlations"));
+
+        // Keep matches above threshold; normalize positive mass to shares.
+        let kept: Vec<(usize, f64)> = raw
+            .into_iter()
+            .filter(|&(_, c)| c >= self.config.match_threshold)
+            .collect();
+        let mass: f64 = kept.iter().map(|&(_, c)| c.max(0.0)).sum();
+        Ok(kept
+            .into_iter()
+            .map(|(index, correlation)| SimilarityScore {
+                label: self.data.example(index).label.clone(),
+                index,
+                correlation,
+                share: if mass > 0.0 {
+                    correlation.max(0.0) / mass
+                } else {
+                    0.0
+                },
+            })
+            .collect())
+    }
+
+    /// Scores every training example against a *partial* observation, in
+    /// the observed dimensions only — the §3.3 move that identifies the
+    /// core-sharing co-runner from core readings alone (hyperthreads are
+    /// never shared between instances, so core readings carry exactly one
+    /// application's signal).
+    ///
+    /// Similarity is the weighted cosine between standardized deviations
+    /// over the observed dimensions, each resource weighted by its
+    /// information value `Σₖ (σₖ V[j,k])²` over the retained concepts —
+    /// the §3.2 insight that some resources leak more than others.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InsufficientData`] with fewer than 2 observed
+    ///   dimensions.
+    /// * [`LinalgError::NonFiniteInput`] for non-finite values.
+    pub fn match_subspace(
+        &self,
+        observations: &[(Resource, f64)],
+    ) -> Result<Vec<SimilarityScore>, LinalgError> {
+        let raw = self.subspace_raw(observations)?;
+        let kept: Vec<(usize, f64)> = raw
+            .into_iter()
+            .filter(|&(_, c)| c >= self.config.match_threshold)
+            .collect();
+        let mass: f64 = kept.iter().map(|&(_, c)| c.max(0.0)).sum();
+        Ok(kept
+            .into_iter()
+            .map(|(index, correlation)| SimilarityScore {
+                label: self.data.example(index).label.clone(),
+                index,
+                correlation,
+                share: if mass > 0.0 { correlation.max(0.0) / mass } else { 0.0 },
+            })
+            .collect())
+    }
+
+    /// The unfiltered, sorted `(index, similarity)` list behind
+    /// [`HybridRecommender::match_subspace`].
+    fn subspace_raw(
+        &self,
+        observations: &[(Resource, f64)],
+    ) -> Result<Vec<(usize, f64)>, LinalgError> {
+        if observations.len() < 2 {
+            return Err(LinalgError::InsufficientData {
+                op: "subspace match",
+                got: observations.len(),
+                need: 2,
+            });
+        }
+        for &(_, v) in observations {
+            if !v.is_finite() {
+                return Err(LinalgError::NonFiniteInput { op: "subspace match" });
+            }
+        }
+        let dims: Vec<usize> = observations.iter().map(|&(r, _)| r.index()).collect();
+        let weights: Vec<f64> = dims.iter().map(|&j| self.information_weight(j)).collect();
+
+        // Shape-based comparison: an application observed at input load ℓ
+        // emits ≈ ℓ × its full-load pressure, so matching must be
+        // scale-invariant. Normalize every vector to unit norm over the
+        // observed dimensions ("shape"), then center by the mean training
+        // shape to restore contrast in the positive orthant.
+        let m = self.data.matrix();
+        let shapes: Vec<Vec<f64>> = (0..self.data.len())
+            .map(|i| normalize(&dims.iter().map(|&j| m[(i, j)]).collect::<Vec<f64>>()))
+            .collect();
+        let mean_shape: Vec<f64> = (0..dims.len())
+            .map(|d| shapes.iter().map(|s| s[d]).sum::<f64>() / shapes.len() as f64)
+            .collect();
+        let obs_shape = normalize(&observations.iter().map(|&(_, v)| v).collect::<Vec<f64>>());
+
+        let centered_obs: Vec<f64> = obs_shape
+            .iter()
+            .zip(&mean_shape)
+            .map(|(a, b)| a - b)
+            .collect();
+        let mut raw: Vec<(usize, f64)> = Vec::with_capacity(self.data.len());
+        for (i, shape) in shapes.iter().enumerate() {
+            let centered: Vec<f64> = shape.iter().zip(&mean_shape).map(|(a, b)| a - b).collect();
+            let num: f64 = (0..dims.len())
+                .map(|d| weights[d] * centered_obs[d] * centered[d])
+                .sum();
+            let na: f64 = (0..dims.len())
+                .map(|d| weights[d] * centered_obs[d] * centered_obs[d])
+                .sum();
+            let nb: f64 = (0..dims.len())
+                .map(|d| weights[d] * centered[d] * centered[d])
+                .sum();
+            let denom = (na * nb).sqrt();
+            let sim = if denom > 0.0 { (num / denom).clamp(-1.0, 1.0) } else { 0.0 };
+            raw.push((i, sim));
+        }
+        raw.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+        Ok(raw)
+    }
+
+    /// The information value of resource dimension `j`: how much of the
+    /// retained concepts' energy loads on it, discounted by the Wiener
+    /// reliability of the channel (signal variance over signal-plus-noise
+    /// variance) so that partitioned-dead resources cannot masquerade as
+    /// evidence.
+    fn information_weight(&self, j: usize) -> f64 {
+        let v = self.svd.v();
+        let sigma = self.svd.singular_values();
+        let concept: f64 = (0..self.rank).map(|k| (sigma[k] * v[(j, k)]).powi(2)).sum();
+        let var = self.col_stds[j] * self.col_stds[j];
+        let noise = self.config.noise_floor * self.config.noise_floor;
+        concept * (var / (var + noise))
+    }
+
+    /// Identifies the co-runner sharing the adversary's physical core by
+    /// combining the core-subspace shape match with a *mixture
+    /// consistency* check on the uncore readings: co-resident pressure is
+    /// additive, so a candidate whose own (load-scaled) uncore profile
+    /// exceeds the observed uncore signal cannot be the core-sharer —
+    /// nobody can contribute negative pressure. Each candidate's shape
+    /// similarity is penalized by its total uncore violation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::match_subspace`].
+    pub fn match_core_sharer(
+        &self,
+        core_obs: &[(Resource, f64)],
+        uncore_obs: &[(Resource, f64)],
+    ) -> Result<Vec<SimilarityScore>, LinalgError> {
+        let mut scores = self.match_subspace(core_obs)?;
+        if uncore_obs.is_empty() {
+            return Ok(scores);
+        }
+        // Uncore evidence: the sharer is *part of* the uncore mixture, so
+        // its uncore shape should correlate with the observed one; blended
+        // in at lower weight because other tenants corrupt it. Use the
+        // unfiltered scores so anti-correlated candidates keep their
+        // negative evidence.
+        let uncore_scores = self.subspace_raw(uncore_obs)?;
+        let uncore_sim: std::collections::HashMap<usize, f64> =
+            uncore_scores.into_iter().collect();
+        let obs_total: f64 = uncore_obs.iter().map(|&(_, v)| v).sum();
+        let m = self.data.matrix();
+        for s in &mut scores {
+            let lambda = self.estimate_scale(s.index, core_obs);
+            let violation: f64 = uncore_obs
+                .iter()
+                .map(|&(r, v)| (lambda * m[(s.index, r.index())] - v).max(0.0))
+                .sum();
+            let u = uncore_sim.get(&s.index).copied().unwrap_or(0.0);
+            // Blend: core shape dominates, uncore agreement refines, and
+            // impossible (super-additive) uncore demand penalizes relative
+            // to the observed signal's size.
+            s.correlation =
+                0.65 * s.correlation + 0.35 * u - violation / (obs_total + 25.0);
+        }
+        scores.sort_by(|a, b| b.correlation.partial_cmp(&a.correlation).expect("finite"));
+        let mass: f64 = scores.iter().map(|s| s.correlation.max(0.0)).sum();
+        for s in &mut scores {
+            s.share = if mass > 0.0 {
+                s.correlation.max(0.0) / mass
+            } else {
+                0.0
+            };
+        }
+        scores.retain(|s| s.correlation >= self.config.match_threshold);
+        Ok(scores)
+    }
+
+    /// Decomposes a (possibly mixed) observation into up to
+    /// `max_components` known applications by greedy matching pursuit:
+    /// repeatedly find the training example and load scale `λ ∈ [0, 1.2]`
+    /// that best explain the remaining signal in weighted least squares,
+    /// subtract, and continue while the residual stays substantial.
+    ///
+    /// This operationalizes the paper's §3.3 assumption that co-resident
+    /// pressure adds linearly in bandwidth-style resources: the summed
+    /// signal of two tenants matches *no* single application well, but
+    /// decomposes cleanly into two.
+    ///
+    /// Returns `(example index, scale, explained fraction)` per component,
+    /// first component first.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InsufficientData`] with fewer than 2 observations.
+    /// * [`LinalgError::NonFiniteInput`] for non-finite values.
+    pub fn decompose_mixture(
+        &self,
+        observations: &[(Resource, f64)],
+        consistency: &[(Resource, f64)],
+        max_components: usize,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        let _ = consistency;
+        validate_obs(observations)?;
+        let dims: Vec<usize> = observations.iter().map(|&(r, _)| r.index()).collect();
+        let weights: Vec<f64> = dims.iter().map(|&j| self.information_weight(j)).collect();
+        let target: Vec<f64> = observations.iter().map(|&(_, v)| v).collect();
+        let m = self.data.matrix();
+        let atoms: Vec<(usize, Vec<f64>)> = (0..self.data.len())
+            .map(|i| (i, dims.iter().map(|&j| m[(i, j)]).collect()))
+            .collect();
+        Ok(pair_pursuit(&weights, &target, &atoms, max_components))
+    }
+
+    /// Joint decomposition with *visibility hypotheses*: the adversary
+    /// observes core-resource pressure only from co-residents sharing its
+    /// physical cores, so every candidate application enters the search
+    /// twice — once as a core-sharer (contributing to all observed
+    /// dimensions) and once as an unshared tenant (contributing to the
+    /// uncore dimensions only). Solving jointly over all ten dimensions
+    /// removes the degeneracy where a zero-uncore application (SPEC)
+    /// "freely" explains any core signal: as a sharer it must account for
+    /// the uncore readings too.
+    ///
+    /// Returns `(example index, scale, explained)` like
+    /// [`HybridRecommender::decompose_mixture`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::decompose_mixture`].
+    pub fn decompose_with_core(
+        &self,
+        core_obs: &[(Resource, f64)],
+        uncore_obs: &[(Resource, f64)],
+        float_visibility: f64,
+        max_components: usize,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        let all: Vec<(Resource, f64)> = core_obs
+            .iter()
+            .chain(uncore_obs)
+            .copied()
+            .collect();
+        validate_obs(&all)?;
+        let dims: Vec<usize> = all.iter().map(|&(r, _)| r.index()).collect();
+        let weights: Vec<f64> = dims.iter().map(|&j| self.information_weight(j)).collect();
+        let target: Vec<f64> = all.iter().map(|&(_, v)| v).collect();
+        let m = self.data.matrix();
+        let is_core: Vec<bool> = all.iter().map(|&(r, _)| r.is_core()).collect();
+        let mut atoms: Vec<(usize, Vec<f64>)> = Vec::with_capacity(3 * self.data.len());
+        for i in 0..self.data.len() {
+            // Shared-core hypothesis: visible everywhere.
+            atoms.push((i, dims.iter().map(|&j| m[(i, j)]).collect()));
+            // Unshared hypothesis: visible on uncore dimensions only.
+            atoms.push((
+                i,
+                dims.iter()
+                    .enumerate()
+                    .map(|(d, &j)| if is_core[d] { 0.0 } else { m[(i, j)] })
+                    .collect(),
+            ));
+            // Scheduler-float hypothesis: core pressure leaks at the float
+            // factor while uncore is fully visible (no pinning).
+            if float_visibility > 0.0 {
+                atoms.push((
+                    i,
+                    dims.iter()
+                        .enumerate()
+                        .map(|(d, &j)| {
+                            if is_core[d] {
+                                m[(i, j)] * float_visibility
+                            } else {
+                                m[(i, j)]
+                            }
+                        })
+                        .collect(),
+                ));
+            }
+        }
+        Ok(pair_pursuit(&weights, &target, &atoms, max_components))
+    }
+
+    /// Builds a [`Recommendation`] for one decomposed mixture component.
+    pub fn component_recommendation(&self, index: usize, explained: f64) -> Recommendation {
+        let ex = self.data.example(index);
+        let scores = vec![SimilarityScore {
+            label: ex.label.clone(),
+            index,
+            correlation: explained,
+            share: 1.0,
+        }];
+        Recommendation {
+            characteristics: ResourceCharacteristics::from_pressure(&ex.reference),
+            completed: ex.pressure,
+            scores,
+        }
+    }
+
+    /// Least-squares estimate of the input-load scale of a subspace match:
+    /// the `λ` minimizing `‖obs − λ · example‖` over the observed
+    /// dimensions, clamped to `[0, 1]`. Used to scale the matched
+    /// training profile before subtracting it from a mixed signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn estimate_scale(&self, index: usize, observations: &[(Resource, f64)]) -> f64 {
+        let m = self.data.matrix();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(r, v) in observations {
+            let e = m[(index, r.index())];
+            num += v * e;
+            den += e * e;
+        }
+        if den == 0.0 {
+            return 1.0;
+        }
+        (num / den).clamp(0.0, 1.0)
+    }
+
+    /// The pure collaborative-filtering completion (the §3.2 strawman):
+    /// folds the sparse row into the PQ factorization trained on the raw
+    /// training matrix. It recovers missing pressure but, as the paper
+    /// notes, cannot label the victim — and with very sparse signals the
+    /// unregularized-toward-mean extrapolation is visibly worse than the
+    /// hybrid path, which is exactly the ablation argument.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the fold-in (empty observations,
+    /// bad indices, non-finite values).
+    pub fn complete_collaborative<R: Rng>(
+        &self,
+        observations: &[(Resource, f64)],
+        rng: &mut R,
+    ) -> Result<PressureVector, LinalgError> {
+        let obs: Vec<(usize, f64)> = observations
+            .iter()
+            .map(|&(r, v)| (r.index(), v))
+            .collect();
+        let raw = self.pq.fold_in(&obs, rng)?;
+        let mut vals = [0.0; RESOURCE_COUNT];
+        for (i, v) in raw.iter().enumerate() {
+            vals[i] = v.clamp(0.0, 100.0);
+        }
+        for &(i, v) in &obs {
+            vals[i] = v.clamp(0.0, 100.0);
+        }
+        Ok(PressureVector::from_raw(vals))
+    }
+
+    /// Solves the victim's *scaled* concept coordinates `w` (where the
+    /// reconstruction is `x ≈ mean + w Vᵀ`) against the observed entries by
+    /// stochastic gradient descent — the paper's "PQ-reconstruction with
+    /// SGD" step, specialized to the frozen concept basis. L2
+    /// regularization pulls unobserved structure toward the training mean.
+    fn solve_concept_coords<R: Rng>(&self, obs: &[(usize, f64)], rng: &mut R) -> Vec<f64> {
+        let v = self.svd.v();
+        let mut w = vec![0.0; self.rank];
+        let lr = 0.05;
+        let reg = 0.002;
+        let mut order: Vec<usize> = (0..obs.len()).collect();
+        for _ in 0..600 {
+            // Stochastic order over the observed entries.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let (c, val) = obs[i];
+                // Work in standardized units so the step size is uniform
+                // across resources.
+                let target = (val - self.col_means[c]) / self.col_stds[c];
+                let pred: f64 = (0..self.rank).map(|k| w[k] * v[(c, k)]).sum();
+                let err = target - pred;
+                for (k, wk) in w.iter_mut().enumerate() {
+                    *wk += lr * (err * v[(c, k)] - reg * *wk);
+                }
+            }
+        }
+        w
+    }
+
+    /// Projects a dense profile into the retained concept space:
+    /// `u = z V_r Σ_r⁻¹` with `z` the standardized profile.
+    fn project(&self, profile: &PressureVector) -> Vec<f64> {
+        let v = self.svd.v();
+        let sigma = self.svd.singular_values();
+        (0..self.rank)
+            .map(|k| {
+                if sigma[k] == 0.0 {
+                    return 0.0;
+                }
+                let dot: f64 = (0..RESOURCE_COUNT)
+                    .map(|j| {
+                        (profile.as_slice()[j] - self.col_means[j]) / self.col_stds[j]
+                            * v[(j, k)]
+                    })
+                    .sum();
+                dot / sigma[k]
+            })
+            .collect()
+    }
+}
+
+/// Validates decomposition observations.
+fn validate_obs(observations: &[(Resource, f64)]) -> Result<(), LinalgError> {
+    if observations.len() < 2 {
+        return Err(LinalgError::InsufficientData {
+            op: "mixture decomposition",
+            got: observations.len(),
+            need: 2,
+        });
+    }
+    for &(_, v) in observations {
+        if !v.is_finite() {
+            return Err(LinalgError::NonFiniteInput {
+                op: "mixture decomposition",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Weighted least-squares pursuit over a dictionary of atoms: the best
+/// single explanation, refined by an exhaustive pair search with jointly
+/// optimal scales in `[0, 1.05]` (a tenant cannot exceed its own full-load
+/// profile by much). The pair replaces the single only on a decisive error
+/// improvement — summed signals are often 90%-explained by one "middle
+/// ground" application, but the true pair fits to within instance jitter.
+///
+/// Returns `(example index, scale, explained fraction)` per component.
+fn pair_pursuit(
+    weights: &[f64],
+    target: &[f64],
+    atoms: &[(usize, Vec<f64>)],
+    max_components: usize,
+) -> Vec<(usize, f64, f64)> {
+    let total_energy: f64 = (0..target.len())
+        .map(|d| weights[d] * target[d] * target[d])
+        .sum();
+    if total_energy == 0.0 {
+        return Vec::new();
+    }
+    let n = atoms.len();
+    let ndims = target.len();
+    // A reading at (or near) the resource's capacity is *censored*: the
+    // true co-resident demand may exceed it, so the scale fits ignore the
+    // dimension and the error only penalizes under-prediction — without
+    // this, saturated hosts break the linearity assumption exactly as the
+    // paper's §3.5 warns.
+    const CENSOR: f64 = 95.0;
+    let censored: Vec<bool> = target.iter().map(|&v| v >= CENSOR).collect();
+    let self_sq: Vec<f64> = (0..n)
+        .map(|a| {
+            (0..ndims)
+                .filter(|&d| !censored[d])
+                .map(|d| weights[d] * atoms[a].1[d] * atoms[a].1[d])
+                .sum()
+        })
+        .collect();
+    let with_target: Vec<f64> = (0..n)
+        .map(|a| {
+            (0..ndims)
+                .filter(|&d| !censored[d])
+                .map(|d| weights[d] * target[d] * atoms[a].1[d])
+                .sum()
+        })
+        .collect();
+    let err_of = |picks: &[(usize, f64)]| -> f64 {
+        (0..ndims)
+            .map(|d| {
+                let pred: f64 = picks.iter().map(|&(a, l)| l * atoms[a].1[d]).sum();
+                let e = if censored[d] {
+                    (CENSOR - pred).max(0.0)
+                } else {
+                    target[d] - pred
+                };
+                weights[d] * e * e
+            })
+            .sum()
+    };
+
+    // Best single.
+    let mut best_single: Option<(usize, f64, f64)> = None;
+    for a in 0..n {
+        if self_sq[a] == 0.0 {
+            continue;
+        }
+        let l = (with_target[a] / self_sq[a]).clamp(0.0, 1.05);
+        if l < 0.05 {
+            continue;
+        }
+        let e = err_of(&[(a, l)]);
+        if best_single.map(|(_, _, b)| e < b).unwrap_or(true) {
+            best_single = Some((a, l, e));
+        }
+    }
+    let Some((s_atom, s_lambda, s_err)) = best_single else {
+        return Vec::new();
+    };
+    if max_components <= 1 {
+        let explained = 1.0 - (s_err / total_energy).clamp(0.0, 1.0);
+        return vec![(atoms[s_atom].0, s_lambda, explained)];
+    }
+
+    // Exhaustive pair search with jointly-optimal clamped scales.
+    let mut best_pair: Option<(usize, f64, usize, f64, f64)> = None;
+    for a in 0..n {
+        if self_sq[a] == 0.0 {
+            continue;
+        }
+        for b in (a + 1)..n {
+            if self_sq[b] == 0.0 || atoms[a].0 == atoms[b].0 {
+                continue;
+            }
+            let sab: f64 = (0..ndims)
+                .filter(|&d| !censored[d])
+                .map(|d| weights[d] * atoms[a].1[d] * atoms[b].1[d])
+                .sum();
+            let det = self_sq[a] * self_sq[b] - sab * sab;
+            let (mut la, mut lb) = if det.abs() < 1e-9 {
+                ((with_target[a] / self_sq[a]).clamp(0.0, 1.05), 0.0)
+            } else {
+                (
+                    (with_target[a] * self_sq[b] - sab * with_target[b]) / det,
+                    (with_target[b] * self_sq[a] - sab * with_target[a]) / det,
+                )
+            };
+            la = la.clamp(0.0, 1.05);
+            lb = lb.clamp(0.0, 1.05);
+            for _ in 0..2 {
+                la = ((with_target[a] - lb * sab) / self_sq[a]).clamp(0.0, 1.05);
+                lb = ((with_target[b] - la * sab) / self_sq[b]).clamp(0.0, 1.05);
+            }
+            if la < 0.05 || lb < 0.05 {
+                continue;
+            }
+            let e = err_of(&[(a, la), (b, lb)]);
+            if best_pair.map(|(_, _, _, _, be)| e < be).unwrap_or(true) {
+                best_pair = Some((a, la, b, lb, e));
+            }
+        }
+    }
+
+    let mut picks: Vec<(usize, f64)> = match best_pair {
+        Some((a, la, b, lb, e)) if e < s_err * 0.5 => {
+            let contrib = |x: usize, l: f64| l * self_sq[x].sqrt();
+            if contrib(a, la) >= contrib(b, lb) {
+                vec![(a, la), (b, lb)]
+            } else {
+                vec![(b, lb), (a, la)]
+            }
+        }
+        _ => vec![(s_atom, s_lambda)],
+    };
+    picks.truncate(max_components);
+    // A component must carry a meaningful share of the observed signal:
+    // spurious low-scale riders that only mop up residual noise (or the
+    // near-dead dimensions of an isolated host) are dropped.
+    picks.retain(|&(a, l)| l * l * self_sq[a] >= 0.04 * total_energy);
+    if picks.is_empty() {
+        return Vec::new();
+    }
+    let final_err = err_of(&picks);
+    let explained = 1.0 - (final_err / total_energy).clamp(0.0, 1.0);
+    picks
+        .into_iter()
+        .map(|(a, l)| (atoms[a].0, l, explained))
+        .collect()
+}
+
+/// Normalizes a vector to unit Euclidean norm; an all-zero vector stays
+/// zero.
+fn normalize(v: &[f64]) -> Vec<f64> {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        return v.to_vec();
+    }
+    v.iter().map(|x| x / norm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_workloads::training::training_set;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x44EC)
+    }
+
+    fn recommender() -> HybridRecommender {
+        let data = TrainingData::from_profiles(&training_set(7)).unwrap();
+        HybridRecommender::fit(data, RecommenderConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn rank_respects_energy_criterion() {
+        let rec = recommender();
+        let sigma = rec.concept_magnitudes();
+        let total: f64 = sigma.iter().map(|s| s * s).sum();
+        let kept: f64 = sigma[..rec.rank()].iter().map(|s| s * s).sum();
+        assert!(kept >= 0.90 * total);
+        assert!(rec.rank() >= 2 && rec.rank() <= RESOURCE_COUNT);
+    }
+
+    #[test]
+    fn dense_self_profile_scores_own_class_first() {
+        let rec = recommender();
+        // Score training example 0's own profile: it must match itself.
+        let target = rec.training_data().example(0).clone();
+        let scores = rec.score_profile(&target.pressure).unwrap();
+        assert!(!scores.is_empty());
+        assert_eq!(scores[0].index, 0);
+        assert!(scores[0].correlation > 0.99);
+    }
+
+    #[test]
+    fn sparse_memcached_probe_matches_memcached() {
+        let rec = recommender();
+        let mut r = rng();
+        // A 3-probe snapshot of a memcached-like victim: hot L1i + LLC,
+        // zero disk.
+        let obs = [
+            (Resource::L1i, 80.0),
+            (Resource::Llc, 76.0),
+            (Resource::DiskBw, 0.0),
+        ];
+        let verdict = rec.recommend(&obs, &mut r).unwrap();
+        let label = verdict.label().expect("should match something");
+        assert_eq!(
+            label.family(),
+            "memcached",
+            "expected memcached, got {label} (scores: {:?})",
+            &verdict.scores[..verdict.scores.len().min(3)]
+        );
+    }
+
+    #[test]
+    fn sparse_disk_probe_matches_disk_heavy_family() {
+        let rec = recommender();
+        let mut r = rng();
+        let obs = [
+            (Resource::DiskBw, 70.0),
+            (Resource::Cpu, 45.0),
+            (Resource::L1i, 25.0),
+        ];
+        let verdict = rec.recommend(&obs, &mut r).unwrap();
+        let label = verdict.label().expect("should match something");
+        assert!(
+            ["hadoop", "cassandra", "mysql", "mongodb"].contains(&label.family()),
+            "expected a disk-heavy family, got {label}"
+        );
+    }
+
+    #[test]
+    fn completed_profile_pins_observations() {
+        let rec = recommender();
+        let mut r = rng();
+        let obs = [(Resource::NetBw, 85.0), (Resource::L1i, 70.0)];
+        let verdict = rec.recommend(&obs, &mut r).unwrap();
+        assert!((verdict.completed[Resource::NetBw] - 85.0).abs() < 1e-9);
+        assert!((verdict.completed[Resource::L1i] - 70.0).abs() < 1e-9);
+        assert!(verdict.completed.is_valid());
+    }
+
+    #[test]
+    fn shares_sum_to_one_when_matches_exist() {
+        let rec = recommender();
+        let mut r = rng();
+        let obs = [(Resource::MemBw, 80.0), (Resource::Llc, 65.0)];
+        let verdict = rec.recommend(&obs, &mut r).unwrap();
+        if !verdict.scores.is_empty() {
+            let total: f64 = verdict.scores.iter().map(|s| s.share).sum();
+            assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        }
+    }
+
+    #[test]
+    fn empty_observations_rejected() {
+        let rec = recommender();
+        let mut r = rng();
+        assert!(matches!(
+            rec.recommend(&[], &mut r),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let rec = recommender();
+        let mut r = rng();
+        let obs = [(Resource::Cpu, 85.0), (Resource::L1d, 55.0)];
+        let verdict = rec.recommend(&obs, &mut r).unwrap();
+        for w in verdict.scores.windows(2) {
+            assert!(w[0].correlation >= w[1].correlation);
+        }
+    }
+
+    #[test]
+    fn weighted_and_plain_pearson_can_disagree() {
+        let data = TrainingData::from_profiles(&training_set(7)).unwrap();
+        let weighted =
+            HybridRecommender::fit(data.clone(), RecommenderConfig::default()).unwrap();
+        let plain = HybridRecommender::fit(
+            data,
+            RecommenderConfig {
+                weighted: false,
+                ..RecommenderConfig::default()
+            },
+        )
+        .unwrap();
+        // Same dense profile scored both ways; correlations differ in
+        // general because the weights emphasize strong concepts.
+        let probe = weighted.training_data().example(5).pressure;
+        let a = weighted.score_profile(&probe).unwrap();
+        let b = plain.score_profile(&probe).unwrap();
+        assert!(!a.is_empty() && !b.is_empty());
+        let differs = a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| (x.correlation - y.correlation).abs() > 1e-6 || x.index != y.index);
+        assert!(differs, "weighting should change the score landscape");
+    }
+
+    #[test]
+    fn concept_loading_accessible_for_all_resources() {
+        let rec = recommender();
+        for r in Resource::ALL {
+            let l = rec.concept_resource_loading(r, 0);
+            assert!(l.is_finite());
+        }
+    }
+}

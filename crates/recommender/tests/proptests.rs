@@ -1,0 +1,97 @@
+//! Property-based tests for the hybrid recommender's invariants.
+
+use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
+use bolt_workloads::training::training_set;
+use bolt_workloads::Resource;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn recommender() -> HybridRecommender {
+    let data = TrainingData::from_profiles(&training_set(7)).expect("training data");
+    HybridRecommender::fit(data, RecommenderConfig::default()).expect("fit")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn recommend_output_is_well_formed(
+        seed in 0u64..500,
+        v1 in 0.0f64..100.0,
+        v2 in 0.0f64..100.0,
+        v3 in 0.0f64..100.0,
+    ) {
+        let rec = recommender();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obs = [
+            (Resource::Llc, v1),
+            (Resource::MemBw, v2),
+            (Resource::NetBw, v3),
+        ];
+        let out = rec.recommend(&obs, &mut rng).expect("recommend");
+        prop_assert!(out.completed.is_valid());
+        // Observations are pinned exactly.
+        prop_assert!((out.completed[Resource::Llc] - v1).abs() < 1e-9);
+        // Scores sorted and bounded; shares a distribution.
+        for w in out.scores.windows(2) {
+            prop_assert!(w[0].correlation >= w[1].correlation);
+        }
+        let mass: f64 = out.scores.iter().map(|s| s.share).sum();
+        prop_assert!(out.scores.is_empty() || (mass - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subspace_match_is_scale_invariant(
+        seed in 0u64..500,
+        scale in 0.2f64..1.0,
+    ) {
+        let rec = recommender();
+        let rng = StdRng::seed_from_u64(seed);
+        // Pick a random training example's core dims and scale them.
+        let i = (seed as usize * 13) % rec.training_data().len();
+        let p = rec.training_data().example(i).pressure;
+        let full: Vec<(Resource, f64)> = Resource::CORE.iter().map(|&r| (r, p[r])).collect();
+        let scaled: Vec<(Resource, f64)> =
+            full.iter().map(|&(r, v)| (r, v * scale)).collect();
+        // Skip degenerate all-zero core profiles.
+        prop_assume!(full.iter().map(|&(_, v)| v).sum::<f64>() > 20.0);
+        let a = rec.match_subspace(&full).expect("match full");
+        let b = rec.match_subspace(&scaled).expect("match scaled");
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        prop_assert_eq!(
+            a[0].label.family(),
+            b[0].label.family(),
+            "scaling the observation must not change the matched family"
+        );
+        let _ = rng;
+    }
+
+    #[test]
+    fn decomposition_components_are_significant(
+        seed in 0u64..300,
+        la in 0.3f64..1.0,
+        lb in 0.3f64..1.0,
+        i in 0usize..100,
+        j in 0usize..100,
+    ) {
+        let rec = recommender();
+        let n = rec.training_data().len();
+        let (i, j) = (i % n, j % n);
+        prop_assume!(i != j);
+        let a = rec.training_data().example(i).pressure;
+        let b = rec.training_data().example(j).pressure;
+        let mix: Vec<(Resource, f64)> = Resource::UNCORE
+            .iter()
+            .map(|&r| (r, (la * a[r] + lb * b[r]).min(100.0)))
+            .collect();
+        prop_assume!(mix.iter().map(|&(_, v)| v).sum::<f64>() > 40.0);
+        let comps = rec.decompose_mixture(&mix, &[], 3).expect("decompose");
+        prop_assert!(!comps.is_empty(), "a loud mixture must decompose into something");
+        for &(_, lambda, explained) in &comps {
+            prop_assert!((0.0..=1.05).contains(&lambda));
+            prop_assert!((0.0..=1.0).contains(&explained));
+        }
+        let _ = seed;
+    }
+}

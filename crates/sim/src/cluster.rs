@@ -1,0 +1,967 @@
+//! The cluster: VM lifecycle, contention physics, utilization, migration.
+//!
+//! This is the simulator's heart. Every workload on a server generates a
+//! pressure vector over the ten shared resources; the cluster aggregates
+//! those vectors per *sharing domain* — core-private resources (L1i/L1d/
+//! L2/CPU) contend only between hyperthreads of the same physical core,
+//! uncore resources (LLC/memory/network/disk) contend host-wide — and
+//! attenuates them through the active isolation configuration. Probes and
+//! victims both read contention through this one code path, so what Bolt
+//! *measures* and what victims *suffer* stay consistent.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use bolt_workloads::{perf, PressureVector, Resource, WorkloadKind, WorkloadProfile};
+
+use crate::error::SimError;
+use crate::isolation::IsolationConfig;
+use crate::server::{Server, ServerSpec};
+use crate::trace::TraceEvent;
+use crate::vm::{VmId, VmRole, VmState};
+
+/// A running cluster of servers hosting VMs.
+///
+/// # Example
+///
+/// ```
+/// use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
+/// use bolt_sim::vm::VmRole;
+/// use bolt_workloads::{catalog, DatasetScale};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bolt_sim::SimError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut cluster = Cluster::new(4, ServerSpec::xeon(), IsolationConfig::cloud_default())?;
+/// let victim = catalog::hadoop::profile(
+///     &catalog::hadoop::Algorithm::WordCount, DatasetScale::Small, &mut rng);
+/// let id = cluster.launch_on(0, victim, VmRole::Friendly, 0.0)?;
+/// assert_eq!(cluster.vm(id)?.server, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    vms: BTreeMap<VmId, VmState>,
+    isolation: IsolationConfig,
+    next_id: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` identical empty servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `n` is zero or the spec is
+    /// degenerate.
+    pub fn new(n: usize, spec: ServerSpec, isolation: IsolationConfig) -> Result<Self, SimError> {
+        if n == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "cluster needs at least one server".to_string(),
+            });
+        }
+        let servers = (0..n)
+            .map(|_| Server::new(spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Cluster {
+            servers,
+            vms: BTreeMap::new(),
+            isolation,
+            next_id: 0,
+            events: Vec::new(),
+        })
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The active isolation configuration.
+    pub fn isolation(&self) -> IsolationConfig {
+        self.isolation
+    }
+
+    /// Replaces the isolation configuration (used by the §6 study to sweep
+    /// mechanism stacks over an already-populated cluster).
+    pub fn set_isolation(&mut self, isolation: IsolationConfig) {
+        self.isolation = isolation;
+    }
+
+    /// A server's slot state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownServer`] for an out-of-range index.
+    pub fn server(&self, idx: usize) -> Result<&Server, SimError> {
+        self.servers.get(idx).ok_or(SimError::UnknownServer {
+            server: idx,
+            cluster_size: self.servers.len(),
+        })
+    }
+
+    /// A placed VM's state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownVm`] if the VM does not exist.
+    pub fn vm(&self, id: VmId) -> Result<&VmState, SimError> {
+        self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })
+    }
+
+    /// All VM ids, in launch order.
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.vms.keys().copied().collect()
+    }
+
+    /// VMs hosted on one server.
+    pub fn vms_on(&self, server: usize) -> Vec<VmId> {
+        self.vms
+            .iter()
+            .filter(|(_, s)| s.server == server)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Launches a VM on a specific server.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownServer`] for a bad server index.
+    /// * [`SimError::InsufficientCapacity`] if the server is full.
+    pub fn launch_on(
+        &mut self,
+        server: usize,
+        profile: WorkloadProfile,
+        role: VmRole,
+        at: f64,
+    ) -> Result<VmId, SimError> {
+        if server >= self.servers.len() {
+            return Err(SimError::UnknownServer {
+                server,
+                cluster_size: self.servers.len(),
+            });
+        }
+        let id = VmId(self.next_id);
+        let vcpus = profile.vcpus();
+        let core_iso = self.isolation.mechanisms.core_isolation;
+        let threads = self.servers[server]
+            .place(id, vcpus, core_iso)
+            .map_err(|e| match e {
+                SimError::InsufficientCapacity {
+                    requested,
+                    available,
+                    ..
+                } => SimError::InsufficientCapacity {
+                    server,
+                    requested,
+                    available,
+                },
+                other => other,
+            })?;
+        self.next_id += 1;
+        self.events.push(TraceEvent::Launch {
+            vm: id,
+            role,
+            server,
+            threads: threads.clone(),
+            label: profile.label().to_string(),
+            at,
+        });
+        self.vms.insert(
+            id,
+            VmState {
+                profile,
+                role,
+                server,
+                threads,
+                launched_at: at,
+                pressure_override: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Launches a VM on a specific server with *user-pinned* (random)
+    /// thread placement — the EC2 user-study setting where tenants pick
+    /// their own cores. Not available under core isolation.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownServer`] / [`SimError::InsufficientCapacity`]
+    ///   as for [`Cluster::launch_on`].
+    /// * [`SimError::InvalidConfig`] if core isolation is active (isolated
+    ///   placements must take whole cores).
+    pub fn launch_pinned<R: Rng>(
+        &mut self,
+        server: usize,
+        profile: WorkloadProfile,
+        role: VmRole,
+        at: f64,
+        rng: &mut R,
+    ) -> Result<VmId, SimError> {
+        if self.isolation.mechanisms.core_isolation {
+            return Err(SimError::InvalidConfig {
+                reason: "user pinning is incompatible with core isolation".to_string(),
+            });
+        }
+        if server >= self.servers.len() {
+            return Err(SimError::UnknownServer {
+                server,
+                cluster_size: self.servers.len(),
+            });
+        }
+        let id = VmId(self.next_id);
+        let vcpus = profile.vcpus();
+        let threads = self.servers[server]
+            .place_pinned(id, vcpus, rng)
+            .map_err(|e| match e {
+                SimError::InsufficientCapacity {
+                    requested,
+                    available,
+                    ..
+                } => SimError::InsufficientCapacity {
+                    server,
+                    requested,
+                    available,
+                },
+                other => other,
+            })?;
+        self.next_id += 1;
+        self.events.push(TraceEvent::Launch {
+            vm: id,
+            role,
+            server,
+            threads: threads.clone(),
+            label: profile.label().to_string(),
+            at,
+        });
+        self.vms.insert(
+            id,
+            VmState {
+                profile,
+                role,
+                server,
+                threads,
+                launched_at: at,
+                pressure_override: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Terminates a VM, freeing its threads. Idempotent-ish: terminating an
+    /// unknown VM is an error so tests catch double-frees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownVm`] if the VM does not exist.
+    pub fn terminate(&mut self, id: VmId) -> Result<(), SimError> {
+        let state = self.vms.remove(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        self.servers[state.server].remove(id);
+        self.events.push(TraceEvent::Terminate {
+            vm: id,
+            server: state.server,
+        });
+        Ok(())
+    }
+
+    /// Live-migrates a VM to another server (the paper's DoS defense: the
+    /// cluster supports live migration with ~8 s of overhead, handled by
+    /// the experiment driver).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownVm`] / [`SimError::UnknownServer`] for bad ids.
+    /// * [`SimError::InsufficientCapacity`] if the target is full; the VM
+    ///   stays where it was.
+    pub fn migrate(&mut self, id: VmId, to: usize) -> Result<(), SimError> {
+        if to >= self.servers.len() {
+            return Err(SimError::UnknownServer {
+                server: to,
+                cluster_size: self.servers.len(),
+            });
+        }
+        let (from, vcpus) = {
+            let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+            (state.server, state.vcpus())
+        };
+        let core_iso = self.isolation.mechanisms.core_isolation;
+        if !self.servers[to].can_host(vcpus, core_iso) {
+            return Err(SimError::InsufficientCapacity {
+                server: to,
+                requested: vcpus,
+                available: self.servers[to].free_threads(),
+            });
+        }
+        self.servers[from].remove(id);
+        let threads = self.servers[to]
+            .place(id, vcpus, core_iso)
+            .expect("capacity just checked");
+        let state = self.vms.get_mut(&id).expect("vm just read");
+        state.server = to;
+        state.threads = threads;
+        self.events.push(TraceEvent::Migrate { vm: id, from, to });
+        Ok(())
+    }
+
+    /// Replaces a VM's workload in place — the "consecutive jobs on one
+    /// instance" pattern of the paper's Fig. 8 (users keep an instance and
+    /// run different applications on it over time). The VM keeps its
+    /// placement when the new job fits the same vCPU count; otherwise it
+    /// is re-placed on the same server.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownVm`] if the VM does not exist.
+    /// * [`SimError::InsufficientCapacity`] if a larger replacement does
+    ///   not fit (the original VM is restored).
+    pub fn swap_profile(
+        &mut self,
+        id: VmId,
+        profile: WorkloadProfile,
+    ) -> Result<(), SimError> {
+        let (server, old_vcpus) = {
+            let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+            (state.server, state.vcpus())
+        };
+        if profile.vcpus() == old_vcpus {
+            self.events.push(TraceEvent::SwapProfile {
+                vm: id,
+                label: profile.label().to_string(),
+            });
+            let state = self.vms.get_mut(&id).expect("vm just read");
+            state.profile = profile;
+            return Ok(());
+        }
+        let core_iso = self.isolation.mechanisms.core_isolation;
+        self.servers[server].remove(id);
+        match self.servers[server].place(id, profile.vcpus(), core_iso) {
+            Ok(threads) => {
+                self.events.push(TraceEvent::SwapProfile {
+                    vm: id,
+                    label: profile.label().to_string(),
+                });
+                let state = self.vms.get_mut(&id).expect("vm just read");
+                state.profile = profile;
+                state.threads = threads;
+                Ok(())
+            }
+            Err(e) => {
+                // Restore the old placement before reporting.
+                let threads = self.servers[server]
+                    .place(id, old_vcpus, core_iso)
+                    .expect("old placement fit before");
+                let state = self.vms.get_mut(&id).expect("vm just read");
+                state.threads = threads;
+                Err(match e {
+                    SimError::InsufficientCapacity {
+                        requested,
+                        available,
+                        ..
+                    } => SimError::InsufficientCapacity {
+                        server,
+                        requested,
+                        available,
+                    },
+                    other => other,
+                })
+            }
+        }
+    }
+
+    /// Sets (or clears, with `None`) a VM's pressure override. Attack
+    /// programs and probes drive their contention this way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownVm`] if the VM does not exist.
+    pub fn set_pressure_override(
+        &mut self,
+        id: VmId,
+        pressure: Option<PressureVector>,
+    ) -> Result<(), SimError> {
+        let state = self.vms.get_mut(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        state.pressure_override = pressure;
+        Ok(())
+    }
+
+    /// The pressure a VM generates at time `t` (override, if set, else the
+    /// profile's time-varying pressure with its load pattern and noise).
+    fn generated_pressure<R: Rng>(
+        &self,
+        id: VmId,
+        state: &VmState,
+        t: f64,
+        rng: &mut R,
+    ) -> PressureVector {
+        match state.pressure_override {
+            Some(p) => p,
+            None => {
+                // One-step RFA coupling: a victim stalled by interference
+                // exerts less pressure on its non-critical resources.
+                let interference = self.raw_interference_on(id, state, t, rng);
+                let progress = perf::progress_rate(&state.profile, &interference);
+                state.profile.pressure_at(t, progress, rng)
+            }
+        }
+    }
+
+    /// The attenuated cross-tenant pressure arriving at `state` from all
+    /// co-residents, per resource — *without* the progress coupling (used
+    /// internally to avoid recursion).
+    fn raw_interference_on<R: Rng>(
+        &self,
+        id: VmId,
+        state: &VmState,
+        t: f64,
+        rng: &mut R,
+    ) -> PressureVector {
+        self.interference_from_neighbors(id, state, t, rng, false)
+    }
+
+    /// The contention `observer` experiences on its core-private resources
+    /// *through one specific physical core* it owns: only the sibling
+    /// hyperthreads of that core contribute. A real adversary can pin its
+    /// probe thread per core, so each of its cores is a separate
+    /// measurement channel — when two victims sit on different siblings,
+    /// per-core probing separates their core signals exactly.
+    ///
+    /// `core` is an index into the observer's own core list (see
+    /// [`crate::vm::VmState::cores`]), not a global core id.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownVm`] if the observer does not exist.
+    /// * [`SimError::InvalidConfig`] if `core` exceeds the observer's core
+    ///   count.
+    pub fn interference_on_core<R: Rng>(
+        &self,
+        id: VmId,
+        core: usize,
+        t: f64,
+        rng: &mut R,
+    ) -> Result<PressureVector, SimError> {
+        let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        let server = &self.servers[state.server];
+        let tpc = server.spec().threads_per_core;
+        let my_cores = state.cores(tpc);
+        let Some(&physical_core) = my_cores.get(core) else {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "core index {core} exceeds the observer's {} cores",
+                    my_cores.len()
+                ),
+            });
+        };
+
+        let mut total = PressureVector::zero();
+        for (&other_id, other) in &self.vms {
+            if other.server != state.server || other_id == id {
+                continue;
+            }
+            if !other.cores(tpc).contains(&physical_core) {
+                continue;
+            }
+            let p = match other.pressure_override {
+                Some(p) => p,
+                None => other.profile.pressure_at(t, 1.0, rng),
+            };
+            let mut contribution = PressureVector::zero();
+            for r in Resource::CORE {
+                contribution[r] = p[r] * self.isolation.attenuation(r);
+            }
+            total = total.saturating_add(&contribution);
+        }
+        Ok(total)
+    }
+
+    /// The contention a VM experiences from its co-residents at time `t`,
+    /// per resource, after isolation attenuation.
+    ///
+    /// Core resources only receive pressure from VMs sharing a physical
+    /// core; uncore resources from every co-resident, with demand beyond
+    /// capacity saturating at 100.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownVm`] if the VM does not exist.
+    pub fn interference_on<R: Rng>(
+        &self,
+        id: VmId,
+        t: f64,
+        rng: &mut R,
+    ) -> Result<PressureVector, SimError> {
+        let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        Ok(self.interference_from_neighbors(id, state, t, rng, true))
+    }
+
+    fn interference_from_neighbors<R: Rng>(
+        &self,
+        id: VmId,
+        state: &VmState,
+        t: f64,
+        rng: &mut R,
+        couple_progress: bool,
+    ) -> PressureVector {
+        let server = &self.servers[state.server];
+        let tpc = server.spec().threads_per_core;
+        let my_cores = state.cores(tpc);
+
+        let mut total = PressureVector::zero();
+        // Scheduler-float candidates: without pinning, threads of
+        // non-core-sharing tenants occasionally land on the observer's
+        // sibling hyperthreads. The *loudest* (most CPU-hungry) neighbor
+        // dominates those co-schedulings, so only its core pressure leaks.
+        let float = self.isolation.float_visibility();
+        let mut float_candidate: Option<PressureVector> = None;
+        let mut has_static_sharer = false;
+
+        for (&other_id, other) in &self.vms {
+            if other.server != state.server || other_id == id {
+                continue;
+            }
+            let p = if couple_progress {
+                self.generated_pressure(other_id, other, t, rng)
+            } else {
+                match other.pressure_override {
+                    Some(p) => p,
+                    None => other.profile.pressure_at(t, 1.0, rng),
+                }
+            };
+            let other_cores = other.cores(tpc);
+            let shares_core = my_cores.iter().any(|c| other_cores.contains(c));
+            has_static_sharer |= shares_core;
+
+            let mut contribution = PressureVector::zero();
+            for r in Resource::ALL {
+                let visible = if r.is_core() {
+                    if shares_core {
+                        p[r]
+                    } else {
+                        0.0
+                    }
+                } else {
+                    p[r]
+                };
+                contribution[r] = visible * self.isolation.attenuation(r);
+            }
+            total = total.saturating_add(&contribution);
+
+            if !shares_core && float > 0.0 {
+                let core_total: f64 = Resource::CORE.iter().map(|&r| p[r]).sum();
+                let best_total = float_candidate
+                    .as_ref()
+                    .map(|c| Resource::CORE.iter().map(|&r| c[r]).sum::<f64>())
+                    .unwrap_or(-1.0);
+                if core_total > best_total {
+                    let mut leak = PressureVector::zero();
+                    for r in Resource::CORE {
+                        leak[r] = p[r] * float * self.isolation.attenuation(r);
+                    }
+                    float_candidate = Some(leak);
+                }
+            }
+        }
+        // Float leakage only reaches us while our sibling hyperthreads are
+        // otherwise idle; a static core-sharer occupies them.
+        if !has_static_sharer {
+            if let Some(leak) = float_candidate {
+                total = total.saturating_add(&leak);
+            }
+        }
+        total
+    }
+
+    /// CPU utilization (percent) over the *occupied* hyperthreads of a
+    /// server — what the migration monitor samples (paper §5.1: victims
+    /// are migrated when utilization exceeds 70%).
+    ///
+    /// CPU contention inflates each tenant's own CPU demand (work takes
+    /// more cycles under contention), which is why a naive compute-kernel
+    /// DoS trips the monitor while Bolt's cache attack does not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownServer`] for a bad index.
+    pub fn cpu_utilization<R: Rng>(
+        &self,
+        server: usize,
+        t: f64,
+        rng: &mut R,
+    ) -> Result<f64, SimError> {
+        if server >= self.servers.len() {
+            return Err(SimError::UnknownServer {
+                server,
+                cluster_size: self.servers.len(),
+            });
+        }
+        let mut busy = 0.0;
+        let mut occupied = 0u32;
+        for (&vm_id, state) in self.vms.iter().filter(|(_, s)| s.server == server) {
+            // A stalled thread still burns its timeslice, so utilization
+            // accounting deliberately skips the progress coupling.
+            let own = match state.pressure_override {
+                Some(p) => p[Resource::Cpu],
+                None => state.profile.pressure_at(t, 1.0, rng)[Resource::Cpu],
+            };
+            let contention = self.raw_interference_on(vm_id, state, t, rng)[Resource::Cpu];
+            let effective = (own * (1.0 + 2.0 * contention / 100.0)).min(100.0);
+            busy += effective * state.vcpus() as f64;
+            occupied += state.vcpus();
+        }
+        if occupied == 0 {
+            return Ok(0.0);
+        }
+        Ok(busy / occupied as f64)
+    }
+
+    /// The victim-side performance of a VM at time `t`: `(p99 latency in
+    /// ms, slowdown factor)` for interactive workloads, `(base latency,
+    /// slowdown)` for batch. Includes the isolation configuration's
+    /// blanket performance penalty (e.g. core isolation's 34%).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownVm`] if the VM does not exist.
+    pub fn performance_of<R: Rng>(
+        &self,
+        id: VmId,
+        t: f64,
+        rng: &mut R,
+    ) -> Result<(f64, f64), SimError> {
+        let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        let interference = self.interference_from_neighbors(id, state, t, rng, false);
+        let penalty = self.isolation.performance_penalty();
+        match state.profile.kind() {
+            WorkloadKind::Interactive => {
+                let load = state.profile.load().level(t);
+                let amp = perf::tail_latency_factor(&state.profile, &interference, load) * penalty;
+                Ok((state.profile.base_latency_ms() * amp, amp))
+            }
+            WorkloadKind::Batch => {
+                let s = perf::batch_slowdown_factor(&state.profile, &interference) * penalty;
+                Ok((state.profile.base_latency_ms() * s, s))
+            }
+        }
+    }
+
+    /// The lifecycle events recorded so far, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drains and returns the recorded lifecycle events.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The server index with the most free threads (ties to the lowest
+    /// index) that can host `vcpus`, or `None` if the cluster is full —
+    /// the primitive behind the least-loaded scheduler and the migration
+    /// defense's target choice.
+    pub fn least_loaded_server(&self, vcpus: u32) -> Option<usize> {
+        let core_iso = self.isolation.mechanisms.core_isolation;
+        (0..self.servers.len())
+            .filter(|&i| self.servers[i].can_host(vcpus, core_iso))
+            .max_by_key(|&i| self.servers[i].free_threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_workloads::{catalog, DatasetScale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xB017)
+    }
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, ServerSpec::xeon(), IsolationConfig::cloud_default()).unwrap()
+    }
+
+    fn hadoop(rng: &mut StdRng) -> WorkloadProfile {
+        catalog::hadoop::profile(
+            &catalog::hadoop::Algorithm::WordCount,
+            DatasetScale::Small,
+            rng,
+        )
+    }
+
+    fn memcached(rng: &mut StdRng) -> WorkloadProfile {
+        catalog::memcached::profile(&catalog::memcached::Variant::ReadHeavyKb, rng)
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        assert!(Cluster::new(0, ServerSpec::xeon(), IsolationConfig::cloud_default()).is_err());
+    }
+
+    #[test]
+    fn launch_and_terminate_lifecycle() {
+        let mut r = rng();
+        let mut c = cluster(2);
+        let id = c.launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        assert_eq!(c.vm(id).unwrap().server, 1);
+        assert_eq!(c.vms_on(1), vec![id]);
+        c.terminate(id).unwrap();
+        assert!(c.vm(id).is_err());
+        assert!(matches!(c.terminate(id), Err(SimError::UnknownVm { .. })));
+    }
+
+    #[test]
+    fn launch_on_bad_server_fails() {
+        let mut r = rng();
+        let mut c = cluster(2);
+        assert!(matches!(
+            c.launch_on(5, hadoop(&mut r), VmRole::Friendly, 0.0),
+            Err(SimError::UnknownServer { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_error_carries_server_index() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        for _ in 0..4 {
+            c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        }
+        match c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0) {
+            Err(SimError::InsufficientCapacity { server, .. }) => assert_eq!(server, 0),
+            other => panic!("expected capacity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solo_vm_sees_zero_interference() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        let id = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let i = c.interference_on(id, 10.0, &mut r).unwrap();
+        assert!(i.is_zero(), "solo VM should see no contention, got {i}");
+    }
+
+    #[test]
+    fn colocated_vms_see_uncore_interference() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        let a = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        let _b = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let i = c.interference_on(a, 10.0, &mut r).unwrap();
+        // Hadoop's disk traffic is uncore and fully visible.
+        assert!(i[Resource::DiskBw] > 10.0, "expected disk contention, got {i}");
+    }
+
+    #[test]
+    fn core_interference_requires_core_sharing() {
+        let mut r = rng();
+        // Pin threads so the scheduler-float channel is closed and core
+        // visibility comes from static sibling sharing alone.
+        let isolation = IsolationConfig {
+            setting: crate::isolation::OsSetting::VirtualMachines,
+            mechanisms: crate::isolation::Mechanisms {
+                thread_pinning: true,
+                ..crate::isolation::Mechanisms::none()
+            },
+        };
+        let mut c = Cluster::new(1, ServerSpec::xeon(), isolation).unwrap();
+        // Two 4-vCPU VMs spread over 8 cores: no core sharing.
+        let a = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        let b = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let i = c.interference_on(a, 5.0, &mut r).unwrap();
+        assert_eq!(i[Resource::L1i], 0.0, "no core shared -> no L1i contention");
+
+        // A third 4-vCPU VM and a fourth force sibling sharing.
+        let _c3 = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let _c4 = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let i2 = c.interference_on(a, 5.0, &mut r).unwrap();
+        assert!(
+            i2[Resource::L1i] > 0.0,
+            "core sharing at 16/16 threads must produce L1i contention"
+        );
+        let _ = b;
+    }
+
+    #[test]
+    fn interference_saturates_at_100() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        let a = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        for _ in 0..3 {
+            let id = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+            c.set_pressure_override(id, Some(PressureVector::from_raw([100.0; 10])))
+                .unwrap();
+        }
+        let i = c.interference_on(a, 0.0, &mut r).unwrap();
+        assert!(i.is_valid());
+        assert_eq!(i[Resource::MemBw], 100.0);
+    }
+
+    #[test]
+    fn pressure_override_replaces_profile_pressure() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        let a = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        let b = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        c.set_pressure_override(
+            b,
+            Some(PressureVector::from_pairs(&[(Resource::NetBw, 90.0)])),
+        )
+        .unwrap();
+        let i = c.interference_on(a, 0.0, &mut r).unwrap();
+        assert!((i[Resource::NetBw] - 90.0).abs() < 1e-9);
+        assert_eq!(i[Resource::DiskBw], 0.0, "override suppresses profile pressure");
+        c.set_pressure_override(b, None).unwrap();
+        let i2 = c.interference_on(a, 0.0, &mut r).unwrap();
+        assert!(i2[Resource::DiskBw] > 0.0, "cleared override restores profile");
+    }
+
+    #[test]
+    fn migration_moves_vm_and_frees_source() {
+        let mut r = rng();
+        let mut c = cluster(2);
+        let id = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        c.migrate(id, 1).unwrap();
+        assert_eq!(c.vm(id).unwrap().server, 1);
+        assert_eq!(c.server(0).unwrap().used_threads(), 0);
+        assert_eq!(c.server(1).unwrap().used_threads(), 4);
+    }
+
+    #[test]
+    fn migration_to_full_server_fails_in_place() {
+        let mut r = rng();
+        let mut c = cluster(2);
+        for _ in 0..4 {
+            c.launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        }
+        let id = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        assert!(c.migrate(id, 1).is_err());
+        assert_eq!(c.vm(id).unwrap().server, 0, "failed migration must not move the VM");
+    }
+
+    #[test]
+    fn utilization_zero_when_empty_and_rises_with_tenants() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        assert_eq!(c.cpu_utilization(0, 0.0, &mut r).unwrap(), 0.0);
+        let id = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let u1 = c.cpu_utilization(0, 0.0, &mut r).unwrap();
+        assert!(u1 > 10.0, "hadoop should keep cpus busy, got {u1}");
+        // A compute-saturating attacker drives occupied-thread utilization up.
+        let atk = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        c.set_pressure_override(atk, Some(PressureVector::from_pairs(&[(Resource::Cpu, 100.0)])))
+            .unwrap();
+        let u2 = c.cpu_utilization(0, 0.0, &mut r).unwrap();
+        assert!(u2 > u1, "attack should raise utilization: {u2} vs {u1}");
+        let _ = id;
+    }
+
+    #[test]
+    fn performance_degrades_under_targeted_contention() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        let victim = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let (lat0, _) = c.performance_of(victim, 10.0, &mut r).unwrap();
+        let atk = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        c.set_pressure_override(
+            atk,
+            Some(PressureVector::from_pairs(&[
+                (Resource::Llc, 100.0),
+                (Resource::MemBw, 95.0),
+            ])),
+        )
+        .unwrap();
+        let (lat1, slow) = c.performance_of(victim, 10.0, &mut r).unwrap();
+        assert!(lat1 > lat0 * 1.5, "latency should inflate: {lat0} -> {lat1}");
+        assert!(slow > 1.5);
+    }
+
+    #[test]
+    fn per_core_interference_separates_siblings() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        // Adversary takes cores 0-3 (sibling 0). Two 6-vCPU victims fill
+        // the rest: each ends up on a different subset of the adversary's
+        // sibling threads.
+        let adv = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        let v1 = c.launch_on(0, memcached(&mut r).with_vcpus(6), VmRole::Friendly, 0.0).unwrap();
+        let v2 = c.launch_on(0, memcached(&mut r).with_vcpus(6), VmRole::Friendly, 0.0).unwrap();
+        c.set_pressure_override(v1, Some(PressureVector::from_pairs(&[(Resource::L1i, 80.0)])))
+            .unwrap();
+        c.set_pressure_override(v2, Some(PressureVector::from_pairs(&[(Resource::L1d, 70.0)])))
+            .unwrap();
+        let adv_cores = c.vm(adv).unwrap().cores(2);
+        // Across the adversary's cores, some see v1's L1i signature and
+        // others see v2's L1d signature — never a blend on one core unless
+        // both actually share it.
+        let mut saw_l1i_only = false;
+        let mut saw_l1d_only = false;
+        for k in 0..adv_cores.len() {
+            let seen = c.interference_on_core(adv, k, 0.0, &mut r).unwrap();
+            if seen[Resource::L1i] > 50.0 && seen[Resource::L1d] < 5.0 {
+                saw_l1i_only = true;
+            }
+            if seen[Resource::L1d] > 40.0 && seen[Resource::L1i] < 5.0 {
+                saw_l1d_only = true;
+            }
+        }
+        assert!(
+            saw_l1i_only && saw_l1d_only,
+            "per-core probing should expose each sibling's signal separately"
+        );
+        // Out-of-range core index is rejected.
+        assert!(matches!(
+            c.interference_on_core(adv, 99, 0.0, &mut r),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn lifecycle_events_are_recorded_in_order() {
+        use crate::trace::TraceEvent;
+        let mut r = rng();
+        let mut c = cluster(2);
+        let id = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 5.0).unwrap();
+        c.migrate(id, 1).unwrap();
+        c.swap_profile(id, memcached(&mut r)).unwrap();
+        c.terminate(id).unwrap();
+        let events = c.take_events();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(events[0], TraceEvent::Launch { vm, server: 0, .. } if vm == id));
+        assert!(matches!(events[1], TraceEvent::Migrate { vm, from: 0, to: 1 } if vm == id));
+        assert!(matches!(events[2], TraceEvent::SwapProfile { vm, .. } if vm == id));
+        assert!(matches!(events[3], TraceEvent::Terminate { vm, server: 1 } if vm == id));
+        // Drained: the log is empty now.
+        assert!(c.events().is_empty());
+        for e in &events {
+            assert!(!e.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_emptier_server() {
+        let mut r = rng();
+        let mut c = cluster(3);
+        c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        c.launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        assert_eq!(c.least_loaded_server(4), Some(2));
+    }
+
+    #[test]
+    fn least_loaded_none_when_full() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        for _ in 0..4 {
+            c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        }
+        assert_eq!(c.least_loaded_server(4), None);
+        assert_eq!(c.least_loaded_server(0), Some(0));
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::vm::VmId;
+
+/// Errors produced by the cloud simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The requested server index does not exist in the cluster.
+    UnknownServer {
+        /// The offending server index.
+        server: usize,
+        /// Number of servers in the cluster.
+        cluster_size: usize,
+    },
+    /// The referenced VM is not (or no longer) present.
+    UnknownVm {
+        /// The offending VM id.
+        vm: VmId,
+    },
+    /// The target server lacks the hyperthreads (or whole cores, under core
+    /// isolation) to host the VM.
+    InsufficientCapacity {
+        /// The server that was tried.
+        server: usize,
+        /// Hyperthreads requested.
+        requested: u32,
+        /// Hyperthreads available under the active placement policy.
+        available: u32,
+    },
+    /// No server in the cluster can host the VM.
+    ClusterFull {
+        /// Hyperthreads requested.
+        requested: u32,
+    },
+    /// A configuration value was invalid (zero-sized server, empty cluster,
+    /// bad threshold).
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownServer { server, cluster_size } => {
+                write!(f, "server {server} does not exist in a {cluster_size}-server cluster")
+            }
+            SimError::UnknownVm { vm } => write!(f, "unknown vm {vm}"),
+            SimError::InsufficientCapacity {
+                server,
+                requested,
+                available,
+            } => write!(
+                f,
+                "server {server} cannot host {requested} vcpus ({available} available)"
+            ),
+            SimError::ClusterFull { requested } => {
+                write!(f, "no server can host a {requested}-vcpu vm")
+            }
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InsufficientCapacity {
+            server: 3,
+            requested: 8,
+            available: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('8') && s.contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,193 @@
+//! Cluster schedulers: least-loaded and Quasar-style interference-aware.
+//!
+//! The paper schedules friendly VMs two ways (§3.4): a least-loaded (LL)
+//! scheduler that picks the machine with the most available compute, memory
+//! and storage — common in production clusters — and Quasar, an
+//! interference-aware scheduler that only co-schedules jobs whose critical
+//! resources differ. Table 1 shows Bolt's detection accuracy is essentially
+//! unaffected (89% vs 87%): Quasar's cleaner colocations actually give Bolt
+//! a *less* noisy signal.
+
+use bolt_workloads::{Resource, WorkloadProfile};
+
+use crate::cluster::Cluster;
+
+/// A placement policy: chooses the server for a new workload.
+///
+/// Implementations must only return servers that can actually host the
+/// workload; returning `None` signals a full cluster.
+pub trait Scheduler {
+    /// Chooses a server index for `profile`, or `None` if nothing fits.
+    fn select_server(&self, cluster: &Cluster, profile: &WorkloadProfile) -> Option<usize>;
+
+    /// A short display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The least-loaded scheduler: most free hyperthreads wins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl Scheduler for LeastLoaded {
+    fn select_server(&self, cluster: &Cluster, profile: &WorkloadProfile) -> Option<usize> {
+        cluster.least_loaded_server(profile.vcpus())
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+/// A Quasar-style interference-aware scheduler.
+///
+/// Scores every feasible server by the *resource-pressure overlap* between
+/// the incoming workload and the server's current tenants (the dot product
+/// of their pressure fingerprints, emphasizing each side's critical
+/// resources) and picks the server with the least overlap; free capacity
+/// breaks ties. This captures the behaviour that matters for the Table 1
+/// comparison: co-residents end up with disjoint critical resources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Quasar;
+
+impl Quasar {
+    /// The contention-overlap score between a candidate workload and one
+    /// server's existing tenants (lower is better).
+    fn overlap_score(cluster: &Cluster, server: usize, profile: &WorkloadProfile) -> f64 {
+        let mut score = 0.0;
+        for id in cluster.vms_on(server) {
+            let tenant = cluster.vm(id).expect("tenant enumerated from cluster");
+            for r in Resource::ALL {
+                let a = profile.base_pressure()[r] / 100.0;
+                let b = tenant.profile.base_pressure()[r] / 100.0;
+                // Quadratic emphasis: two workloads both heavy on the same
+                // resource are much worse than two moderate users.
+                score += (a * b).powi(2);
+            }
+        }
+        score
+    }
+}
+
+impl Scheduler for Quasar {
+    fn select_server(&self, cluster: &Cluster, profile: &WorkloadProfile) -> Option<usize> {
+        let core_iso = cluster.isolation().mechanisms.core_isolation;
+        let mut best: Option<(usize, f64, u32)> = None;
+        for i in 0..cluster.server_count() {
+            let server = cluster.server(i).expect("index in range");
+            if !server.can_host(profile.vcpus(), core_iso) {
+                continue;
+            }
+            let score = Self::overlap_score(cluster, i, profile);
+            let free = server.free_threads();
+            let better = match &best {
+                None => true,
+                Some((_, s, f)) => score < *s - 1e-12 || (score <= *s + 1e-12 && free > *f),
+            };
+            if better {
+                best = Some((i, score, free));
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "quasar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isolation::IsolationConfig;
+    use crate::server::ServerSpec;
+    use crate::vm::VmRole;
+    use bolt_workloads::{catalog, DatasetScale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD15C)
+    }
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, ServerSpec::xeon(), IsolationConfig::cloud_default()).unwrap()
+    }
+
+    #[test]
+    fn least_loaded_picks_emptiest() {
+        let mut r = rng();
+        let mut c = cluster(3);
+        let h = catalog::hadoop::profile(
+            &catalog::hadoop::Algorithm::Svm,
+            DatasetScale::Small,
+            &mut r,
+        );
+        c.launch_on(0, h.clone(), VmRole::Friendly, 0.0).unwrap();
+        c.launch_on(1, h.clone(), VmRole::Friendly, 0.0).unwrap();
+        c.launch_on(1, h.clone(), VmRole::Friendly, 0.0).unwrap();
+        assert_eq!(LeastLoaded.select_server(&c, &h), Some(2));
+    }
+
+    #[test]
+    fn quasar_avoids_critical_resource_overlap() {
+        let mut r = rng();
+        let mut c = cluster(2);
+        // Server 0 hosts a memory-bound Spark job; server 1 a disk-bound
+        // Hadoop job. Both have the same free capacity afterward.
+        let spark = catalog::spark::profile(
+            &catalog::spark::Algorithm::KMeans,
+            DatasetScale::Medium,
+            &mut r,
+        );
+        let hadoop = catalog::hadoop::profile(
+            &catalog::hadoop::Algorithm::WordCount,
+            DatasetScale::Medium,
+            &mut r,
+        );
+        c.launch_on(0, spark.clone(), VmRole::Friendly, 0.0).unwrap();
+        c.launch_on(1, hadoop, VmRole::Friendly, 0.0).unwrap();
+        // A second memory-bound Spark job should land next to Hadoop, not
+        // next to the first Spark job.
+        let incoming = catalog::spark::profile(
+            &catalog::spark::Algorithm::PageRank,
+            DatasetScale::Medium,
+            &mut r,
+        );
+        assert_eq!(Quasar.select_server(&c, &incoming), Some(1));
+    }
+
+    #[test]
+    fn quasar_prefers_empty_server_on_tied_overlap() {
+        let mut r = rng();
+        let mut c = cluster(2);
+        let spec = catalog::speccpu::profile(&catalog::speccpu::Benchmark::Gobmk, &mut r);
+        // Both servers empty: tie on overlap 0, more free threads wins (tie
+        // again), lowest index retained.
+        assert_eq!(Quasar.select_server(&c, &spec), Some(0));
+        c.launch_on(0, spec.clone(), VmRole::Friendly, 0.0).unwrap();
+        // Now server 1 has zero overlap, server 0 positive.
+        assert_eq!(Quasar.select_server(&c, &spec), Some(1));
+    }
+
+    #[test]
+    fn both_schedulers_return_none_when_full() {
+        let mut r = rng();
+        let mut c = cluster(1);
+        let h = catalog::hadoop::profile(
+            &catalog::hadoop::Algorithm::Svm,
+            DatasetScale::Small,
+            &mut r,
+        );
+        for _ in 0..4 {
+            c.launch_on(0, h.clone(), VmRole::Friendly, 0.0).unwrap();
+        }
+        assert_eq!(LeastLoaded.select_server(&c, &h), None);
+        assert_eq!(Quasar.select_server(&c, &h), None);
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(LeastLoaded.name(), "least-loaded");
+        assert_eq!(Quasar.name(), "quasar");
+    }
+}

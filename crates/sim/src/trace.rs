@@ -1,0 +1,106 @@
+//! Cluster event tracing: an append-only log of VM lifecycle events.
+//!
+//! Experiments that place, migrate, and retire dozens of VMs are hard to
+//! debug from end-state alone; the cluster records every lifecycle action
+//! in order, and drivers can drain the log ([`crate::Cluster::take_events`])
+//! to print or serialize a timeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vm::{VmId, VmRole};
+
+/// One recorded cluster event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A VM was launched.
+    Launch {
+        /// The new VM.
+        vm: VmId,
+        /// Friendly or adversarial.
+        role: VmRole,
+        /// Hosting server.
+        server: usize,
+        /// Hyperthread slots received.
+        threads: Vec<usize>,
+        /// The workload's label.
+        label: String,
+        /// Simulated launch time.
+        at: f64,
+    },
+    /// A VM was terminated.
+    Terminate {
+        /// The departed VM.
+        vm: VmId,
+        /// The server it vacated.
+        server: usize,
+    },
+    /// A VM was live-migrated.
+    Migrate {
+        /// The moved VM.
+        vm: VmId,
+        /// Source server.
+        from: usize,
+        /// Destination server.
+        to: usize,
+    },
+    /// A VM's workload was swapped in place (consecutive jobs on one
+    /// instance, Fig. 8).
+    SwapProfile {
+        /// The VM whose job changed.
+        vm: VmId,
+        /// The new workload's label.
+        label: String,
+    },
+}
+
+impl TraceEvent {
+    /// The VM this event concerns.
+    pub fn vm(&self) -> VmId {
+        match self {
+            TraceEvent::Launch { vm, .. }
+            | TraceEvent::Terminate { vm, .. }
+            | TraceEvent::Migrate { vm, .. }
+            | TraceEvent::SwapProfile { vm, .. } => *vm,
+        }
+    }
+
+    /// A compact single-line rendering for timeline dumps.
+    pub fn describe(&self) -> String {
+        match self {
+            TraceEvent::Launch {
+                vm,
+                role,
+                server,
+                label,
+                at,
+                ..
+            } => format!("t={at:.0}s launch {vm} ({role:?}) on server {server}: {label}"),
+            TraceEvent::Terminate { vm, server } => {
+                format!("terminate {vm} on server {server}")
+            }
+            TraceEvent::Migrate { vm, from, to } => {
+                format!("migrate {vm}: server {from} -> {to}")
+            }
+            TraceEvent::SwapProfile { vm, label } => {
+                format!("swap {vm} -> {label}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_informative() {
+        let e = TraceEvent::Migrate {
+            vm: VmId::from_raw_for_tests(3),
+            from: 0,
+            to: 7,
+        };
+        let s = e.describe();
+        assert!(s.contains("vm-3") && s.contains('7'));
+        assert_eq!(e.vm().raw(), 3);
+    }
+}

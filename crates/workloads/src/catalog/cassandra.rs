@@ -1,0 +1,130 @@
+//! Cassandra: a persistent wide-column store.
+//!
+//! Latency-critical like memcached, but with a persistent storage engine:
+//! substantial disk bandwidth (commit log + SSTable compaction), high
+//! network traffic, a warm in-memory working set, and a hot instruction
+//! path. The disk component is what separates it from memcached in the
+//! recommender's eyes.
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, Resource};
+
+use super::build_profile;
+
+/// Cassandra load variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Read-mostly point queries.
+    ReadHeavy,
+    /// Write-heavy ingest (commit-log and compaction bound).
+    WriteHeavy,
+    /// Mixed read/write with scans.
+    Mixed,
+}
+
+impl Variant {
+    /// All Cassandra variants.
+    pub const ALL: [Variant; 3] = [Variant::ReadHeavy, Variant::WriteHeavy, Variant::Mixed];
+
+    /// The variant's label string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::ReadHeavy => "read-heavy",
+            Variant::WriteHeavy => "write-heavy",
+            Variant::Mixed => "mixed",
+        }
+    }
+
+    fn base_pressure(self) -> PressureVector {
+        match self {
+            Variant::ReadHeavy => PressureVector::from_pairs(&[
+                (Resource::L1i, 70.0),
+                (Resource::L1d, 45.0),
+                (Resource::L2, 38.0),
+                (Resource::Llc, 62.0),
+                (Resource::MemCap, 62.0),
+                (Resource::MemBw, 38.0),
+                (Resource::Cpu, 45.0),
+                (Resource::NetBw, 48.0),
+                (Resource::DiskCap, 58.0),
+                (Resource::DiskBw, 26.0),
+            ]),
+            Variant::WriteHeavy => PressureVector::from_pairs(&[
+                (Resource::L1i, 42.0),
+                (Resource::L1d, 54.0),
+                (Resource::L2, 40.0),
+                (Resource::Llc, 46.0),
+                (Resource::MemCap, 58.0),
+                (Resource::MemBw, 56.0),
+                (Resource::Cpu, 50.0),
+                (Resource::NetBw, 62.0),
+                (Resource::DiskCap, 72.0),
+                (Resource::DiskBw, 86.0),
+            ]),
+            Variant::Mixed => PressureVector::from_pairs(&[
+                (Resource::L1i, 58.0),
+                (Resource::L1d, 48.0),
+                (Resource::L2, 39.0),
+                (Resource::Llc, 55.0),
+                (Resource::MemCap, 60.0),
+                (Resource::MemBw, 44.0),
+                (Resource::Cpu, 48.0),
+                (Resource::NetBw, 58.0),
+                (Resource::DiskCap, 64.0),
+                (Resource::DiskBw, 58.0),
+            ]),
+        }
+    }
+}
+
+/// Builds a Cassandra instance profile for `variant`.
+pub fn profile<R: Rng>(variant: &Variant, rng: &mut R) -> WorkloadProfile {
+    let load = LoadPattern::Diurnal {
+        low: 0.3,
+        high: 0.9,
+        phase: rng.gen::<f64>(),
+    };
+    build_profile(
+        "cassandra",
+        variant.name(),
+        DatasetScale::Large,
+        WorkloadKind::Interactive,
+        variant.base_pressure(),
+        load,
+        0.06,
+        4.0,
+        3600.0,
+        4,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cassandra_has_disk_unlike_memcached() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for v in Variant::ALL {
+            let p = profile(&v, &mut rng);
+            assert!(
+                p.base_pressure()[Resource::DiskBw] > 20.0,
+                "{v:?} should show disk traffic"
+            );
+            assert_eq!(p.kind(), WorkloadKind::Interactive);
+        }
+    }
+
+    #[test]
+    fn write_heavy_is_disk_dominant() {
+        let p = Variant::WriteHeavy.base_pressure();
+        assert_eq!(p.dominant(), Resource::DiskBw);
+    }
+}

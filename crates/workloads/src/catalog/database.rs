@@ -1,0 +1,146 @@
+//! Relational and document databases (MySQL/PostgreSQL-style SQL servers,
+//! MongoDB-style document stores).
+//!
+//! The §5.3 co-residency attack targets a SQL server, so the SQL
+//! fingerprint matters: a buffer pool resident in memory, moderate disk
+//! bandwidth (WAL + evictions), meaningful L2/LLC pressure from index
+//! walks, and query-driven network traffic.
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, Resource};
+
+use super::build_profile;
+
+/// Database engines/variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// SQL server under an OLTP point-query mix (the §5.3 victim).
+    SqlOltp,
+    /// SQL server under an analytic scan-heavy mix.
+    SqlOlap,
+    /// Document store (MongoDB-style) under a CRUD mix.
+    Document,
+}
+
+impl Variant {
+    /// All database variants.
+    pub const ALL: [Variant; 3] = [Variant::SqlOltp, Variant::SqlOlap, Variant::Document];
+
+    /// The variant's family label (`mysql` for SQL flavors, `mongodb` for
+    /// the document store).
+    pub fn family(self) -> &'static str {
+        match self {
+            Variant::SqlOltp | Variant::SqlOlap => "mysql",
+            Variant::Document => "mongodb",
+        }
+    }
+
+    /// The variant's label string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::SqlOltp => "oltp",
+            Variant::SqlOlap => "olap",
+            Variant::Document => "crud",
+        }
+    }
+
+    fn base_pressure(self) -> PressureVector {
+        match self {
+            Variant::SqlOltp => PressureVector::from_pairs(&[
+                (Resource::L1i, 55.0),
+                (Resource::L1d, 48.0),
+                (Resource::L2, 45.0),
+                (Resource::Llc, 60.0),
+                (Resource::MemCap, 72.0),
+                (Resource::MemBw, 38.0),
+                (Resource::Cpu, 42.0),
+                (Resource::NetBw, 45.0),
+                (Resource::DiskCap, 55.0),
+                (Resource::DiskBw, 38.0),
+            ]),
+            Variant::SqlOlap => PressureVector::from_pairs(&[
+                (Resource::L1i, 38.0),
+                (Resource::L1d, 55.0),
+                (Resource::L2, 48.0),
+                (Resource::Llc, 68.0),
+                (Resource::MemCap, 80.0),
+                (Resource::MemBw, 62.0),
+                (Resource::Cpu, 58.0),
+                (Resource::NetBw, 30.0),
+                (Resource::DiskCap, 68.0),
+                (Resource::DiskBw, 58.0),
+            ]),
+            Variant::Document => PressureVector::from_pairs(&[
+                (Resource::L1i, 36.0),
+                (Resource::L1d, 34.0),
+                (Resource::L2, 28.0),
+                (Resource::Llc, 40.0),
+                (Resource::MemCap, 65.0),
+                (Resource::MemBw, 30.0),
+                (Resource::Cpu, 34.0),
+                (Resource::NetBw, 66.0),
+                (Resource::DiskCap, 60.0),
+                (Resource::DiskBw, 56.0),
+            ]),
+        }
+    }
+}
+
+/// Builds a database instance profile for `variant`.
+pub fn profile<R: Rng>(variant: &Variant, rng: &mut R) -> WorkloadProfile {
+    let load = LoadPattern::Diurnal {
+        low: 0.25,
+        high: 0.85,
+        phase: rng.gen::<f64>(),
+    };
+    build_profile(
+        variant.family(),
+        variant.name(),
+        DatasetScale::Large,
+        WorkloadKind::Interactive,
+        variant.base_pressure(),
+        load,
+        0.06,
+        8.16, // the paper's uncontended mean SQL query latency (§5.3)
+        3600.0,
+        4,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn databases_hold_resident_buffer_pools() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for v in Variant::ALL {
+            let p = profile(&v, &mut rng);
+            assert!(p.base_pressure()[Resource::MemCap] > 50.0, "{v:?}");
+            assert!(p.base_pressure()[Resource::DiskBw] > 20.0, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn sql_oltp_base_latency_matches_paper() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let p = profile(&Variant::SqlOltp, &mut rng);
+        assert!((p.base_latency_ms() - 8.16).abs() < 1e-9);
+        assert_eq!(p.label().family(), "mysql");
+    }
+
+    #[test]
+    fn olap_heavier_than_oltp_on_memory() {
+        assert!(
+            Variant::SqlOlap.base_pressure()[Resource::MemBw]
+                > Variant::SqlOltp.base_pressure()[Resource::MemBw]
+        );
+    }
+}

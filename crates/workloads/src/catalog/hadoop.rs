@@ -1,0 +1,189 @@
+//! Hadoop MapReduce analytics (including Mahout algorithms).
+//!
+//! Disk-bound batch analytics: high disk bandwidth/capacity pressure from
+//! the HDFS shuffle and spill traffic, moderate-to-high CPU, and memory
+//! pressure that scales strongly with the dataset. The paper distinguishes
+//! jobs within the framework by algorithm and dataset (Fig. 5 contrasts
+//! `wordCount:S` with `recommender:L`).
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, Resource};
+
+use super::build_profile;
+
+/// Hadoop job algorithms used across the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Word count — I/O-heavy with light compute.
+    WordCount,
+    /// Mahout SVM classifier — compute-heavy with network shuffle.
+    Svm,
+    /// Mahout recommender — memory- and disk-intensive.
+    Recommender,
+    /// Mahout k-means clustering.
+    KMeans,
+    /// PageRank — iterative, network-heavy shuffle.
+    PageRank,
+}
+
+impl Algorithm {
+    /// All Hadoop algorithms.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::WordCount,
+        Algorithm::Svm,
+        Algorithm::Recommender,
+        Algorithm::KMeans,
+        Algorithm::PageRank,
+    ];
+
+    /// The algorithm's label string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::WordCount => "wordcount",
+            Algorithm::Svm => "svm",
+            Algorithm::Recommender => "recommender",
+            Algorithm::KMeans => "kmeans",
+            Algorithm::PageRank => "pagerank",
+        }
+    }
+
+    fn base_pressure(self) -> PressureVector {
+        match self {
+            Algorithm::WordCount => PressureVector::from_pairs(&[
+                (Resource::L1i, 25.0),
+                (Resource::L1d, 30.0),
+                (Resource::L2, 22.0),
+                (Resource::Llc, 28.0),
+                (Resource::MemCap, 35.0),
+                (Resource::MemBw, 30.0),
+                (Resource::Cpu, 45.0),
+                (Resource::NetBw, 25.0),
+                (Resource::DiskCap, 55.0),
+                (Resource::DiskBw, 72.0),
+            ]),
+            Algorithm::Svm => PressureVector::from_pairs(&[
+                (Resource::L1i, 30.0),
+                (Resource::L1d, 48.0),
+                (Resource::L2, 35.0),
+                (Resource::Llc, 45.0),
+                (Resource::MemCap, 50.0),
+                (Resource::MemBw, 45.0),
+                (Resource::Cpu, 75.0),
+                (Resource::NetBw, 55.0),
+                (Resource::DiskCap, 45.0),
+                (Resource::DiskBw, 45.0),
+            ]),
+            Algorithm::Recommender => PressureVector::from_pairs(&[
+                (Resource::L1i, 28.0),
+                (Resource::L1d, 52.0),
+                (Resource::L2, 40.0),
+                (Resource::Llc, 62.0),
+                (Resource::MemCap, 78.0),
+                (Resource::MemBw, 65.0),
+                (Resource::Cpu, 55.0),
+                (Resource::NetBw, 42.0),
+                (Resource::DiskCap, 70.0),
+                (Resource::DiskBw, 60.0),
+            ]),
+            Algorithm::KMeans => PressureVector::from_pairs(&[
+                (Resource::L1i, 26.0),
+                (Resource::L1d, 45.0),
+                (Resource::L2, 34.0),
+                (Resource::Llc, 54.0),
+                (Resource::MemCap, 55.0),
+                (Resource::MemBw, 64.0),
+                (Resource::Cpu, 58.0),
+                (Resource::NetBw, 18.0),
+                (Resource::DiskCap, 50.0),
+                (Resource::DiskBw, 40.0),
+            ]),
+            Algorithm::PageRank => PressureVector::from_pairs(&[
+                (Resource::L1i, 24.0),
+                (Resource::L1d, 40.0),
+                (Resource::L2, 30.0),
+                (Resource::Llc, 42.0),
+                (Resource::MemCap, 48.0),
+                (Resource::MemBw, 40.0),
+                (Resource::Cpu, 50.0),
+                (Resource::NetBw, 70.0),
+                (Resource::DiskCap, 48.0),
+                (Resource::DiskBw, 52.0),
+            ]),
+        }
+    }
+}
+
+/// Builds a Hadoop job profile for `algorithm` on a dataset of `scale`.
+///
+/// Hadoop jobs run at a steady load until completion — the constant-load
+/// profile that makes shutter profiling *less* effective (paper §3.3).
+pub fn profile<R: Rng>(
+    algorithm: &Algorithm,
+    scale: DatasetScale,
+    rng: &mut R,
+) -> WorkloadProfile {
+    let runtime = match scale {
+        DatasetScale::Small => 180.0,
+        DatasetScale::Medium => 600.0,
+        DatasetScale::Large => 2400.0,
+    };
+    build_profile(
+        "hadoop",
+        algorithm.name(),
+        scale,
+        WorkloadKind::Batch,
+        algorithm.base_pressure(),
+        LoadPattern::steady(),
+        0.07,
+        50.0,
+        runtime,
+        4,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hadoop_is_disk_heavy_batch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = profile(&Algorithm::WordCount, DatasetScale::Large, &mut rng);
+        assert_eq!(p.kind(), WorkloadKind::Batch);
+        assert!(p.base_pressure()[Resource::DiskBw] > 50.0);
+        assert_eq!(p.label().family(), "hadoop");
+    }
+
+    #[test]
+    fn wordcount_small_differs_from_recommender_large() {
+        // The Fig. 5 contrast: same framework, very different fingerprints.
+        let mut rng = StdRng::seed_from_u64(5);
+        let wc = profile(&Algorithm::WordCount, DatasetScale::Small, &mut rng);
+        let rec = profile(&Algorithm::Recommender, DatasetScale::Large, &mut rng);
+        let d = wc.base_pressure().distance(rec.base_pressure());
+        assert!(d > 40.0, "profiles should be far apart, distance {d}");
+        assert!(rec.base_pressure()[Resource::MemCap] > wc.base_pressure()[Resource::MemCap]);
+    }
+
+    #[test]
+    fn dataset_scale_grows_runtime_and_footprint() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = profile(&Algorithm::KMeans, DatasetScale::Small, &mut rng);
+        let l = profile(&Algorithm::KMeans, DatasetScale::Large, &mut rng);
+        assert!(l.base_runtime_s() > s.base_runtime_s());
+        assert!(l.base_pressure()[Resource::DiskCap] > s.base_pressure()[Resource::DiskCap]);
+    }
+
+    #[test]
+    fn pagerank_is_network_bound() {
+        let p = Algorithm::PageRank.base_pressure();
+        assert_eq!(p.dominant(), Resource::NetBw);
+    }
+}

@@ -1,0 +1,161 @@
+//! memcached: an in-memory key-value store.
+//!
+//! The paper's Fig. 2 fingerprint: very high L1-i pressure (the request
+//! path's code footprint), high LLC pressure, moderate-to-high network
+//! bandwidth, a resident in-memory dataset (memory capacity), and *zero*
+//! disk traffic — the strongest negative signal in the fingerprint.
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, Resource};
+
+use super::build_profile;
+
+/// memcached load variants: the rd:wr mix and value size distribution, the
+/// axes the paper distinguishes within the family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Read-mostly traffic with KB-range values (the Fig. 2 reference).
+    ReadHeavyKb,
+    /// Read-mostly traffic with small (sub-KB) values.
+    ReadHeavySmall,
+    /// Write-heavy traffic with KB-range values.
+    WriteHeavyKb,
+    /// Balanced mix of gets and sets.
+    Mixed,
+}
+
+impl Variant {
+    /// All memcached variants.
+    pub const ALL: [Variant; 4] = [
+        Variant::ReadHeavyKb,
+        Variant::ReadHeavySmall,
+        Variant::WriteHeavyKb,
+        Variant::Mixed,
+    ];
+
+    /// The variant's label string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::ReadHeavyKb => "read-heavy-kb",
+            Variant::ReadHeavySmall => "read-heavy-small",
+            Variant::WriteHeavyKb => "write-heavy-kb",
+            Variant::Mixed => "mixed",
+        }
+    }
+
+    fn base_pressure(self) -> PressureVector {
+        match self {
+            // High L1-i + LLC + network; no disk (Fig. 2).
+            Variant::ReadHeavyKb => PressureVector::from_pairs(&[
+                (Resource::L1i, 81.0),
+                (Resource::L1d, 42.0),
+                (Resource::L2, 30.0),
+                (Resource::Llc, 78.0),
+                (Resource::MemCap, 55.0),
+                (Resource::MemBw, 38.0),
+                (Resource::Cpu, 35.0),
+                (Resource::NetBw, 52.0),
+            ]),
+            // Smaller values: less LLC/net, even hotter instruction path.
+            Variant::ReadHeavySmall => PressureVector::from_pairs(&[
+                (Resource::L1i, 88.0),
+                (Resource::L1d, 30.0),
+                (Resource::L2, 22.0),
+                (Resource::Llc, 44.0),
+                (Resource::MemCap, 32.0),
+                (Resource::MemBw, 18.0),
+                (Resource::Cpu, 46.0),
+                (Resource::NetBw, 22.0),
+            ]),
+            // Writes churn the data cache and memory bandwidth harder.
+            Variant::WriteHeavyKb => PressureVector::from_pairs(&[
+                (Resource::L1i, 72.0),
+                (Resource::L1d, 58.0),
+                (Resource::L2, 38.0),
+                (Resource::Llc, 70.0),
+                (Resource::MemCap, 60.0),
+                (Resource::MemBw, 55.0),
+                (Resource::Cpu, 42.0),
+                (Resource::NetBw, 48.0),
+            ]),
+            Variant::Mixed => PressureVector::from_pairs(&[
+                (Resource::L1i, 76.0),
+                (Resource::L1d, 50.0),
+                (Resource::L2, 34.0),
+                (Resource::Llc, 72.0),
+                (Resource::MemCap, 57.0),
+                (Resource::MemBw, 45.0),
+                (Resource::Cpu, 38.0),
+                (Resource::NetBw, 50.0),
+            ]),
+        }
+    }
+}
+
+/// Builds a memcached instance profile for `variant`.
+///
+/// memcached serves interactive traffic with pronounced low-load windows
+/// (diurnal user-facing load), which is what makes it both a prime DoS
+/// victim and an easy shutter-profiling target.
+pub fn profile<R: Rng>(variant: &Variant, rng: &mut R) -> WorkloadProfile {
+    let load = LoadPattern::Diurnal {
+        low: 0.25,
+        high: 0.95,
+        phase: rng.gen::<f64>(),
+    };
+    build_profile(
+        "memcached",
+        variant.name(),
+        DatasetScale::Medium,
+        WorkloadKind::Interactive,
+        variant.base_pressure(),
+        load,
+        0.06,
+        0.4, // sub-millisecond p99 when uncontended
+        3600.0,
+        4,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn memcached_signature_matches_fig2() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for v in Variant::ALL {
+            let p = profile(&v, &mut rng);
+            let base = p.base_pressure();
+            // Very high instruction-cache pressure...
+            assert!(base[Resource::L1i] > 60.0, "{v:?} L1i {}", base[Resource::L1i]);
+            // ...and exactly zero disk traffic.
+            assert_eq!(base[Resource::DiskBw], 0.0);
+            assert_eq!(base[Resource::DiskCap], 0.0);
+            assert_eq!(p.kind(), WorkloadKind::Interactive);
+        }
+    }
+
+    #[test]
+    fn read_and_write_variants_differ() {
+        let r = Variant::ReadHeavyKb.base_pressure();
+        let w = Variant::WriteHeavyKb.base_pressure();
+        assert!(w[Resource::MemBw] > r[Resource::MemBw]);
+        assert!(r[Resource::L1i] > w[Resource::L1i]);
+    }
+
+    #[test]
+    fn label_is_structured() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = profile(&Variant::Mixed, &mut rng);
+        assert_eq!(p.label().family(), "memcached");
+        assert_eq!(p.label().variant(), "mixed");
+    }
+}

@@ -1,0 +1,175 @@
+//! PARSEC-style multi-threaded scientific benchmarks.
+//!
+//! The user study's participants ran PARSEC jobs (Fig. 11, label 17), and
+//! the suite is a standard stand-in for shared-memory parallel kernels.
+//! Crucially, this family is **not** part of Bolt's training set: its jobs
+//! exercise the characteristics-without-a-name path — the recommender can
+//! say "compute-bound with a large shared working set" without ever having
+//! seen the benchmark.
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, Resource};
+
+use super::build_profile;
+
+/// The PARSEC benchmarks modeled here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// `blackscholes` — embarrassingly parallel option pricing; pure
+    /// compute with a tiny working set.
+    Blackscholes,
+    /// `canneal` — simulated annealing over a huge netlist; cache- and
+    /// memory-latency bound.
+    Canneal,
+    /// `streamcluster` — online clustering; memory-bandwidth streaming.
+    Streamcluster,
+    /// `fluidanimate` — particle simulation; balanced compute and
+    /// neighborhood-local memory traffic.
+    Fluidanimate,
+    /// `dedup` — pipelined compression/deduplication; bursty data-cache
+    /// and disk activity.
+    Dedup,
+}
+
+impl Benchmark {
+    /// All modeled PARSEC benchmarks.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Blackscholes,
+        Benchmark::Canneal,
+        Benchmark::Streamcluster,
+        Benchmark::Fluidanimate,
+        Benchmark::Dedup,
+    ];
+
+    /// The benchmark's label string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Canneal => "canneal",
+            Benchmark::Streamcluster => "streamcluster",
+            Benchmark::Fluidanimate => "fluidanimate",
+            Benchmark::Dedup => "dedup",
+        }
+    }
+
+    fn base_pressure(self) -> PressureVector {
+        match self {
+            Benchmark::Blackscholes => PressureVector::from_pairs(&[
+                (Resource::L1i, 10.0),
+                (Resource::L1d, 30.0),
+                (Resource::L2, 18.0),
+                (Resource::Llc, 14.0),
+                (Resource::MemCap, 10.0),
+                (Resource::MemBw, 12.0),
+                (Resource::Cpu, 94.0),
+            ]),
+            Benchmark::Canneal => PressureVector::from_pairs(&[
+                (Resource::L1i, 14.0),
+                (Resource::L1d, 58.0),
+                (Resource::L2, 56.0),
+                (Resource::Llc, 74.0),
+                (Resource::MemCap, 66.0),
+                (Resource::MemBw, 48.0),
+                (Resource::Cpu, 40.0),
+            ]),
+            Benchmark::Streamcluster => PressureVector::from_pairs(&[
+                (Resource::L1i, 8.0),
+                (Resource::L1d, 40.0),
+                (Resource::L2, 34.0),
+                (Resource::Llc, 42.0),
+                (Resource::MemCap, 34.0),
+                (Resource::MemBw, 86.0),
+                (Resource::Cpu, 56.0),
+            ]),
+            Benchmark::Fluidanimate => PressureVector::from_pairs(&[
+                (Resource::L1i, 16.0),
+                (Resource::L1d, 52.0),
+                (Resource::L2, 44.0),
+                (Resource::Llc, 50.0),
+                (Resource::MemCap, 40.0),
+                (Resource::MemBw, 54.0),
+                (Resource::Cpu, 72.0),
+            ]),
+            Benchmark::Dedup => PressureVector::from_pairs(&[
+                (Resource::L1i, 24.0),
+                (Resource::L1d, 56.0),
+                (Resource::L2, 40.0),
+                (Resource::Llc, 38.0),
+                (Resource::MemCap, 30.0),
+                (Resource::MemBw, 42.0),
+                (Resource::Cpu, 60.0),
+                (Resource::DiskCap, 36.0),
+                (Resource::DiskBw, 44.0),
+            ]),
+        }
+    }
+}
+
+/// Builds a PARSEC benchmark profile: multi-threaded (4 vCPUs), steady
+/// until completion, never in the training set.
+pub fn profile<R: Rng>(benchmark: &Benchmark, rng: &mut R) -> WorkloadProfile {
+    build_profile(
+        "parsec",
+        benchmark.name(),
+        DatasetScale::Medium,
+        WorkloadKind::Batch,
+        benchmark.base_pressure(),
+        LoadPattern::steady(),
+        0.05,
+        20.0,
+        600.0,
+        4,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::training_set;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parsec_profiles_are_valid_and_parallel() {
+        let mut rng = StdRng::seed_from_u64(0x9A);
+        for b in Benchmark::ALL {
+            let p = profile(&b, &mut rng);
+            assert!(p.base_pressure().is_valid());
+            assert_eq!(p.kind(), WorkloadKind::Batch);
+            assert_eq!(p.vcpus(), 4);
+            assert_eq!(p.label().family(), "parsec");
+        }
+    }
+
+    #[test]
+    fn parsec_is_never_in_the_training_set() {
+        let set = training_set(7);
+        assert!(
+            set.iter().all(|p| p.label().family() != "parsec"),
+            "parsec must stay unseen so it exercises the no-name path"
+        );
+    }
+
+    #[test]
+    fn suite_members_are_distinct() {
+        for (i, a) in Benchmark::ALL.iter().enumerate() {
+            for b in &Benchmark::ALL[i + 1..] {
+                let d = a.base_pressure().distance(&b.base_pressure());
+                assert!(d > 20.0, "{a:?} vs {b:?}: {d:.1}");
+            }
+        }
+    }
+
+    #[test]
+    fn blackscholes_is_compute_pure() {
+        let p = Benchmark::Blackscholes.base_pressure();
+        assert_eq!(p.dominant(), Resource::Cpu);
+        assert_eq!(p[Resource::DiskBw], 0.0);
+        assert_eq!(p[Resource::NetBw], 0.0);
+    }
+}

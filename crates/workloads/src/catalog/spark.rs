@@ -1,0 +1,169 @@
+//! Spark in-memory analytics.
+//!
+//! Memory-bound batch analytics: dominant memory bandwidth and capacity
+//! pressure (RDDs cached in RAM), high LLC pressure, substantial CPU, and
+//! far less disk traffic than Hadoop. The paper's RFA experiment (§5.2)
+//! targets a memory-bound Spark k-means job through exactly this
+//! fingerprint.
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, Resource};
+
+use super::build_profile;
+
+/// Spark job algorithms used across the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// k-means clustering over cached RDDs (the §5.2 RFA victim).
+    KMeans,
+    /// PageRank with in-memory iteration.
+    PageRank,
+    /// Logistic-regression training.
+    LogisticRegression,
+    /// Streaming-style micro-batch data mining (the Fig. 8 phase).
+    DataMining,
+}
+
+impl Algorithm {
+    /// All Spark algorithms.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::KMeans,
+        Algorithm::PageRank,
+        Algorithm::LogisticRegression,
+        Algorithm::DataMining,
+    ];
+
+    /// The algorithm's label string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::KMeans => "kmeans",
+            Algorithm::PageRank => "pagerank",
+            Algorithm::LogisticRegression => "logreg",
+            Algorithm::DataMining => "datamining",
+        }
+    }
+
+    fn base_pressure(self) -> PressureVector {
+        match self {
+            Algorithm::KMeans => PressureVector::from_pairs(&[
+                (Resource::L1i, 22.0),
+                (Resource::L1d, 55.0),
+                (Resource::L2, 45.0),
+                (Resource::Llc, 68.0),
+                (Resource::MemCap, 75.0),
+                (Resource::MemBw, 82.0),
+                (Resource::Cpu, 62.0),
+                (Resource::NetBw, 30.0),
+                (Resource::DiskCap, 12.0),
+                (Resource::DiskBw, 8.0),
+            ]),
+            Algorithm::PageRank => PressureVector::from_pairs(&[
+                (Resource::L1i, 20.0),
+                (Resource::L1d, 44.0),
+                (Resource::L2, 36.0),
+                (Resource::Llc, 58.0),
+                (Resource::MemCap, 70.0),
+                (Resource::MemBw, 58.0),
+                (Resource::Cpu, 40.0),
+                (Resource::NetBw, 68.0),
+                (Resource::DiskCap, 10.0),
+                (Resource::DiskBw, 6.0),
+            ]),
+            Algorithm::LogisticRegression => PressureVector::from_pairs(&[
+                (Resource::L1i, 24.0),
+                (Resource::L1d, 66.0),
+                (Resource::L2, 52.0),
+                (Resource::Llc, 64.0),
+                (Resource::MemCap, 68.0),
+                (Resource::MemBw, 72.0),
+                (Resource::Cpu, 88.0),
+                (Resource::NetBw, 12.0),
+                (Resource::DiskCap, 10.0),
+                (Resource::DiskBw, 5.0),
+            ]),
+            Algorithm::DataMining => PressureVector::from_pairs(&[
+                (Resource::L1i, 32.0),
+                (Resource::L1d, 50.0),
+                (Resource::L2, 42.0),
+                (Resource::Llc, 52.0),
+                (Resource::MemCap, 58.0),
+                (Resource::MemBw, 56.0),
+                (Resource::Cpu, 58.0),
+                (Resource::NetBw, 48.0),
+                (Resource::DiskCap, 20.0),
+                (Resource::DiskBw, 24.0),
+            ]),
+        }
+    }
+}
+
+/// Builds a Spark job profile for `algorithm` on a dataset of `scale`.
+pub fn profile<R: Rng>(
+    algorithm: &Algorithm,
+    scale: DatasetScale,
+    rng: &mut R,
+) -> WorkloadProfile {
+    let runtime = match scale {
+        DatasetScale::Small => 120.0,
+        DatasetScale::Medium => 420.0,
+        DatasetScale::Large => 1500.0,
+    };
+    build_profile(
+        "spark",
+        algorithm.name(),
+        scale,
+        WorkloadKind::Batch,
+        algorithm.base_pressure(),
+        LoadPattern::steady(),
+        0.07,
+        30.0,
+        runtime,
+        4,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spark_is_memory_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for a in Algorithm::ALL {
+            let p = profile(&a, DatasetScale::Large, &mut rng);
+            let base = p.base_pressure();
+            assert!(
+                base[Resource::MemBw] > 50.0,
+                "{a:?} should stress memory bandwidth"
+            );
+            assert!(
+                base[Resource::DiskBw] < 25.0,
+                "{a:?} should have light disk traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn kmeans_dominant_resource_is_memory_bandwidth() {
+        assert_eq!(Algorithm::KMeans.base_pressure().dominant(), Resource::MemBw);
+    }
+
+    #[test]
+    fn spark_differs_from_hadoop_same_algorithm() {
+        use crate::catalog::hadoop;
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = profile(&Algorithm::KMeans, DatasetScale::Medium, &mut rng);
+        let h = hadoop::profile(&hadoop::Algorithm::KMeans, DatasetScale::Medium, &mut rng);
+        // Same algorithm, different framework: disk traffic separates them.
+        assert!(
+            h.base_pressure()[Resource::DiskBw] > s.base_pressure()[Resource::DiskBw] + 20.0
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! SPEC CPU2006 single-threaded benchmarks.
+//!
+//! Compute benchmarks with well-studied microarchitectural behaviour. The
+//! paper uses several of them as victims (Fig. 8's first phase is `mcf`)
+//! and `mcf` doubles as the RFA beneficiary (§5.2) because it is
+//! CPU/cache-bound with no network or disk footprint.
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, Resource};
+
+use super::build_profile;
+
+/// The SPEC CPU2006 benchmarks modeled here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// `mcf` — pointer-chasing vehicle scheduling; memory-latency bound
+    /// with heavy LLC pressure.
+    Mcf,
+    /// `libquantum` — streaming quantum simulation; memory-bandwidth bound.
+    Libquantum,
+    /// `gcc` — compiler; large instruction footprint.
+    Gcc,
+    /// `bzip2` — compression; L1d/L2 resident, compute heavy.
+    Bzip2,
+    /// `gobmk` — game AI; branchy integer compute.
+    Gobmk,
+    /// `lbm` — lattice Boltzmann; memory-bandwidth streaming.
+    Lbm,
+    /// `omnetpp` — discrete-event simulation; LLC-sensitive.
+    Omnetpp,
+    /// `sphinx3` — speech recognition; balanced cache/compute.
+    Sphinx3,
+    /// `soplex` — linear-programming simplex; data-cache heavy.
+    Soplex,
+    /// `milc` — lattice QCD; bandwidth-bound with large footprint.
+    Milc,
+    /// `astar` — path-finding; branchy with a mid-size working set.
+    Astar,
+}
+
+impl Benchmark {
+    /// All modeled SPEC benchmarks.
+    pub const ALL: [Benchmark; 11] = [
+        Benchmark::Mcf,
+        Benchmark::Libquantum,
+        Benchmark::Gcc,
+        Benchmark::Bzip2,
+        Benchmark::Gobmk,
+        Benchmark::Lbm,
+        Benchmark::Omnetpp,
+        Benchmark::Sphinx3,
+        Benchmark::Soplex,
+        Benchmark::Milc,
+        Benchmark::Astar,
+    ];
+
+    /// The benchmark's label string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Mcf => "mcf",
+            Benchmark::Libquantum => "libquantum",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Gobmk => "gobmk",
+            Benchmark::Lbm => "lbm",
+            Benchmark::Omnetpp => "omnetpp",
+            Benchmark::Sphinx3 => "sphinx3",
+            Benchmark::Soplex => "soplex",
+            Benchmark::Milc => "milc",
+            Benchmark::Astar => "astar",
+        }
+    }
+
+    fn base_pressure(self) -> PressureVector {
+        match self {
+            Benchmark::Mcf => PressureVector::from_pairs(&[
+                (Resource::L1i, 12.0),
+                (Resource::L1d, 62.0),
+                (Resource::L2, 55.0),
+                (Resource::Llc, 72.0),
+                (Resource::MemCap, 45.0),
+                (Resource::MemBw, 58.0),
+                (Resource::Cpu, 55.0),
+            ]),
+            Benchmark::Libquantum => PressureVector::from_pairs(&[
+                (Resource::L1i, 8.0),
+                (Resource::L1d, 58.0),
+                (Resource::L2, 42.0),
+                (Resource::Llc, 44.0),
+                (Resource::MemCap, 30.0),
+                (Resource::MemBw, 78.0),
+                (Resource::Cpu, 74.0),
+            ]),
+            Benchmark::Gcc => PressureVector::from_pairs(&[
+                (Resource::L1i, 58.0),
+                (Resource::L1d, 42.0),
+                (Resource::L2, 40.0),
+                (Resource::Llc, 38.0),
+                (Resource::MemCap, 28.0),
+                (Resource::MemBw, 30.0),
+                (Resource::Cpu, 65.0),
+            ]),
+            Benchmark::Bzip2 => PressureVector::from_pairs(&[
+                (Resource::L1i, 15.0),
+                (Resource::L1d, 55.0),
+                (Resource::L2, 48.0),
+                (Resource::Llc, 30.0),
+                (Resource::MemCap, 18.0),
+                (Resource::MemBw, 25.0),
+                (Resource::Cpu, 82.0),
+            ]),
+            Benchmark::Gobmk => PressureVector::from_pairs(&[
+                (Resource::L1i, 45.0),
+                (Resource::L1d, 38.0),
+                (Resource::L2, 30.0),
+                (Resource::Llc, 22.0),
+                (Resource::MemCap, 12.0),
+                (Resource::MemBw, 15.0),
+                (Resource::Cpu, 85.0),
+            ]),
+            Benchmark::Lbm => PressureVector::from_pairs(&[
+                (Resource::L1i, 6.0),
+                (Resource::L1d, 42.0),
+                (Resource::L2, 48.0),
+                (Resource::Llc, 60.0),
+                (Resource::MemCap, 38.0),
+                (Resource::MemBw, 92.0),
+                (Resource::Cpu, 52.0),
+            ]),
+            Benchmark::Omnetpp => PressureVector::from_pairs(&[
+                (Resource::L1i, 35.0),
+                (Resource::L1d, 50.0),
+                (Resource::L2, 52.0),
+                (Resource::Llc, 65.0),
+                (Resource::MemCap, 30.0),
+                (Resource::MemBw, 42.0),
+                (Resource::Cpu, 60.0),
+            ]),
+            Benchmark::Sphinx3 => PressureVector::from_pairs(&[
+                (Resource::L1i, 40.0),
+                (Resource::L1d, 46.0),
+                (Resource::L2, 38.0),
+                (Resource::Llc, 48.0),
+                (Resource::MemCap, 22.0),
+                (Resource::MemBw, 36.0),
+                (Resource::Cpu, 70.0),
+            ]),
+            Benchmark::Soplex => PressureVector::from_pairs(&[
+                (Resource::L1i, 18.0),
+                (Resource::L1d, 68.0),
+                (Resource::L2, 58.0),
+                (Resource::Llc, 58.0),
+                (Resource::MemCap, 40.0),
+                (Resource::MemBw, 52.0),
+                (Resource::Cpu, 48.0),
+            ]),
+            Benchmark::Milc => PressureVector::from_pairs(&[
+                (Resource::L1i, 10.0),
+                (Resource::L1d, 44.0),
+                (Resource::L2, 36.0),
+                (Resource::Llc, 36.0),
+                (Resource::MemCap, 52.0),
+                (Resource::MemBw, 88.0),
+                (Resource::Cpu, 44.0),
+            ]),
+            Benchmark::Astar => PressureVector::from_pairs(&[
+                (Resource::L1i, 30.0),
+                (Resource::L1d, 52.0),
+                (Resource::L2, 44.0),
+                (Resource::Llc, 40.0),
+                (Resource::MemCap, 20.0),
+                (Resource::MemBw, 28.0),
+                (Resource::Cpu, 76.0),
+            ]),
+        }
+    }
+}
+
+/// Builds a SPEC CPU2006 benchmark profile.
+///
+/// SPEC runs single-threaded at steady full load with zero network and
+/// disk activity.
+pub fn profile<R: Rng>(benchmark: &Benchmark, rng: &mut R) -> WorkloadProfile {
+    build_profile(
+        "speccpu2006",
+        benchmark.name(),
+        DatasetScale::Medium,
+        WorkloadKind::Batch,
+        benchmark.base_pressure(),
+        LoadPattern::steady(),
+        0.04,
+        10.0,
+        900.0,
+        1,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spec_has_no_io_footprint() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for b in Benchmark::ALL {
+            let p = profile(&b, &mut rng);
+            assert_eq!(p.base_pressure()[Resource::NetBw], 0.0, "{b:?}");
+            assert_eq!(p.base_pressure()[Resource::DiskBw], 0.0, "{b:?}");
+            assert_eq!(p.vcpus(), 1);
+        }
+    }
+
+    #[test]
+    fn mcf_is_cache_bound() {
+        let p = Benchmark::Mcf.base_pressure();
+        assert_eq!(p.dominant(), Resource::Llc);
+    }
+
+    #[test]
+    fn bandwidth_benchmarks_are_membw_dominant() {
+        assert_eq!(Benchmark::Lbm.base_pressure().dominant(), Resource::MemBw);
+        assert_eq!(Benchmark::Libquantum.base_pressure().dominant(), Resource::MemBw);
+        assert_eq!(Benchmark::Milc.base_pressure().dominant(), Resource::MemBw);
+    }
+
+    #[test]
+    fn extended_suite_is_distinct() {
+        // Every pair of benchmarks should be separated in fingerprint
+        // space — the property exact-variant matching depends on.
+        for (i, a) in Benchmark::ALL.iter().enumerate() {
+            for b in &Benchmark::ALL[i + 1..] {
+                let d = a.base_pressure().distance(&b.base_pressure());
+                assert!(d > 15.0, "{a:?} and {b:?} are only {d:.1} apart");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_benchmarks_are_cpu_dominant() {
+        assert_eq!(Benchmark::Gobmk.base_pressure().dominant(), Resource::Cpu);
+        assert_eq!(Benchmark::Bzip2.base_pressure().dominant(), Resource::Cpu);
+    }
+}

@@ -1,0 +1,302 @@
+//! The 53 application types launched in the paper's EC2 user study (Fig. 11).
+//!
+//! Twenty users submitted 436 jobs spanning analytics frameworks, scientific
+//! benchmarks, EDA tools, simulators, desktop applications, shell utilities,
+//! and services. Crucially, *the training set was not updated for the user
+//! study* (§4): Bolt can only name applications whose family appears among
+//! the 120 training workloads, which is why it labels 277 of 436 jobs but
+//! recovers resource characteristics for 385 — unseen applications (email
+//! clients, image editors, ...) still produce matchable pressure profiles.
+//!
+//! Each entry models one Fig. 11 label with a plausible fingerprint: a
+//! `make -j` build is CPU- and disk-heavy with a hot instruction path, a
+//! video stream is network-bound with steady decode compute, `cpu burn` is
+//! pure functional-unit pressure, `du -h` is metadata-walking disk traffic,
+//! and so on.
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, RESOURCE_COUNT};
+
+use super::build_profile;
+
+/// Number of distinct application labels in the user study (Fig. 11).
+pub const LABEL_COUNT: usize = 53;
+
+/// A static description of one user-study application type.
+#[derive(Debug, Clone, Copy)]
+pub struct UserStudyApp {
+    /// The Fig. 11 label number (1-based).
+    pub id: usize,
+    /// Family name as reported by users.
+    pub family: &'static str,
+    /// Variant/load descriptor.
+    pub variant: &'static str,
+    /// True if this family also appears in Bolt's training set (so a name
+    /// label is achievable); false for never-seen applications.
+    pub in_training: bool,
+    /// Interactive or batch behaviour.
+    pub kind: WorkloadKind,
+    /// Base pressure in canonical resource order
+    /// `[L1i, L1d, L2, LLC, MemCap, MemBw, CPU, NetBw, DiskCap, DiskBw]`.
+    pub pressure: [f64; RESOURCE_COUNT],
+    /// Typical vCPU footprint.
+    pub vcpus: u32,
+    /// Relative popularity weight (how often users launched it, roughly
+    /// following Fig. 11's occurrence counts).
+    pub weight: f64,
+}
+
+/// The full user-study application table, Fig. 11 labels 1–53.
+pub const APPS: [UserStudyApp; LABEL_COUNT] = [
+    UserStudyApp { id: 1, family: "hadoop", variant: "analytics", in_training: true, kind: WorkloadKind::Batch,
+        pressure: [26.0, 45.0, 34.0, 48.0, 55.0, 48.0, 62.0, 38.0, 55.0, 62.0], vcpus: 4, weight: 28.0 },
+    UserStudyApp { id: 2, family: "spark", variant: "analytics", in_training: true, kind: WorkloadKind::Batch,
+        pressure: [22.0, 52.0, 44.0, 64.0, 72.0, 78.0, 60.0, 32.0, 12.0, 8.0], vcpus: 4, weight: 22.0 },
+    UserStudyApp { id: 3, family: "email", variant: "client", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [30.0, 15.0, 10.0, 12.0, 18.0, 8.0, 8.0, 12.0, 10.0, 5.0], vcpus: 1, weight: 8.0 },
+    UserStudyApp { id: 4, family: "browser", variant: "interactive", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [55.0, 30.0, 22.0, 28.0, 40.0, 20.0, 25.0, 25.0, 8.0, 5.0], vcpus: 2, weight: 10.0 },
+    UserStudyApp { id: 5, family: "cadence", variant: "synthesis", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [40.0, 55.0, 48.0, 58.0, 70.0, 52.0, 85.0, 5.0, 35.0, 25.0], vcpus: 8, weight: 9.0 },
+    UserStudyApp { id: 6, family: "zsim", variant: "simulation", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [35.0, 58.0, 50.0, 62.0, 55.0, 60.0, 88.0, 2.0, 15.0, 10.0], vcpus: 8, weight: 8.0 },
+    UserStudyApp { id: 7, family: "video", variant: "stream", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [25.0, 40.0, 30.0, 35.0, 30.0, 38.0, 45.0, 68.0, 5.0, 4.0], vcpus: 2, weight: 9.0 },
+    UserStudyApp { id: 8, family: "latex", variant: "compile", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [48.0, 30.0, 22.0, 20.0, 15.0, 12.0, 55.0, 0.0, 18.0, 20.0], vcpus: 1, weight: 7.0 },
+    UserStudyApp { id: 9, family: "mlpython", variant: "training", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [20.0, 55.0, 46.0, 60.0, 65.0, 72.0, 80.0, 8.0, 20.0, 15.0], vcpus: 4, weight: 10.0 },
+    UserStudyApp { id: 10, family: "make", variant: "build", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [62.0, 42.0, 32.0, 35.0, 30.0, 28.0, 78.0, 2.0, 40.0, 48.0], vcpus: 8, weight: 12.0 },
+    UserStudyApp { id: 11, family: "memcached", variant: "service", in_training: true, kind: WorkloadKind::Interactive,
+        pressure: [80.0, 42.0, 30.0, 75.0, 55.0, 40.0, 35.0, 50.0, 0.0, 0.0], vcpus: 4, weight: 11.0 },
+    UserStudyApp { id: 12, family: "webserver", variant: "http", in_training: true, kind: WorkloadKind::Interactive,
+        pressure: [76.0, 36.0, 28.0, 46.0, 36.0, 28.0, 40.0, 70.0, 25.0, 18.0], vcpus: 2, weight: 10.0 },
+    UserStudyApp { id: 13, family: "speccpu2006", variant: "benchmark", in_training: true, kind: WorkloadKind::Batch,
+        pressure: [25.0, 52.0, 45.0, 55.0, 32.0, 48.0, 72.0, 0.0, 0.0, 0.0], vcpus: 1, weight: 9.0 },
+    UserStudyApp { id: 14, family: "matlab", variant: "numeric", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [18.0, 58.0, 48.0, 58.0, 60.0, 68.0, 82.0, 2.0, 12.0, 10.0], vcpus: 4, weight: 8.0 },
+    UserStudyApp { id: 15, family: "mysql", variant: "oltp", in_training: true, kind: WorkloadKind::Interactive,
+        pressure: [55.0, 48.0, 45.0, 60.0, 72.0, 38.0, 42.0, 45.0, 55.0, 38.0], vcpus: 4, weight: 8.0 },
+    UserStudyApp { id: 16, family: "vivado", variant: "hls", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [42.0, 56.0, 50.0, 62.0, 75.0, 55.0, 88.0, 2.0, 30.0, 22.0], vcpus: 8, weight: 7.0 },
+    UserStudyApp { id: 17, family: "parsec", variant: "benchmark", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [28.0, 55.0, 46.0, 58.0, 45.0, 62.0, 78.0, 5.0, 8.0, 6.0], vcpus: 8, weight: 8.0 },
+    UserStudyApp { id: 18, family: "vim", variant: "editor", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [20.0, 8.0, 5.0, 6.0, 5.0, 3.0, 5.0, 1.0, 5.0, 4.0], vcpus: 1, weight: 6.0 },
+    UserStudyApp { id: 19, family: "scala", variant: "compile", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [55.0, 45.0, 38.0, 45.0, 50.0, 42.0, 72.0, 2.0, 22.0, 25.0], vcpus: 4, weight: 6.0 },
+    UserStudyApp { id: 20, family: "php", variant: "scripts", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [60.0, 35.0, 26.0, 32.0, 28.0, 22.0, 50.0, 30.0, 12.0, 8.0], vcpus: 2, weight: 6.0 },
+    UserStudyApp { id: 21, family: "postgres", variant: "oltp", in_training: true, kind: WorkloadKind::Interactive,
+        pressure: [52.0, 50.0, 46.0, 62.0, 74.0, 40.0, 44.0, 42.0, 58.0, 42.0], vcpus: 4, weight: 7.0 },
+    UserStudyApp { id: 22, family: "musicstream", variant: "stream", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [22.0, 25.0, 18.0, 20.0, 18.0, 20.0, 20.0, 55.0, 4.0, 3.0], vcpus: 1, weight: 6.0 },
+    UserStudyApp { id: 23, family: "minebench", variant: "mining", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [25.0, 52.0, 45.0, 58.0, 55.0, 65.0, 75.0, 5.0, 25.0, 20.0], vcpus: 4, weight: 5.0 },
+    UserStudyApp { id: 24, family: "nbody", variant: "simulation", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [12.0, 55.0, 48.0, 50.0, 35.0, 58.0, 90.0, 2.0, 5.0, 4.0], vcpus: 8, weight: 6.0 },
+    UserStudyApp { id: 25, family: "ppt", variant: "office", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [35.0, 20.0, 14.0, 18.0, 25.0, 12.0, 15.0, 5.0, 10.0, 8.0], vcpus: 1, weight: 4.0 },
+    UserStudyApp { id: 26, family: "osimg", variant: "image-build", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [30.0, 35.0, 28.0, 32.0, 35.0, 40.0, 45.0, 20.0, 75.0, 78.0], vcpus: 2, weight: 4.0 },
+    UserStudyApp { id: 27, family: "pdfview", variant: "viewer", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [32.0, 22.0, 15.0, 18.0, 20.0, 14.0, 18.0, 2.0, 12.0, 10.0], vcpus: 1, weight: 4.0 },
+    UserStudyApp { id: 28, family: "scons", variant: "build", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [58.0, 40.0, 30.0, 34.0, 32.0, 26.0, 74.0, 2.0, 42.0, 50.0], vcpus: 4, weight: 4.0 },
+    UserStudyApp { id: 29, family: "du", variant: "disk-usage", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [15.0, 18.0, 12.0, 14.0, 8.0, 10.0, 20.0, 0.0, 55.0, 70.0], vcpus: 1, weight: 4.0 },
+    UserStudyApp { id: 30, family: "cgroup", variant: "create-delete", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [25.0, 15.0, 10.0, 10.0, 6.0, 8.0, 30.0, 0.0, 15.0, 20.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 31, family: "bioparallel", variant: "genomics", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [22.0, 50.0, 44.0, 55.0, 62.0, 60.0, 80.0, 5.0, 35.0, 30.0], vcpus: 8, weight: 4.0 },
+    UserStudyApp { id: 32, family: "storm", variant: "streaming", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [35.0, 42.0, 34.0, 45.0, 48.0, 50.0, 55.0, 62.0, 10.0, 8.0], vcpus: 4, weight: 4.0 },
+    UserStudyApp { id: 33, family: "cpuburn", variant: "stress", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [8.0, 12.0, 8.0, 6.0, 4.0, 8.0, 98.0, 0.0, 0.0, 0.0], vcpus: 4, weight: 4.0 },
+    UserStudyApp { id: 34, family: "audacity", variant: "audio-edit", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [28.0, 35.0, 25.0, 28.0, 30.0, 32.0, 40.0, 2.0, 25.0, 28.0], vcpus: 2, weight: 3.0 },
+    UserStudyApp { id: 35, family: "javascript", variant: "node", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [58.0, 32.0, 24.0, 30.0, 35.0, 25.0, 48.0, 35.0, 8.0, 5.0], vcpus: 2, weight: 4.0 },
+    UserStudyApp { id: 36, family: "createvms", variant: "provisioning", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [30.0, 28.0, 22.0, 25.0, 40.0, 35.0, 45.0, 25.0, 60.0, 65.0], vcpus: 2, weight: 3.0 },
+    UserStudyApp { id: 37, family: "html", variant: "authoring", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [25.0, 12.0, 8.0, 10.0, 12.0, 6.0, 10.0, 3.0, 8.0, 6.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 38, family: "cassandra", variant: "service", in_training: true, kind: WorkloadKind::Interactive,
+        pressure: [58.0, 48.0, 39.0, 55.0, 60.0, 44.0, 48.0, 58.0, 64.0, 58.0], vcpus: 4, weight: 5.0 },
+    UserStudyApp { id: 39, family: "mongodb", variant: "crud", in_training: true, kind: WorkloadKind::Interactive,
+        pressure: [48.0, 42.0, 36.0, 48.0, 65.0, 35.0, 38.0, 50.0, 60.0, 45.0], vcpus: 4, weight: 4.0 },
+    UserStudyApp { id: 40, family: "mkdir", variant: "shell", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [12.0, 8.0, 5.0, 5.0, 3.0, 4.0, 10.0, 0.0, 18.0, 22.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 41, family: "cpmv", variant: "shell", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [10.0, 20.0, 12.0, 15.0, 8.0, 25.0, 18.0, 0.0, 60.0, 75.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 42, family: "sirius", variant: "assistant", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [50.0, 48.0, 40.0, 55.0, 58.0, 60.0, 70.0, 30.0, 15.0, 10.0], vcpus: 4, weight: 3.0 },
+    UserStudyApp { id: 43, family: "oprofile", variant: "profiling", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [35.0, 30.0, 22.0, 25.0, 20.0, 22.0, 40.0, 0.0, 30.0, 35.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 44, family: "download", variant: "large-file", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [8.0, 15.0, 10.0, 12.0, 10.0, 22.0, 12.0, 85.0, 45.0, 55.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 45, family: "rsync", variant: "sync", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [15.0, 22.0, 15.0, 18.0, 12.0, 25.0, 25.0, 70.0, 55.0, 62.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 46, family: "ping", variant: "probe", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [5.0, 4.0, 3.0, 3.0, 2.0, 2.0, 3.0, 15.0, 0.0, 0.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 47, family: "photoshop", variant: "image-edit", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [30.0, 48.0, 38.0, 45.0, 55.0, 50.0, 55.0, 2.0, 20.0, 18.0], vcpus: 4, weight: 3.0 },
+    UserStudyApp { id: 48, family: "ssh", variant: "session", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [15.0, 8.0, 5.0, 6.0, 4.0, 3.0, 8.0, 10.0, 2.0, 2.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 49, family: "rm", variant: "shell", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [10.0, 10.0, 6.0, 8.0, 4.0, 6.0, 12.0, 0.0, 35.0, 48.0], vcpus: 1, weight: 3.0 },
+    UserStudyApp { id: 50, family: "skype", variant: "call", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [25.0, 30.0, 22.0, 25.0, 22.0, 28.0, 35.0, 60.0, 3.0, 2.0], vcpus: 2, weight: 3.0 },
+    UserStudyApp { id: 51, family: "zipkin", variant: "tracing", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [40.0, 32.0, 25.0, 35.0, 45.0, 30.0, 35.0, 48.0, 35.0, 30.0], vcpus: 2, weight: 3.0 },
+    UserStudyApp { id: 52, family: "graphx", variant: "graph", in_training: false, kind: WorkloadKind::Batch,
+        pressure: [22.0, 50.0, 42.0, 60.0, 68.0, 70.0, 58.0, 35.0, 12.0, 8.0], vcpus: 4, weight: 3.0 },
+    UserStudyApp { id: 53, family: "ix", variant: "dataplane", in_training: false, kind: WorkloadKind::Interactive,
+        pressure: [55.0, 40.0, 28.0, 42.0, 30.0, 35.0, 60.0, 90.0, 0.0, 0.0], vcpus: 4, weight: 3.0 },
+];
+
+/// Looks up a user-study application by its Fig. 11 label id (1-based).
+///
+/// # Panics
+///
+/// Panics if `id` is 0 or greater than [`LABEL_COUNT`].
+pub fn app(id: usize) -> &'static UserStudyApp {
+    assert!(
+        (1..=LABEL_COUNT).contains(&id),
+        "user-study label id {id} out of range 1..={LABEL_COUNT}"
+    );
+    &APPS[id - 1]
+}
+
+/// Builds a concrete instance profile for one user-study application.
+pub fn profile<R: Rng>(entry: &UserStudyApp, rng: &mut R) -> WorkloadProfile {
+    let load = match entry.kind {
+        WorkloadKind::Interactive => LoadPattern::OnOff {
+            on_level: 0.85,
+            off_level: 0.1,
+            on_secs: 30.0 + rng.gen::<f64>() * 60.0,
+            off_secs: 10.0 + rng.gen::<f64>() * 30.0,
+        },
+        WorkloadKind::Batch => LoadPattern::steady(),
+    };
+    let (lat, runtime) = match entry.kind {
+        WorkloadKind::Interactive => (5.0, 3600.0),
+        WorkloadKind::Batch => (50.0, 600.0),
+    };
+    build_profile(
+        entry.family,
+        entry.variant,
+        DatasetScale::Medium,
+        entry.kind,
+        PressureVector::from_raw(entry.pressure),
+        load,
+        0.08,
+        lat,
+        runtime,
+        entry.vcpus,
+        rng,
+    )
+}
+
+/// Samples an application id according to the Fig. 11 popularity weights.
+pub fn sample_app<R: Rng>(rng: &mut R) -> &'static UserStudyApp {
+    let total: f64 = APPS.iter().map(|a| a.weight).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for a in &APPS {
+        x -= a.weight;
+        if x <= 0.0 {
+            return a;
+        }
+    }
+    &APPS[LABEL_COUNT - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table_has_53_unique_sequential_ids() {
+        assert_eq!(APPS.len(), LABEL_COUNT);
+        for (i, a) in APPS.iter().enumerate() {
+            assert_eq!(a.id, i + 1, "ids must be sequential");
+        }
+        let families: HashSet<&str> = APPS.iter().map(|a| a.family).collect();
+        assert_eq!(families.len(), LABEL_COUNT, "families must be unique");
+    }
+
+    #[test]
+    fn training_families_match_main_catalog() {
+        // Every in_training family must be one the training set can cover.
+        let trained = [
+            "hadoop", "spark", "memcached", "webserver", "speccpu2006",
+            "mysql", "postgres", "cassandra", "mongodb",
+        ];
+        for a in &APPS {
+            if a.in_training {
+                assert!(trained.contains(&a.family), "{} marked trained", a.family);
+            }
+        }
+        // And a meaningful majority of labels are *not* trainable, which is
+        // what produces the labeled-vs-characterized gap in Fig. 12.
+        let untrained = APPS.iter().filter(|a| !a.in_training).count();
+        assert!(untrained > 35, "most user-study apps are unseen, got {untrained}");
+    }
+
+    #[test]
+    fn all_pressures_valid() {
+        for a in &APPS {
+            let p = PressureVector::from_raw(a.pressure);
+            assert!(p.is_valid(), "label {} pressure invalid", a.id);
+            assert!(a.vcpus >= 1);
+            assert!(a.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn app_lookup_and_bounds() {
+        assert_eq!(app(1).family, "hadoop");
+        assert_eq!(app(53).family, "ix");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn app_zero_panics() {
+        app(0);
+    }
+
+    #[test]
+    fn profile_carries_family_label() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = profile(app(11), &mut rng);
+        assert_eq!(p.label().family(), "memcached");
+    }
+
+    #[test]
+    fn sampling_follows_weights_roughly() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut hadoop = 0;
+        let mut ping = 0;
+        for _ in 0..5000 {
+            let a = sample_app(&mut rng);
+            if a.family == "hadoop" {
+                hadoop += 1;
+            }
+            if a.family == "ping" {
+                ping += 1;
+            }
+        }
+        assert!(
+            hadoop > ping * 3,
+            "hadoop (w=28) should be sampled far more than ping (w=3): {hadoop} vs {ping}"
+        );
+    }
+}

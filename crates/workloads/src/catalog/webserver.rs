@@ -1,0 +1,138 @@
+//! Webservers (Apache-style HTTP front ends).
+//!
+//! Latency-critical services with large code footprints: the paper notes
+//! that workloads with high instruction-cache pressure — "latency-critical
+//! services with large codebases such as webservers" — are among the
+//! easiest to detect (Fig. 6b). The fingerprint is dominated by L1-i and
+//! network bandwidth; static serving adds some disk traffic, dynamic (CGI)
+//! serving shifts toward CPU.
+
+use rand::Rng;
+
+use crate::label::DatasetScale;
+use crate::load::LoadPattern;
+use crate::profile::{WorkloadKind, WorkloadProfile};
+use crate::resource::{PressureVector, Resource};
+
+use super::build_profile;
+
+/// Webserver serving variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Mostly static content from the page cache.
+    Static,
+    /// Dynamic CGI/script-generated content (the §5.2 RFA victim).
+    Dynamic,
+    /// Reverse-proxy / API gateway traffic.
+    Proxy,
+}
+
+impl Variant {
+    /// All webserver variants.
+    pub const ALL: [Variant; 3] = [Variant::Static, Variant::Dynamic, Variant::Proxy];
+
+    /// The variant's label string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Static => "static",
+            Variant::Dynamic => "dynamic",
+            Variant::Proxy => "proxy",
+        }
+    }
+
+    fn base_pressure(self) -> PressureVector {
+        match self {
+            Variant::Static => PressureVector::from_pairs(&[
+                (Resource::L1i, 75.0),
+                (Resource::L1d, 35.0),
+                (Resource::L2, 28.0),
+                (Resource::Llc, 45.0),
+                (Resource::MemCap, 35.0),
+                (Resource::MemBw, 28.0),
+                (Resource::Cpu, 38.0),
+                (Resource::NetBw, 72.0),
+                (Resource::DiskCap, 30.0),
+                (Resource::DiskBw, 22.0),
+            ]),
+            Variant::Dynamic => PressureVector::from_pairs(&[
+                (Resource::L1i, 80.0),
+                (Resource::L1d, 42.0),
+                (Resource::L2, 34.0),
+                (Resource::Llc, 52.0),
+                (Resource::MemCap, 42.0),
+                (Resource::MemBw, 32.0),
+                (Resource::Cpu, 62.0),
+                (Resource::NetBw, 58.0),
+                (Resource::DiskCap, 18.0),
+                (Resource::DiskBw, 12.0),
+            ]),
+            Variant::Proxy => PressureVector::from_pairs(&[
+                (Resource::L1i, 68.0),
+                (Resource::L1d, 30.0),
+                (Resource::L2, 24.0),
+                (Resource::Llc, 38.0),
+                (Resource::MemCap, 25.0),
+                (Resource::MemBw, 22.0),
+                (Resource::Cpu, 30.0),
+                (Resource::NetBw, 85.0),
+                (Resource::DiskCap, 5.0),
+                (Resource::DiskBw, 3.0),
+            ]),
+        }
+    }
+}
+
+/// Builds a webserver instance profile for `variant`.
+pub fn profile<R: Rng>(variant: &Variant, rng: &mut R) -> WorkloadProfile {
+    let load = LoadPattern::Diurnal {
+        low: 0.15,
+        high: 0.9,
+        phase: rng.gen::<f64>(),
+    };
+    build_profile(
+        "webserver",
+        variant.name(),
+        DatasetScale::Medium,
+        WorkloadKind::Interactive,
+        variant.base_pressure(),
+        load,
+        0.08,
+        8.0,
+        3600.0,
+        4,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn webservers_have_hot_instruction_caches() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for v in Variant::ALL {
+            let p = profile(&v, &mut rng);
+            assert!(
+                p.base_pressure()[Resource::L1i] > 55.0,
+                "{v:?} L1i too low"
+            );
+            assert!(p.base_pressure()[Resource::NetBw] > 40.0, "{v:?} net too low");
+        }
+    }
+
+    #[test]
+    fn proxy_is_network_dominant() {
+        assert_eq!(Variant::Proxy.base_pressure().dominant(), Resource::NetBw);
+    }
+
+    #[test]
+    fn dynamic_variant_is_cpu_heavier_than_static() {
+        assert!(
+            Variant::Dynamic.base_pressure()[Resource::Cpu]
+                > Variant::Static.base_pressure()[Resource::Cpu]
+        );
+    }
+}

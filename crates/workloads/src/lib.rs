@@ -1,0 +1,57 @@
+//! Cloud application catalog for the Bolt reproduction.
+//!
+//! The Bolt paper (ASPLOS 2017) evaluates its detection pipeline against
+//! real applications — memcached, Hadoop, Spark, Cassandra, SPEC CPU2006,
+//! webservers, databases, and the 53 application types of its EC2 user
+//! study. This crate models those applications as *pressure fingerprints*:
+//! each workload is a generator of ten-dimensional resource-pressure
+//! vectors (see [`Resource`] and [`PressureVector`]) plus a load pattern,
+//! a sensitivity profile, and a latency/slowdown model.
+//!
+//! This is a deliberate substitution (documented in the repository's
+//! `DESIGN.md`): Bolt's recommender never inspects application code, only
+//! the pressure observed through contention, so faithfully modeling the
+//! published per-class fingerprints preserves the behaviour that matters.
+//!
+//! # Crate layout
+//!
+//! * [`resource`] — the ten shared resources and pressure vectors.
+//! * [`label`] — structured application labels and the paper's two
+//!   correctness criteria (name vs. characteristics).
+//! * [`load`] — diurnal/bursty/on-off load patterns.
+//! * [`profile`] — the [`WorkloadProfile`] fingerprint bundle.
+//! * [`perf`] — tail-latency and slowdown models under contention.
+//! * [`mrc`] — cache miss-rate curves, the paper's §3.3 future-work
+//!   signal for disentangling co-residents with identical average LLC
+//!   pressure.
+//! * [`catalog`] — per-family profile generators.
+//! * [`training`] — the 120-application training set (Fig. 4).
+//!
+//! # Example
+//!
+//! ```
+//! use bolt_workloads::{catalog, Resource};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let victim = catalog::memcached::profile(&catalog::memcached::Variant::ReadHeavyKb, &mut rng);
+//! // memcached's fingerprint: hot instruction cache, zero disk (Fig. 2).
+//! assert!(victim.base_pressure()[Resource::L1i] > 60.0);
+//! assert_eq!(victim.base_pressure()[Resource::DiskBw], 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod label;
+pub mod load;
+pub mod mrc;
+pub mod perf;
+pub mod profile;
+pub mod resource;
+pub mod training;
+
+pub use label::{AppLabel, DatasetScale, ResourceCharacteristics};
+pub use load::LoadPattern;
+pub use profile::{WorkloadKind, WorkloadProfile};
+pub use resource::{PressureVector, Resource, RESOURCE_COUNT};

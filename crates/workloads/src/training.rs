@@ -1,0 +1,179 @@
+//! The training set: the previously-seen workloads Bolt matches against.
+//!
+//! The paper trains on 120 diverse applications — webservers, analytics
+//! algorithms over several datasets, key-value stores and databases —
+//! chosen to cover the space of resource characteristics (Fig. 4), with no
+//! overlap with the test set in algorithms, datasets, or input loads.
+//! This module enumerates that set deterministically from the catalog.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::catalog::{cassandra, database, hadoop, memcached, spark, speccpu, webserver};
+use crate::label::DatasetScale;
+use crate::profile::WorkloadProfile;
+
+/// Number of applications in the paper's training set.
+pub const TRAINING_SET_SIZE: usize = 120;
+
+/// Builds the 120-application training set.
+///
+/// The composition loops over every catalog family and variant with
+/// multiple dataset scales and instance jitter until 120 profiles exist:
+/// 60 batch analytics (Hadoop and Spark across 5+4 algorithms × 3 dataset
+/// scales), 16 key-value store configurations, 12 databases, 12
+/// webservers, and 20 SPEC-style compute kernels. The seed fixes the
+/// instance jitter so the training set is identical across runs —
+/// detection results stay reproducible.
+pub fn training_set(seed: u64) -> Vec<WorkloadProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<WorkloadProfile> = Vec::with_capacity(TRAINING_SET_SIZE);
+
+    // Batch analytics: every algorithm × dataset scale (Hadoop 15, Spark 12).
+    for alg in hadoop::Algorithm::ALL {
+        for scale in DatasetScale::ALL {
+            out.push(hadoop::profile(&alg, scale, &mut rng));
+        }
+    }
+    for alg in spark::Algorithm::ALL {
+        for scale in DatasetScale::ALL {
+            out.push(spark::profile(&alg, scale, &mut rng));
+        }
+    }
+
+    // Interactive services are trained at several input-load points (the
+    // paper's training set varies "input load patterns"): a victim caught
+    // in a low-traffic phase still has a matching training neighbour.
+    const LOAD_LEVELS: [f64; 4] = [1.0, 0.7, 0.45, 0.25];
+
+    // Key-value stores: each memcached variant at 4 load levels (16).
+    for variant in memcached::Variant::ALL {
+        for level in LOAD_LEVELS {
+            out.push(memcached::profile(&variant, &mut rng).at_load_level(level));
+        }
+    }
+
+    // Cassandra: each variant at 3 load levels (9).
+    for variant in cassandra::Variant::ALL {
+        for level in &LOAD_LEVELS[..3] {
+            out.push(cassandra::profile(&variant, &mut rng).at_load_level(*level));
+        }
+    }
+
+    // Databases: each variant at 4 load levels (12).
+    for variant in database::Variant::ALL {
+        for level in LOAD_LEVELS {
+            out.push(database::profile(&variant, &mut rng).at_load_level(level));
+        }
+    }
+
+    // Webservers: each variant at 4 load levels (12).
+    for variant in webserver::Variant::ALL {
+        for level in LOAD_LEVELS {
+            out.push(webserver::profile(&variant, &mut rng).at_load_level(level));
+        }
+    }
+
+    // SPEC compute kernels: cycle benchmarks until the set reaches 120.
+    let mut spec_iter = speccpu::Benchmark::ALL.iter().cycle();
+    while out.len() < TRAINING_SET_SIZE {
+        let b = spec_iter.next().expect("cycle never ends");
+        out.push(speccpu::profile(b, &mut rng));
+    }
+    out.truncate(TRAINING_SET_SIZE);
+    out
+}
+
+/// Measures how well a set of profiles covers the resource space: the
+/// fraction of cells in a `grid × grid` partition of the (x, y) pressure
+/// plane that contain at least one application. Fig. 4 argues the training
+/// set covers "the majority of the resource usage space".
+pub fn coverage(
+    profiles: &[WorkloadProfile],
+    x: crate::Resource,
+    y: crate::Resource,
+    grid: usize,
+) -> f64 {
+    assert!(grid > 0, "grid must be nonzero");
+    let mut cells = vec![false; grid * grid];
+    for p in profiles {
+        let px = p.base_pressure()[x] / 100.0 * grid as f64;
+        let py = p.base_pressure()[y] / 100.0 * grid as f64;
+        let cx = (px as usize).min(grid - 1);
+        let cy = (py as usize).min(grid - 1);
+        cells[cy * grid + cx] = true;
+    }
+    cells.iter().filter(|&&c| c).count() as f64 / (grid * grid) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resource;
+    use std::collections::HashSet;
+
+    #[test]
+    fn training_set_has_exactly_120_profiles() {
+        let set = training_set(42);
+        assert_eq!(set.len(), TRAINING_SET_SIZE);
+    }
+
+    #[test]
+    fn training_set_is_deterministic_per_seed() {
+        let a = training_set(42);
+        let b = training_set(42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.base_pressure(), y.base_pressure());
+        }
+        let c = training_set(43);
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.base_pressure() != y.base_pressure()),
+            "different seeds should jitter differently"
+        );
+    }
+
+    #[test]
+    fn training_set_spans_many_families() {
+        let set = training_set(42);
+        let families: HashSet<String> = set
+            .iter()
+            .map(|p| p.label().family().to_string())
+            .collect();
+        for f in [
+            "hadoop", "spark", "memcached", "cassandra", "mysql", "mongodb",
+            "webserver", "speccpu2006",
+        ] {
+            assert!(families.contains(f), "missing family {f}");
+        }
+    }
+
+    #[test]
+    fn training_set_covers_resource_space() {
+        // Fig. 4's claim: broad coverage of the CPU×Memory and
+        // Network×Storage planes. With a coarse 4x4 grid the set should
+        // cover at least half the cells in each plane.
+        let set = training_set(42);
+        let cpu_mem = coverage(&set, Resource::Cpu, Resource::MemBw, 4);
+        let net_disk = coverage(&set, Resource::NetBw, Resource::DiskBw, 4);
+        assert!(cpu_mem >= 0.5, "CPU x MemBw coverage too low: {cpu_mem}");
+        assert!(net_disk >= 0.4, "NetBw x DiskBw coverage too low: {net_disk}");
+    }
+
+    #[test]
+    fn all_profiles_valid() {
+        for p in training_set(42) {
+            assert!(p.base_pressure().is_valid());
+            assert!(p.sensitivity().is_valid());
+            assert!(!p.base_pressure().is_zero());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid")]
+    fn coverage_rejects_zero_grid() {
+        let set = training_set(1);
+        coverage(&set, Resource::Cpu, Resource::MemBw, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the workload catalog's core invariants.
+
+use bolt_workloads::catalog::{hadoop, memcached, spark, userstudy};
+use bolt_workloads::load::LoadPattern;
+use bolt_workloads::perf;
+use bolt_workloads::{DatasetScale, PressureVector, Resource};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_pressure() -> impl Strategy<Value = PressureVector> {
+    proptest::array::uniform10(0.0f64..100.0).prop_map(PressureVector::from_raw)
+}
+
+proptest! {
+    #[test]
+    fn pressure_vectors_stay_valid_under_ops(
+        a in arb_pressure(),
+        b in arb_pressure(),
+        f in -2.0f64..3.0,
+    ) {
+        prop_assert!(a.saturating_add(&b).is_valid());
+        prop_assert!(a.saturating_sub(&b).is_valid());
+        prop_assert!(a.scaled(f).is_valid());
+    }
+
+    #[test]
+    fn saturating_add_is_commutative_and_monotone(
+        a in arb_pressure(),
+        b in arb_pressure(),
+    ) {
+        let ab = a.saturating_add(&b);
+        let ba = b.saturating_add(&a);
+        prop_assert_eq!(ab, ba);
+        for r in Resource::ALL {
+            prop_assert!(ab[r] + 1e-12 >= a[r].max(b[r]));
+        }
+    }
+
+    #[test]
+    fn dominant_is_the_argmax(a in arb_pressure()) {
+        let d = a.dominant();
+        for r in Resource::ALL {
+            prop_assert!(a[d] >= a[r]);
+        }
+    }
+
+    #[test]
+    fn load_patterns_always_in_unit_interval(
+        low in -1.0f64..2.0,
+        high in -1.0f64..2.0,
+        phase in 0.0f64..1.0,
+        t in 0.0f64..5000.0,
+    ) {
+        let p = LoadPattern::Diurnal { low, high, phase };
+        let l = p.level(t);
+        prop_assert!((0.0..=1.0).contains(&l));
+    }
+
+    #[test]
+    fn pressure_at_always_valid(
+        seed in 0u64..500,
+        t in 0.0f64..2000.0,
+        progress in 0.0f64..1.5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = memcached::profile(&memcached::Variant::Mixed, &mut rng);
+        let v = p.pressure_at(t, progress, &mut rng);
+        prop_assert!(v.is_valid());
+    }
+
+    #[test]
+    fn at_load_level_scales_noncapacity_proportionally(
+        seed in 0u64..500,
+        level in 0.05f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = spark::profile(&spark::Algorithm::KMeans, DatasetScale::Large, &mut rng);
+        let scaled = p.at_load_level(level);
+        for r in Resource::ALL {
+            if r.is_capacity() {
+                prop_assert!((scaled.base_pressure()[r] - p.base_pressure()[r]).abs() < 1e-9);
+            } else {
+                prop_assert!(
+                    (scaled.base_pressure()[r] - p.base_pressure()[r] * level).abs() < 1e-9
+                );
+            }
+        }
+        // The reference keeps the full-load fingerprint.
+        prop_assert_eq!(scaled.reference_pressure(), p.base_pressure());
+    }
+
+    #[test]
+    fn tail_latency_monotone_in_interference(
+        seed in 0u64..200,
+        base_level in 0.0f64..100.0,
+        extra in 0.0f64..50.0,
+        load in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victim = hadoop::profile(&hadoop::Algorithm::Svm, DatasetScale::Medium, &mut rng);
+        let weak = PressureVector::from_pairs(&[(Resource::Cpu, base_level)]);
+        let strong = PressureVector::from_pairs(&[(Resource::Cpu, (base_level + extra).min(100.0))]);
+        let a = perf::tail_latency_factor(&victim, &weak, load);
+        let b = perf::tail_latency_factor(&victim, &strong, load);
+        prop_assert!(b + 1e-9 >= a, "more interference must not reduce latency: {a} -> {b}");
+        prop_assert!(a >= 1.0 && b <= 150.0);
+    }
+
+    #[test]
+    fn batch_slowdown_at_least_one_and_bounded(
+        seed in 0u64..200,
+        p in arb_pressure(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victim = spark::profile(&spark::Algorithm::PageRank, DatasetScale::Small, &mut rng);
+        let s = perf::batch_slowdown_factor(&victim, &p);
+        prop_assert!(s >= 1.0, "slowdown below 1: {s}");
+        prop_assert!(s < 20.0, "implausible slowdown: {s}");
+        let rate = perf::progress_rate(&victim, &p);
+        prop_assert!((rate * s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn user_study_sampling_always_valid(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let app = userstudy::sample_app(&mut rng);
+        prop_assert!((1..=userstudy::LABEL_COUNT).contains(&app.id));
+        let profile = userstudy::profile(app, &mut rng);
+        prop_assert!(profile.base_pressure().is_valid());
+        prop_assert!(profile.vcpus() >= 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! The native stress kernels: real, self-timing microbenchmarks runnable
+//! on this machine. Demonstrates the cache-level latency cliff that the
+//! ramp protocol's degradation detection rests on.
+//!
+//! Run with: `cargo run --release --example native_probes`
+
+use bolt_probes::native::{alu_burn, cache_chase, disk_stream, intensity_to_working_set, memory_stream};
+
+fn main() {
+    println!("pointer-chase latency across working-set sizes (defeats prefetching):");
+    println!("{:>12} {:>16} {:>12}", "working set", "accesses/sec", "ns/access");
+    for (name, bytes) in [
+        ("16 KiB", 16 * 1024),            // L1d resident
+        ("128 KiB", 128 * 1024),          // L2 resident
+        ("2 MiB", 2 * 1024 * 1024),       // LLC resident
+        ("64 MiB", 64 * 1024 * 1024),     // memory latency
+    ] {
+        let run = cache_chase(bytes, 3_000_000);
+        println!(
+            "{name:>12} {:>16.0} {:>12.2}",
+            run.ops_per_sec(),
+            1e9 / run.ops_per_sec()
+        );
+    }
+
+    println!("\nstreaming memory bandwidth:");
+    let run = memory_stream(64 * 1024 * 1024, 4);
+    println!("  {:.2} GB/s", run.ops_per_sec() / 1e9);
+
+    println!("\ndependent ALU chain throughput:");
+    let run = alu_burn(200_000_000);
+    println!("  {:.0} Mops/s", run.ops_per_sec() / 1e6);
+
+    println!("\ndisk write+read-back throughput (32 MiB scratch file):");
+    match disk_stream(32 * 1024 * 1024) {
+        Ok(run) => println!("  {:.2} MB/s", run.ops_per_sec() / 1e6),
+        Err(e) => println!("  unavailable: {e}"),
+    }
+
+    println!("\nintensity mapping for a tunable LLC probe (8 MiB cache):");
+    for intensity in [10.0, 50.0, 100.0] {
+        let ws = intensity_to_working_set(8 * 1024 * 1024, intensity);
+        println!("  intensity {intensity:>4}% -> working set {:>8} KiB", ws / 1024);
+    }
+}

@@ -1,0 +1,438 @@
+//! `bolt-repro` — the command-line driver for the Bolt reproduction.
+//!
+//! A thin argument-parsed front end over the library crates, so every
+//! experiment can be run (and re-parameterized) without writing Rust:
+//!
+//! ```text
+//! bolt-repro detect   [--servers N] [--victims N] [--seed S]
+//! bolt-repro table1   [--servers N] [--victims N]
+//! bolt-repro study    [--instances N] [--jobs N]
+//! bolt-repro isolation [--servers N] [--victims N]
+//! bolt-repro dos | rfa | coresidency
+//! ```
+//!
+//! Dependencies are deliberately std-only: arguments are parsed by hand.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use bolt::attacks::coresidency::{hunt, placement_probability, CoResidencyConfig};
+use bolt::attacks::dos::{craft_attack_from_profile, naive_attack, run_dos, DosRunConfig};
+use bolt::attacks::rfa::run_rfa;
+use bolt::experiment::{run_experiment, ExperimentConfig};
+use bolt::isolation_study::run_isolation_study;
+use bolt::report::{pct, Table};
+use bolt::user_study::{run_user_study, UserStudyConfig};
+use bolt_sim::{LeastLoaded, OsSetting, Quasar};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match command.as_str() {
+        "detect" => cmd_detect(&flags),
+        "table1" => cmd_table1(&flags),
+        "study" => cmd_study(&flags),
+        "isolation" => cmd_isolation(&flags),
+        "dos" => cmd_dos(&flags),
+        "rfa" => cmd_rfa(&flags),
+        "coresidency" => cmd_coresidency(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+bolt-repro — reproduction driver for Bolt (ASPLOS 2017)
+
+USAGE:
+    bolt-repro <COMMAND> [--flag value]...
+
+COMMANDS:
+    detect        run the controlled detection experiment and print per-victim rows
+    table1        Table 1: accuracy per class, least-loaded vs Quasar scheduler
+    study         the EC2 multi-user study (Figs. 11-12)
+    isolation     the isolation sweep (Fig. 14)
+    dos           the targeted-vs-naive DoS timeline (Fig. 13)
+    rfa           the resource-freeing attacks (Table 2)
+    coresidency   locate a SQL victim in the cluster (Sec. 5.3)
+
+FLAGS (all optional):
+    --servers N    cluster size            (default 20)
+    --victims N    victim workloads        (default 48)
+    --instances N  user-study instances    (default 40)
+    --jobs N       user-study jobs         (default 120)
+    --seed S       RNG seed                (default experiment-specific)";
+
+fn parse_flags(
+    args: impl Iterator<Item = String>,
+) -> Result<HashMap<String, u64>, String> {
+    let mut flags = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        let Some(value) = args.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("--{name} needs an integer, got `{value}`"))?;
+        flags.insert(name.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn experiment_config(flags: &HashMap<String, u64>) -> ExperimentConfig {
+    let mut config = ExperimentConfig {
+        servers: flags.get("servers").copied().unwrap_or(20) as usize,
+        victims: flags.get("victims").copied().unwrap_or(48) as usize,
+        ..ExperimentConfig::default()
+    };
+    if let Some(&seed) = flags.get("seed") {
+        config.seed = seed;
+    }
+    config
+}
+
+fn cmd_detect(flags: &HashMap<String, u64>) -> Result<(), String> {
+    let config = experiment_config(flags);
+    eprintln!(
+        "running the controlled experiment: {} victims on {} servers...",
+        config.victims, config.servers
+    );
+    let results = run_experiment(&config, &LeastLoaded).map_err(|e| e.to_string())?;
+    let mut table = Table::new(vec!["victim", "detected", "iters", "co-res", "label", "chars"]);
+    for r in &results.records {
+        table.row(vec![
+            r.truth.to_string(),
+            r.detected
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "(none)".into()),
+            r.iterations.to_string(),
+            r.co_residents.to_string(),
+            if r.label_correct { "ok" } else { "-" }.into(),
+            if r.characteristics_correct { "ok" } else { "-" }.into(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "label accuracy {}  characteristics accuracy {}",
+        pct(results.label_accuracy()),
+        pct(results.characteristics_accuracy())
+    );
+    Ok(())
+}
+
+fn cmd_table1(flags: &HashMap<String, u64>) -> Result<(), String> {
+    let config = experiment_config(flags);
+    eprintln!("running the controlled experiment twice (LL, Quasar)...");
+    let ll = run_experiment(&config, &LeastLoaded).map_err(|e| e.to_string())?;
+    let quasar = run_experiment(&config, &Quasar).map_err(|e| e.to_string())?;
+    let mut table = Table::new(vec!["class", "LL", "Quasar"]);
+    table.row(vec![
+        "aggregate".into(),
+        pct(ll.label_accuracy()),
+        pct(quasar.label_accuracy()),
+    ]);
+    for family in ["memcached", "hadoop", "spark", "cassandra", "speccpu2006"] {
+        table.row(vec![
+            family.into(),
+            ll.family_accuracy(family).map(pct).unwrap_or_else(|| "-".into()),
+            quasar
+                .family_accuracy(family)
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_study(flags: &HashMap<String, u64>) -> Result<(), String> {
+    let mut config = UserStudyConfig {
+        instances: flags.get("instances").copied().unwrap_or(40) as usize,
+        jobs: flags.get("jobs").copied().unwrap_or(120) as usize,
+        users: 10,
+        ..UserStudyConfig::default()
+    };
+    if let Some(&seed) = flags.get("seed") {
+        config.seed = seed;
+    }
+    eprintln!(
+        "running the user study: {} jobs on {} instances...",
+        config.jobs, config.instances
+    );
+    let results = run_user_study(&config).map_err(|e| e.to_string())?;
+    let n = results.records.len();
+    println!(
+        "named {}/{} ({})  characterized {}/{} ({})  instances used {}/{}",
+        results.named(),
+        n,
+        pct(results.named() as f64 / n.max(1) as f64),
+        results.characterized(),
+        n,
+        pct(results.characterized() as f64 / n.max(1) as f64),
+        results.instances_used,
+        config.instances
+    );
+    Ok(())
+}
+
+fn cmd_isolation(flags: &HashMap<String, u64>) -> Result<(), String> {
+    let config = ExperimentConfig {
+        servers: flags.get("servers").copied().unwrap_or(10) as usize,
+        victims: flags.get("victims").copied().unwrap_or(24) as usize,
+        ..ExperimentConfig::default()
+    };
+    eprintln!("running 21 detection experiments (3 settings x 7 stacks)...");
+    let study = run_isolation_study(&config).map_err(|e| e.to_string())?;
+    let mut table = Table::new(vec!["stack", "baremetal", "containers", "VMs"]);
+    let stacks = [
+        "none",
+        "thread pinning",
+        "+net bw partitioning",
+        "+mem bw partitioning",
+        "+cache partitioning",
+        "+core isolation",
+    ];
+    for (i, stack) in stacks.iter().enumerate() {
+        let mut row = vec![stack.to_string()];
+        for setting in OsSetting::ALL {
+            row.push(study.accuracy(setting, i).map(pct).unwrap_or_else(|| "-".into()));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_dos(flags: &HashMap<String, u64>) -> Result<(), String> {
+    use bolt_sim::vm::VmRole;
+    use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
+    use bolt_workloads::{catalog, LoadPattern, PressureVector};
+
+    let seed = flags.get("seed").copied().unwrap_or(0xD05);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scene = |rng: &mut StdRng| -> Result<_, String> {
+        let mut cluster = Cluster::new(4, ServerSpec::xeon(), IsolationConfig::cloud_default())
+            .map_err(|e| e.to_string())?;
+        let victim_profile =
+            catalog::memcached::profile(&catalog::memcached::Variant::ReadHeavyKb, rng)
+                .with_vcpus(12)
+                .with_load(LoadPattern::Constant { level: 0.7 });
+        let baseline = victim_profile.base_latency_ms();
+        let victim = cluster
+            .launch_on(0, victim_profile, VmRole::Friendly, 0.0)
+            .map_err(|e| e.to_string())?;
+        let attacker = cluster
+            .launch_on(
+                0,
+                catalog::memcached::profile(&catalog::memcached::Variant::Mixed, rng)
+                    .with_vcpus(4),
+                VmRole::Adversarial,
+                0.0,
+            )
+            .map_err(|e| e.to_string())?;
+        cluster
+            .set_pressure_override(attacker, Some(PressureVector::zero()))
+            .map_err(|e| e.to_string())?;
+        Ok((cluster, attacker, victim, baseline))
+    };
+
+    let defense = DosRunConfig::default();
+    let (mut c1, a1, v1, baseline) = scene(&mut rng)?;
+    let pressure = *c1
+        .vm(v1)
+        .map_err(|e| e.to_string())?
+        .profile
+        .base_pressure();
+    let bolt = run_dos(
+        &mut c1,
+        a1,
+        v1,
+        craft_attack_from_profile(&pressure),
+        &defense,
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())?;
+    let (mut c2, a2, v2, _) = scene(&mut rng)?;
+    let naive = run_dos(&mut c2, a2, v2, naive_attack(), &defense, &mut rng)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "bolt:  {:>5.0}x steady-state amplification, migration: {:?}",
+        bolt.final_amplification(baseline),
+        bolt.migration_at
+    );
+    println!(
+        "naive: {:>5.0}x steady-state amplification, migration: {:?}",
+        naive.final_amplification(baseline),
+        naive.migration_at
+    );
+    Ok(())
+}
+
+fn cmd_rfa(flags: &HashMap<String, u64>) -> Result<(), String> {
+    use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
+    use bolt_workloads::{catalog, DatasetScale};
+
+    let seed = flags.get("seed").copied().unwrap_or(0x2FA);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let victims = vec![
+        catalog::webserver::profile(&catalog::webserver::Variant::Dynamic, &mut rng)
+            .with_vcpus(8),
+        catalog::hadoop::profile(&catalog::hadoop::Algorithm::Svm, DatasetScale::Large, &mut rng)
+            .with_vcpus(8),
+        catalog::spark::profile(&catalog::spark::Algorithm::KMeans, DatasetScale::Large, &mut rng)
+            .with_vcpus(8),
+    ];
+    let mut table = Table::new(vec!["victim", "victim perf", "mcf", "target"]);
+    for victim in victims {
+        let name = victim.label().to_string();
+        let mut cluster = Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default())
+            .map_err(|e| e.to_string())?;
+        let mcf = catalog::speccpu::profile(&catalog::speccpu::Benchmark::Mcf, &mut rng);
+        let outcome = run_rfa(&mut cluster, 0, victim, mcf, &mut rng)
+            .map_err(|e| e.to_string())?;
+        table.row(vec![
+            name,
+            format!("{:+.0}%", outcome.victim_delta * 100.0),
+            format!("{:+.0}%", outcome.beneficiary_delta * 100.0),
+            outcome.target_resource.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_coresidency(flags: &HashMap<String, u64>) -> Result<(), String> {
+    use bolt::detector::{Detector, DetectorConfig};
+    use bolt::experiment::observed_training;
+    use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
+    use bolt_sim::vm::VmRole;
+    use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
+    use bolt_workloads::{catalog, training::training_set, DatasetScale};
+
+    let servers = flags.get("servers").copied().unwrap_or(40) as usize;
+    let seed = flags.get("seed").copied().unwrap_or(0xC0DE);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let isolation = IsolationConfig::cloud_default();
+    let mut cluster =
+        Cluster::new(servers, ServerSpec::xeon(), isolation).map_err(|e| e.to_string())?;
+    let victim_host = servers / 4 + 1;
+    let victim = cluster
+        .launch_on(
+            victim_host,
+            catalog::database::profile(&catalog::database::Variant::SqlOltp, &mut rng)
+                .with_vcpus(8),
+            VmRole::Friendly,
+            0.0,
+        )
+        .map_err(|e| e.to_string())?;
+    for s in (0..servers).step_by(5).take(7) {
+        if s == victim_host {
+            continue;
+        }
+        let p = catalog::database::profile(&catalog::database::Variant::SqlOltp, &mut rng)
+            .with_vcpus(8);
+        let _ = cluster.launch_on(s, p, VmRole::Friendly, 0.0);
+    }
+    for s in (2..servers).step_by(4).take(10) {
+        if s == victim_host {
+            // Leave headroom next to the victim: an instance-packed host
+            // can never receive a probe (nor any other new tenant).
+            continue;
+        }
+        let p = catalog::spark::profile(
+            &catalog::spark::Algorithm::KMeans,
+            DatasetScale::Medium,
+            &mut rng,
+        )
+        .with_vcpus(8);
+        let _ = cluster.launch_on(s, p, VmRole::Friendly, 0.0);
+    }
+
+    let data = TrainingData::from_examples(observed_training(&training_set(7), &isolation))
+        .map_err(|e| e.to_string())?;
+    let rec = HybridRecommender::fit(data, RecommenderConfig::default())
+        .map_err(|e| e.to_string())?;
+    let detector = Detector::new(rec, DetectorConfig::default());
+    let config = CoResidencyConfig::default();
+    println!(
+        "hunting a SQL victim across {servers} servers; P(per fleet) = {:.2}",
+        placement_probability(servers, 1, config.probes)
+    );
+    for round in 0..10 {
+        let outcome = hunt(
+            &mut cluster,
+            &detector,
+            victim,
+            "mysql",
+            &config,
+            round as f64 * 120.0,
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "fleet {round}: probed {:?}, SQL candidates {:?}",
+            outcome.probed_servers, outcome.candidate_servers
+        );
+        if let Some(server) = outcome.confirmed_server {
+            println!(
+                "confirmed on server {server} (truth: {victim_host}) with a {:.1}x latency jump",
+                outcome.latency_ratio()
+            );
+            return Ok(());
+        }
+    }
+    println!("not located within the fleet budget — relaunch with another --seed");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    #[test]
+    fn parse_flags_accepts_pairs() {
+        let flags = parse_flags(
+            ["--servers", "12", "--victims", "30"].iter().map(|s| s.to_string()),
+        )
+        .expect("valid flags");
+        assert_eq!(flags.get("servers"), Some(&12));
+        assert_eq!(flags.get("victims"), Some(&30));
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values_and_missing_values() {
+        assert!(parse_flags(["12".to_string()].into_iter()).is_err());
+        assert!(parse_flags(["--seed".to_string()].into_iter()).is_err());
+        assert!(
+            parse_flags(["--seed".to_string(), "abc".to_string()].into_iter()).is_err()
+        );
+    }
+}
