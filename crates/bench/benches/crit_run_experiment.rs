@@ -1,0 +1,43 @@
+//! Criterion bench for the parallel experiment engine: the Table 1
+//! harness (a small controlled experiment) at `Parallelism::Serial`
+//! versus `Parallelism::Auto`. Per-victim RNG derivation makes the two
+//! configurations produce byte-identical records (property-tested in
+//! `crates/core/tests/parallel_determinism.rs`), so any wall-clock gap is
+//! pure scheduling win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bolt::experiment::{run_experiment, ExperimentConfig};
+use bolt::parallel::Parallelism;
+use bolt_sim::LeastLoaded;
+
+fn config(parallelism: Parallelism) -> ExperimentConfig {
+    ExperimentConfig {
+        servers: 8,
+        victims: 16,
+        parallelism,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_run_experiment(c: &mut Criterion) {
+    c.sample_size(10);
+    c.bench_function("run_experiment_serial", |b| {
+        let cfg = config(Parallelism::Serial);
+        b.iter(|| {
+            let r = run_experiment(black_box(&cfg), &LeastLoaded).expect("experiment runs");
+            black_box(r.records.len())
+        })
+    });
+    c.bench_function("run_experiment_auto", |b| {
+        let cfg = config(Parallelism::Auto);
+        b.iter(|| {
+            let r = run_experiment(black_box(&cfg), &LeastLoaded).expect("experiment runs");
+            black_box(r.records.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_run_experiment);
+criterion_main!(benches);

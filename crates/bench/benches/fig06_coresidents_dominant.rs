@@ -28,7 +28,11 @@ fn main() {
     eprintln!("running the controlled experiment ({} victims)...", config.victims);
     let results = run_experiment(&config, &LeastLoaded).expect("experiment runs");
 
-    // (a) accuracy vs number of co-residents.
+    // (a) accuracy vs number of co-residents. The x-axis counts victim
+    // VMs on the server *including the hunted victim* ("VMs on server",
+    // the `ExperimentRecord::co_residents` convention), matching the
+    // paper's "number of co-scheduled applications": rows start at 1 and
+    // paper[n - 1] is the figure's value at x = n.
     let mut by_count = Table::new(vec!["co-residents", "paper", "measured", "samples"]);
     let paper = ["95%+", "95%+", "~78%", "~82%", "~67%"];
     for (n, acc, samples) in results.accuracy_by_co_residents() {

@@ -8,6 +8,7 @@
 //! diminishing returns.
 
 use bolt::experiment::ExperimentConfig;
+use bolt::parallel::Parallelism;
 use bolt::report::{pct, Table};
 use bolt::sensitivity::{adversary_size_sweep, benchmark_count_sweep, profiling_interval_sweep};
 use bolt_bench::{emit, full_scale};
@@ -30,7 +31,7 @@ fn main() {
     // (a) profiling interval, against a victim switching jobs (~60 s).
     eprintln!("sweeping profiling intervals...");
     let intervals = [5.0, 20.0, 60.0, 120.0, 300.0];
-    let points = profiling_interval_sweep(&intervals, 60.0, 900.0, 0xF16A)
+    let points = profiling_interval_sweep(&intervals, 60.0, 900.0, 0xF16A, Parallelism::Auto)
         .expect("interval sweep runs");
     let mut a = Table::new(vec!["interval (s)", "paper", "measured accuracy"]);
     let paper_a = ["~90%", "~88%", "~75%", "~65%", "~50%"];

@@ -22,6 +22,7 @@ use bolt_workloads::{
 };
 
 use crate::detector::{Detector, DetectorConfig};
+use crate::parallel::{split_seed, sweep, Parallelism};
 use crate::BoltError;
 
 /// Controlled-experiment configuration.
@@ -44,6 +45,10 @@ pub struct ExperimentConfig {
     /// Seed of the training set (kept distinct from `seed` so training and
     /// test workloads never share instance jitter).
     pub training_seed: u64,
+    /// Thread fan-out for the per-victim detection sweep. Results are
+    /// byte-identical for every setting (see [`crate::parallel`]).
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExperimentConfig {
@@ -57,6 +62,7 @@ impl Default for ExperimentConfig {
             detector: DetectorConfig::default(),
             recommender: RecommenderConfig::default(),
             training_seed: 7,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -80,7 +86,11 @@ pub struct ExperimentRecord {
     pub characteristics_correct: bool,
     /// Detection iterations consumed (1..=max).
     pub iterations: usize,
-    /// Victims co-scheduled on the same host (including this one).
+    /// Victim VMs on this victim's host, **including the victim itself**
+    /// ("VMs on server"): a victim alone with the adversary reports 1.
+    /// This is the convention of Fig. 6a's x-axis and of
+    /// [`ExperimentResults::accuracy_by_co_residents`]; it is deliberately
+    /// *not* "other victims besides this one".
     pub co_residents: usize,
     /// The victim's dominant resource.
     pub dominant: Resource,
@@ -120,7 +130,9 @@ impl ExperimentResults {
     }
 
     /// Label accuracy as a function of co-resident count (Fig. 6a):
-    /// `(co_residents, accuracy, sample_count)` rows.
+    /// `(co_residents, accuracy, sample_count)` rows. `co_residents`
+    /// counts victim VMs on the server *including the hunted victim* (see
+    /// [`ExperimentRecord::co_residents`]), so rows start at 1.
     pub fn accuracy_by_co_residents(&self) -> Vec<(usize, f64, usize)> {
         let max = self.records.iter().map(|r| r.co_residents).max().unwrap_or(0);
         (1..=max)
@@ -384,6 +396,12 @@ pub fn build_testbed<S: Scheduler>(
 /// detection is correct for victim `v` when the detected label matches
 /// `v`'s (primary or shutter-secondary verdict).
 ///
+/// Victims are independent: each hunt runs against the same read-only
+/// cluster with its own RNG derived from `config.seed` and the victim
+/// index ([`split_seed`]), and the hunts fan out over
+/// `config.parallelism` worker threads. Results are byte-identical for
+/// every thread count, including [`Parallelism::Serial`].
+///
 /// # Errors
 ///
 /// Propagates [`BoltError`] from testbed construction or detection.
@@ -398,65 +416,90 @@ pub fn run_experiment<S: Scheduler>(
         victims,
         detector,
     } = testbed;
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
 
-    let mut records = Vec::with_capacity(victims.len());
-    for &victim_id in &victims {
-        let state = cluster.vm(victim_id)?;
-        let truth = state.profile.label().clone();
-        let truth_pressure = *state.profile.base_pressure();
-        // Characteristics live in observed space: what the channel hides
-        // (e.g. partitioned memory capacity) is not a detectable — or
-        // attackable — characteristic in this environment.
-        let truth_characteristics = ResourceCharacteristics::from_pressure(&observe_through(
-            &truth_pressure,
-            &config.isolation,
-        ));
-        let server = state.server;
-        let co_residents = victims
-            .iter()
-            .filter(|&&v| cluster.vm(v).map(|s| s.server == server).unwrap_or(false))
-            .count();
-        let adversary = adversaries[server];
-
-        // Stagger each victim's hunt so load-pattern phases decorrelate.
-        let start_t = rng.gen::<f64>() * 200.0;
-        let truth_for_accept = truth.clone();
-        let (detection, iterations) = detector.detect_until(
-            &cluster,
-            adversary,
-            start_t,
-            |d| d.matches_label(&truth_for_accept),
-            &mut rng,
-        )?;
-
-        let detected = detection.label().cloned();
-        let label_correct = detection.matches_label(&truth);
-        let detected_characteristics = detection
-            .characteristics()
-            .cloned()
-            .unwrap_or_else(|| {
-                ResourceCharacteristics::from_pressure(&PressureVector::zero())
-            });
-        let characteristics_correct = detection.matches_characteristics(&truth_characteristics);
-
-        records.push(ExperimentRecord {
-            truth,
-            truth_pressure,
-            truth_characteristics,
-            detected,
-            label_correct,
-            characteristics_correct,
-            detected_characteristics,
-            iterations,
-            co_residents,
-            dominant: truth_pressure.dominant(),
-        });
+    // Victim VMs per server, precomputed once. `co_residents` follows the
+    // "victim VMs on the host" convention: the hunted victim counts itself,
+    // so a lone victim reports 1 (Fig. 6a's x-axis starts at 1).
+    let mut victims_per_server = vec![0usize; config.servers];
+    for &v in &victims {
+        victims_per_server[cluster.vm(v)?.server] += 1;
     }
+
+    let outcomes = sweep(&victims, config.parallelism, |idx, &victim_id| {
+        hunt_victim(
+            config,
+            &cluster,
+            &detector,
+            &adversaries,
+            &victims_per_server,
+            idx,
+            victim_id,
+        )
+    });
+    let records = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     Ok(ExperimentResults {
         records,
         scheduler: scheduler.name().to_string(),
+    })
+}
+
+/// Hunts one victim with an RNG stream derived from the victim index —
+/// the per-item body of [`run_experiment`]'s sweep.
+fn hunt_victim(
+    config: &ExperimentConfig,
+    cluster: &Cluster,
+    detector: &Detector,
+    adversaries: &[VmId],
+    victims_per_server: &[usize],
+    idx: usize,
+    victim_id: VmId,
+) -> Result<ExperimentRecord, BoltError> {
+    let mut rng = StdRng::seed_from_u64(split_seed(config.seed ^ 0x5EED, idx as u64));
+
+    let state = cluster.vm(victim_id)?;
+    let truth = state.profile.label().clone();
+    let truth_pressure = *state.profile.base_pressure();
+    // Characteristics live in observed space: what the channel hides
+    // (e.g. partitioned memory capacity) is not a detectable — or
+    // attackable — characteristic in this environment.
+    let truth_characteristics = ResourceCharacteristics::from_pressure(&observe_through(
+        &truth_pressure,
+        &config.isolation,
+    ));
+    let server = state.server;
+    let co_residents = victims_per_server[server];
+    let adversary = adversaries[server];
+
+    // Stagger each victim's hunt so load-pattern phases decorrelate.
+    let start_t = rng.gen::<f64>() * 200.0;
+    let (detection, iterations) = detector.detect_until(
+        cluster,
+        adversary,
+        start_t,
+        |d| d.matches_label(&truth),
+        &mut rng,
+    )?;
+
+    let detected = detection.label().cloned();
+    let label_correct = detection.matches_label(&truth);
+    let detected_characteristics = detection
+        .characteristics()
+        .cloned()
+        .unwrap_or_else(|| ResourceCharacteristics::from_pressure(&PressureVector::zero()));
+    let characteristics_correct = detection.matches_characteristics(&truth_characteristics);
+
+    Ok(ExperimentRecord {
+        truth,
+        truth_pressure,
+        truth_characteristics,
+        detected,
+        label_correct,
+        characteristics_correct,
+        detected_characteristics,
+        iterations,
+        co_residents,
+        dominant: truth_pressure.dominant(),
     })
 }
 

@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use bolt_sim::{IsolationConfig, LeastLoaded, Mechanisms, OsSetting};
 
 use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::parallel::{sweep, Parallelism};
 use crate::BoltError;
 
 /// One cell of the Fig. 14 matrix.
@@ -63,49 +64,68 @@ impl IsolationStudy {
 /// Runs the full Fig. 14 sweep. `base` controls the experiment scale; its
 /// `isolation` field is overridden per cell.
 ///
+/// The 21 cells (18 cumulative stacks + 3 core-isolation-only) are
+/// independent full experiments, so they fan out over `base.parallelism`
+/// as whole cells; each inner experiment then runs its victims serially
+/// rather than nesting thread pools. Every cell derives its randomness
+/// from the configuration alone, so results match a serial run exactly.
+///
 /// # Errors
 ///
 /// Propagates [`BoltError`] from the underlying experiments.
 pub fn run_isolation_study(base: &ExperimentConfig) -> Result<IsolationStudy, BoltError> {
-    let mut cells = Vec::new();
+    let mut stack_cells: Vec<IsolationConfig> = Vec::new();
     for setting in OsSetting::ALL {
         for mechanisms in Mechanisms::cumulative_stacks() {
-            let isolation = IsolationConfig {
+            stack_cells.push(IsolationConfig {
                 setting,
                 mechanisms,
-            };
-            let config = ExperimentConfig {
-                isolation,
-                ..*base
-            };
-            let results = run_experiment(&config, &LeastLoaded)?;
-            cells.push(IsolationCell {
-                setting,
-                stack: mechanisms.stack_name().to_string(),
-                accuracy: results.label_accuracy(),
-                performance_penalty: isolation.performance_penalty(),
-                utilization_penalty: isolation.utilization_penalty(),
             });
         }
     }
-
-    let mut core_only = Vec::new();
-    for setting in OsSetting::ALL {
-        let isolation = IsolationConfig {
+    let core_cells: Vec<IsolationConfig> = OsSetting::ALL
+        .into_iter()
+        .map(|setting| IsolationConfig {
             setting,
             mechanisms: Mechanisms::core_isolation_only(),
-        };
+        })
+        .collect();
+
+    let tasks: Vec<IsolationConfig> = stack_cells
+        .iter()
+        .chain(core_cells.iter())
+        .copied()
+        .collect();
+    let outcomes = sweep(&tasks, base.parallelism, |_, isolation| {
         let config = ExperimentConfig {
-            isolation,
+            isolation: *isolation,
+            parallelism: Parallelism::Serial,
             ..*base
         };
-        let results = run_experiment(&config, &LeastLoaded)?;
-        core_only.push((setting, results.label_accuracy()));
-    }
+        run_experiment(&config, &LeastLoaded).map(|r| r.label_accuracy())
+    });
+    let accuracies = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    let cells = stack_cells
+        .iter()
+        .zip(&accuracies)
+        .map(|(isolation, &accuracy)| IsolationCell {
+            setting: isolation.setting,
+            stack: isolation.mechanisms.stack_name().to_string(),
+            accuracy,
+            performance_penalty: isolation.performance_penalty(),
+            utilization_penalty: isolation.utilization_penalty(),
+        })
+        .collect();
+    let core_isolation_only = core_cells
+        .iter()
+        .zip(&accuracies[stack_cells.len()..])
+        .map(|(isolation, &accuracy)| (isolation.setting, accuracy))
+        .collect();
 
     Ok(IsolationStudy {
         cells,
-        core_isolation_only: core_only,
+        core_isolation_only,
     })
 }
 

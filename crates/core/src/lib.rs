@@ -70,6 +70,7 @@ mod error;
 pub mod experiment;
 pub mod fingerprint;
 pub mod isolation_study;
+pub mod parallel;
 pub mod report;
 pub mod sensitivity;
 pub mod user_study;
@@ -77,5 +78,6 @@ pub mod user_study;
 pub use detector::{Detection, Detector, DetectorConfig};
 pub use error::BoltError;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentRecord, ExperimentResults};
+pub use parallel::Parallelism;
 pub use isolation_study::{run_isolation_study, IsolationStudy};
 pub use user_study::{run_user_study, UserStudyConfig, UserStudyResults};

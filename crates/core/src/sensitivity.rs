@@ -20,6 +20,7 @@ use bolt_workloads::{AppLabel, PressureVector, WorkloadProfile};
 
 use crate::detector::{Detector, DetectorConfig};
 use crate::experiment::{run_experiment, victim_set, ExperimentConfig};
+use crate::parallel::{sweep, Parallelism};
 use crate::BoltError;
 
 /// One sweep point: the swept parameter value and the measured accuracy.
@@ -33,6 +34,10 @@ pub struct SweepPoint {
 
 /// Fig. 10b: accuracy as a function of the adversarial VM's vCPU count.
 ///
+/// Sweep points run serially through [`sweep`]; each point's inner
+/// experiment already fans its victims out over `base.parallelism`, which
+/// scales better than parallelizing the handful of points.
+///
 /// # Errors
 ///
 /// Propagates [`BoltError`] from the underlying experiments.
@@ -40,23 +45,25 @@ pub fn adversary_size_sweep(
     base: &ExperimentConfig,
     sizes: &[u32],
 ) -> Result<Vec<SweepPoint>, BoltError> {
-    let mut out = Vec::with_capacity(sizes.len());
-    for &vcpus in sizes {
+    sweep(sizes, Parallelism::Serial, |_, &vcpus| {
         let config = ExperimentConfig {
             adversary_vcpus: vcpus,
             ..*base
         };
-        let results = run_experiment(&config, &LeastLoaded)?;
-        out.push(SweepPoint {
+        run_experiment(&config, &LeastLoaded).map(|results| SweepPoint {
             parameter: vcpus as f64,
             accuracy: results.label_accuracy(),
-        });
-    }
-    Ok(out)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Fig. 10c: accuracy as a function of the number of profiling
 /// benchmarks in the initial snapshot.
+///
+/// Like [`adversary_size_sweep`], points run serially and the inner
+/// experiments carry the parallelism.
 ///
 /// # Errors
 ///
@@ -65,8 +72,7 @@ pub fn benchmark_count_sweep(
     base: &ExperimentConfig,
     counts: &[usize],
 ) -> Result<Vec<SweepPoint>, BoltError> {
-    let mut out = Vec::with_capacity(counts.len());
-    for &n in counts {
+    sweep(counts, Parallelism::Serial, |_, &n| {
         let config = ExperimentConfig {
             detector: DetectorConfig {
                 profiler: ProfilerConfig {
@@ -77,13 +83,13 @@ pub fn benchmark_count_sweep(
             },
             ..*base
         };
-        let results = run_experiment(&config, &LeastLoaded)?;
-        out.push(SweepPoint {
+        run_experiment(&config, &LeastLoaded).map(|results| SweepPoint {
             parameter: n as f64,
             accuracy: results.label_accuracy(),
-        });
-    }
-    Ok(out)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// A victim VM cycling through consecutive jobs, for the staleness study
@@ -134,6 +140,10 @@ impl PhasedVictim {
 /// of audit instants (1 Hz) at which that belief matches the job actually
 /// running — exactly how stale detections lose value in the paper.
 ///
+/// Each interval builds its own single-server scene with an RNG derived
+/// from `seed` and the interval value, so intervals are independent and
+/// fan out over `parallelism` with results identical to a serial run.
+///
 /// # Errors
 ///
 /// Propagates [`BoltError`] from the simulator or detector.
@@ -142,10 +152,10 @@ pub fn profiling_interval_sweep(
     job_duration_s: f64,
     horizon_s: f64,
     seed: u64,
+    parallelism: Parallelism,
 ) -> Result<Vec<SweepPoint>, BoltError> {
     let base = ExperimentConfig::default();
-    let mut out = Vec::with_capacity(intervals_s.len());
-    for &interval in intervals_s {
+    sweep(intervals_s, parallelism, |_, &interval| {
         let mut rng = StdRng::seed_from_u64(seed ^ (interval as u64).wrapping_mul(0x9E37));
         let (mut cluster, detector, adversary, victim) =
             phased_scene(&base, job_duration_s, horizon_s, &mut rng)?;
@@ -174,12 +184,13 @@ pub fn profiling_interval_sweep(
             audited += 1;
             t += 1.0;
         }
-        out.push(SweepPoint {
+        Ok(SweepPoint {
             parameter: interval,
             accuracy: correct as f64 / audited.max(1) as f64,
-        });
-    }
-    Ok(out)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Builds the phased-victim scene: one server, a quiet adversary, one
@@ -271,7 +282,9 @@ mod tests {
 
     #[test]
     fn stale_detections_lose_accuracy() {
-        let points = profiling_interval_sweep(&[20.0, 300.0], 60.0, 600.0, 0xF16A).unwrap();
+        let points =
+            profiling_interval_sweep(&[20.0, 300.0], 60.0, 600.0, 0xF16A, Parallelism::Auto)
+                .unwrap();
         assert!(
             points[0].accuracy > points[1].accuracy + 0.1,
             "20 s interval {p0} should clearly beat 300 s {p1}",

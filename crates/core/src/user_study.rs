@@ -17,9 +17,10 @@ use bolt_sim::vm::VmRole;
 use bolt_sim::{Cluster, IsolationConfig, ServerSpec, VmId};
 use bolt_workloads::catalog::userstudy::{self, UserStudyApp};
 use bolt_workloads::training::training_set;
-use bolt_workloads::PressureVector;
+use bolt_workloads::{AppLabel, PressureVector, ResourceCharacteristics};
 
 use crate::detector::{Detector, DetectorConfig};
+use crate::parallel::{split_seed, sweep, Parallelism};
 use crate::BoltError;
 
 /// User-study configuration.
@@ -41,6 +42,12 @@ pub struct UserStudyConfig {
     /// Recommender configuration (fitted on the *unchanged* §3.4 training
     /// set).
     pub recommender: RecommenderConfig,
+    /// Thread fan-out for the per-job detection passes. Placement stays
+    /// serial (it mutates the shared pool); detections run on frozen
+    /// cluster snapshots with job-derived RNGs, so results are identical
+    /// for every setting (see [`crate::parallel`]).
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for UserStudyConfig {
@@ -53,6 +60,7 @@ impl Default for UserStudyConfig {
             seed: 0xEC2,
             detector: DetectorConfig::default(),
             recommender: RecommenderConfig::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -140,6 +148,75 @@ impl UserStudyResults {
     }
 }
 
+/// Deferred detection work for one placed job: everything the detector
+/// needs, captured at launch time so a batch can run on worker threads
+/// while placement keeps mutating the live cluster.
+struct PendingDetection {
+    job: usize,
+    user: usize,
+    app_id: usize,
+    family: String,
+    in_training: bool,
+    instance: usize,
+    co_residents: usize,
+    truth_label: AppLabel,
+    truth_characteristics: ResourceCharacteristics,
+    bolt_vm: VmId,
+    detect_t: f64,
+    snapshot: Cluster,
+}
+
+/// Placed jobs accumulated before their detections fan out; bounds how
+/// many cluster snapshots are alive at once.
+const DETECTION_CHUNK: usize = 16;
+
+/// Runs one deferred detection against its frozen snapshot.
+fn detect_job(
+    detector: &Detector,
+    seed: u64,
+    p: &PendingDetection,
+) -> Result<UserStudyRecord, BoltError> {
+    // Job-derived stream: detection noise no longer perturbs the shared
+    // placement RNG, and any fan-out order yields identical records.
+    let mut rng = StdRng::seed_from_u64(split_seed(seed ^ 0xD37EC7, p.job as u64));
+    let detection = detector.detect(&p.snapshot, p.bolt_vm, p.detect_t, &mut rng)?;
+    let name_correct = p.in_training && detection.matches_family(&p.truth_label);
+    let characteristics_correct = detection.matches_characteristics(&p.truth_characteristics);
+    Ok(UserStudyRecord {
+        user: p.user,
+        app_id: p.app_id,
+        family: p.family.clone(),
+        in_training: p.in_training,
+        instance: p.instance,
+        co_residents: p.co_residents,
+        name_correct,
+        characteristics_correct,
+        truth_characteristics: p.truth_characteristics.clone(),
+        detected_characteristics: detection
+            .characteristics()
+            .cloned()
+            .unwrap_or_else(|| ResourceCharacteristics::from_pressure(&PressureVector::zero())),
+    })
+}
+
+/// Fans a batch of deferred detections out over `config.parallelism` and
+/// appends the records in job order.
+fn flush_detections(
+    detector: &Detector,
+    config: &UserStudyConfig,
+    pending: &mut Vec<PendingDetection>,
+    records: &mut Vec<UserStudyRecord>,
+) -> Result<(), BoltError> {
+    let outcomes = sweep(&pending[..], config.parallelism, |_, p| {
+        detect_job(detector, config.seed, p)
+    });
+    for outcome in outcomes {
+        records.push(outcome?);
+    }
+    pending.clear();
+    Ok(())
+}
+
 /// Runs the user study.
 ///
 /// Jobs arrive over a 4-hour horizon; each is detected shortly after
@@ -147,6 +224,10 @@ impl UserStudyResults {
 /// family is in the training set and the detector's label matches the
 /// family; it counts as *characterized* when the derived characteristics
 /// match ground truth (primary or shutter-secondary verdict).
+///
+/// Placement runs serially on the shared RNG; detections are deferred
+/// onto frozen [`Cluster::snapshot`]s and fan out in
+/// [`DETECTION_CHUNK`]-sized batches over `config.parallelism`.
 ///
 /// # Errors
 ///
@@ -180,6 +261,7 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
 
     let horizon_s = 4.0 * 3600.0;
     let mut records = Vec::with_capacity(config.jobs);
+    let mut pending: Vec<PendingDetection> = Vec::with_capacity(DETECTION_CHUNK);
     // Jobs a user keeps concentrated on "their" instances: each user gets a
     // home instance for manual placements.
     let home: Vec<usize> = (0..config.users)
@@ -226,30 +308,25 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
             })
             .count();
 
-        // Bolt detects shortly after launch.
-        let detection = detector.detect(&cluster, bolt_vms[server], launch_t + 5.0, &mut rng)?;
-        let name_correct = app.in_training && detection.matches_family(&truth_label);
-        let characteristics_correct = detection.matches_characteristics(&truth_chars);
-
-        records.push(UserStudyRecord {
+        // Bolt detects shortly after launch — deferred onto a frozen
+        // snapshot so batches fan out between placements.
+        pending.push(PendingDetection {
+            job: j,
             user,
             app_id: app.id,
             family: app.family.to_string(),
             in_training: app.in_training,
             instance: server,
             co_residents,
-            name_correct,
-            characteristics_correct,
+            truth_label,
             truth_characteristics: truth_chars,
-            detected_characteristics: detection
-                .characteristics()
-                .cloned()
-                .unwrap_or_else(|| {
-                    bolt_workloads::ResourceCharacteristics::from_pressure(
-                        &bolt_workloads::PressureVector::zero(),
-                    )
-                }),
+            bolt_vm: bolt_vms[server],
+            detect_t: launch_t + 5.0,
+            snapshot: cluster.snapshot(),
         });
+        if pending.len() >= DETECTION_CHUNK {
+            flush_detections(&detector, config, &mut pending, &mut records)?;
+        }
 
         // Jobs complete over time: once the pool holds more friendly VMs
         // than half the instance count, retire a random older one (not the
@@ -272,6 +349,7 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
             }
         }
     }
+    flush_detections(&detector, config, &mut pending, &mut records)?;
 
     let instances_used = {
         let mut used = vec![false; config.instances];

@@ -1,0 +1,52 @@
+//! Property tests for the parallel experiment engine's determinism
+//! claims: thread count must never change results, only wall-clock.
+
+use bolt::experiment::{run_experiment, ExperimentConfig};
+use bolt::parallel::{sweep, Parallelism};
+use bolt_sim::LeastLoaded;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case runs three full experiments; keep the count small and
+    // scale up via PROPTEST_CASES when hunting.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn thread_count_never_changes_experiment_records(
+        seed in 0u64..1_000_000,
+        servers in 4usize..7,
+        victims in 6usize..10,
+    ) {
+        let config = |parallelism| ExperimentConfig {
+            servers,
+            victims,
+            seed,
+            parallelism,
+            ..ExperimentConfig::default()
+        };
+        let serial = run_experiment(&config(Parallelism::Serial), &LeastLoaded)
+            .expect("serial runs");
+        let one = run_experiment(&config(Parallelism::Threads(1)), &LeastLoaded)
+            .expect("1 thread runs");
+        let two = run_experiment(&config(Parallelism::Threads(2)), &LeastLoaded)
+            .expect("2 threads run");
+        let eight = run_experiment(&config(Parallelism::Threads(8)), &LeastLoaded)
+            .expect("8 threads run");
+        prop_assert_eq!(&serial.records, &one.records);
+        prop_assert_eq!(&serial.records, &two.records);
+        prop_assert_eq!(&serial.records, &eight.records);
+    }
+}
+
+proptest! {
+    #[test]
+    fn sweep_is_an_order_preserving_map(
+        items in proptest::collection::vec(0u64..1_000_000, 0..40),
+        workers in 1usize..12,
+    ) {
+        let f = |idx: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(7) ^ idx as u64;
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let threaded = sweep(&items, Parallelism::Threads(workers), f);
+        prop_assert_eq!(serial, threaded);
+    }
+}

@@ -352,8 +352,8 @@ impl PqModel {
                 let qr = c * k;
                 let pred: f64 = (0..k).map(|f| p[f] * self.q[qr + f]).sum();
                 let err = v - pred;
-                for f in 0..k {
-                    p[f] += lr * (err * self.q[qr + f] - self.regularization * p[f]);
+                for (f, pf) in p.iter_mut().enumerate().take(k) {
+                    *pf += lr * (err * self.q[qr + f] - self.regularization * *pf);
                 }
             }
         }

@@ -44,6 +44,16 @@ pub struct RecommenderConfig {
     /// no usable information and is discounted Wiener-style in all
     /// matching weights.
     pub noise_floor: f64,
+    /// Shortlist size `K` for the mixture-decomposition pair search: the
+    /// exhaustive O(n²) pair loop runs only over the `K` atoms with the
+    /// lowest single-atom fit error. The true pair members each explain a
+    /// large share of the summed signal, so they sit near the top of the
+    /// single-fit ranking; the far tail only burns quadratic work.
+    /// `K >= n` recovers the exact exhaustive search (the ablation
+    /// switch). The default (128) covers the whole 120-app training
+    /// dictionary, so plain mixture decompositions stay exact; only the
+    /// 3-hypothesis dictionary of the joint core/uncore search is pruned.
+    pub pair_shortlist: usize,
     /// SGD hyperparameters for the completion stage.
     pub sgd: SgdConfig,
 }
@@ -55,6 +65,7 @@ impl Default for RecommenderConfig {
             match_threshold: 0.1,
             weighted: true,
             noise_floor: 2.0,
+            pair_shortlist: 128,
             sgd: SgdConfig {
                 factors: 4,
                 learning_rate: 0.004,
@@ -139,6 +150,11 @@ pub struct HybridRecommender {
     /// The PQ factorization trained once on the dense training matrix;
     /// each detection folds the victim's sparse row in against it.
     pq: PqModel,
+    /// Per-resource information value `Σₖ (σₖ V[j,k])² · wiener(j)`,
+    /// precomputed at fit time — every subspace match and mixture
+    /// decomposition reads these, so they must not be re-derived per
+    /// detection iteration.
+    info_weights: [f64; RESOURCE_COUNT],
     rank: usize,
     config: RecommenderConfig,
 }
@@ -187,14 +203,29 @@ impl HybridRecommender {
         // Deterministic PQ training: the factorization is part of the
         // fitted model, so it uses its own fixed-seed RNG rather than the
         // caller's stream.
-        let mut pq_rng = rand::rngs::StdRng::seed_from_u64(0xB017_F17);
+        let mut pq_rng = rand::rngs::StdRng::seed_from_u64(0x0B01_7F17);
         let pq = PqModel::train(m, &config.sgd, &mut pq_rng)?;
+        // Information value of each resource dimension: how much of the
+        // retained concepts' energy loads on it, discounted by the Wiener
+        // reliability of the channel (signal variance over signal-plus-
+        // noise variance) so partitioned-dead resources cannot masquerade
+        // as evidence.
+        let mut info_weights = [0.0; RESOURCE_COUNT];
+        let sigma = svd.singular_values();
+        let v = svd.v();
+        for (j, w) in info_weights.iter_mut().enumerate() {
+            let concept: f64 = (0..rank).map(|k| (sigma[k] * v[(j, k)]).powi(2)).sum();
+            let var = col_stds[j] * col_stds[j];
+            let noise = config.noise_floor * config.noise_floor;
+            *w = concept * (var / (var + noise));
+        }
         Ok(HybridRecommender {
             data,
             svd,
             col_means,
             col_stds,
             pq,
+            info_weights,
             rank,
             config,
         })
@@ -472,18 +503,10 @@ impl HybridRecommender {
         Ok(raw)
     }
 
-    /// The information value of resource dimension `j`: how much of the
-    /// retained concepts' energy loads on it, discounted by the Wiener
-    /// reliability of the channel (signal variance over signal-plus-noise
-    /// variance) so that partitioned-dead resources cannot masquerade as
-    /// evidence.
+    /// The information value of resource dimension `j`, precomputed at fit
+    /// time (see the `info_weights` field).
     fn information_weight(&self, j: usize) -> f64 {
-        let v = self.svd.v();
-        let sigma = self.svd.singular_values();
-        let concept: f64 = (0..self.rank).map(|k| (sigma[k] * v[(j, k)]).powi(2)).sum();
-        let var = self.col_stds[j] * self.col_stds[j];
-        let noise = self.config.noise_floor * self.config.noise_floor;
-        concept * (var / (var + noise))
+        self.info_weights[j]
     }
 
     /// Identifies the co-runner sharing the adversary's physical core by
@@ -572,10 +595,21 @@ impl HybridRecommender {
         let weights: Vec<f64> = dims.iter().map(|&j| self.information_weight(j)).collect();
         let target: Vec<f64> = observations.iter().map(|&(_, v)| v).collect();
         let m = self.data.matrix();
-        let atoms: Vec<(usize, Vec<f64>)> = (0..self.data.len())
-            .map(|i| (i, dims.iter().map(|&j| m[(i, j)]).collect()))
-            .collect();
-        Ok(pair_pursuit(&weights, &target, &atoms, max_components))
+        let n = self.data.len();
+        // One flat row-major atom buffer instead of n little Vecs.
+        let indices: Vec<usize> = (0..n).collect();
+        let mut values: Vec<f64> = Vec::with_capacity(n * dims.len());
+        for i in 0..n {
+            values.extend(dims.iter().map(|&j| m[(i, j)]));
+        }
+        Ok(pair_pursuit(
+            &weights,
+            &target,
+            &indices,
+            &values,
+            self.config.pair_shortlist,
+            max_components,
+        ))
     }
 
     /// Joint decomposition with *visibility hypotheses*: the adversary
@@ -612,37 +646,41 @@ impl HybridRecommender {
         let target: Vec<f64> = all.iter().map(|&(_, v)| v).collect();
         let m = self.data.matrix();
         let is_core: Vec<bool> = all.iter().map(|&(r, _)| r.is_core()).collect();
-        let mut atoms: Vec<(usize, Vec<f64>)> = Vec::with_capacity(3 * self.data.len());
+        let hyps = if float_visibility > 0.0 { 3 } else { 2 };
+        let mut indices: Vec<usize> = Vec::with_capacity(hyps * self.data.len());
+        let mut values: Vec<f64> = Vec::with_capacity(hyps * self.data.len() * dims.len());
         for i in 0..self.data.len() {
             // Shared-core hypothesis: visible everywhere.
-            atoms.push((i, dims.iter().map(|&j| m[(i, j)]).collect()));
+            indices.push(i);
+            values.extend(dims.iter().map(|&j| m[(i, j)]));
             // Unshared hypothesis: visible on uncore dimensions only.
-            atoms.push((
-                i,
+            indices.push(i);
+            values.extend(
                 dims.iter()
                     .enumerate()
-                    .map(|(d, &j)| if is_core[d] { 0.0 } else { m[(i, j)] })
-                    .collect(),
-            ));
+                    .map(|(d, &j)| if is_core[d] { 0.0 } else { m[(i, j)] }),
+            );
             // Scheduler-float hypothesis: core pressure leaks at the float
             // factor while uncore is fully visible (no pinning).
             if float_visibility > 0.0 {
-                atoms.push((
-                    i,
-                    dims.iter()
-                        .enumerate()
-                        .map(|(d, &j)| {
-                            if is_core[d] {
-                                m[(i, j)] * float_visibility
-                            } else {
-                                m[(i, j)]
-                            }
-                        })
-                        .collect(),
-                ));
+                indices.push(i);
+                values.extend(dims.iter().enumerate().map(|(d, &j)| {
+                    if is_core[d] {
+                        m[(i, j)] * float_visibility
+                    } else {
+                        m[(i, j)]
+                    }
+                }));
             }
         }
-        Ok(pair_pursuit(&weights, &target, &atoms, max_components))
+        Ok(pair_pursuit(
+            &weights,
+            &target,
+            &indices,
+            &values,
+            self.config.pair_shortlist,
+            max_components,
+        ))
     }
 
     /// Builds a [`Recommendation`] for one decomposed mixture component.
@@ -789,17 +827,28 @@ fn validate_obs(observations: &[(Resource, f64)]) -> Result<(), LinalgError> {
 }
 
 /// Weighted least-squares pursuit over a dictionary of atoms: the best
-/// single explanation, refined by an exhaustive pair search with jointly
-/// optimal scales in `[0, 1.05]` (a tenant cannot exceed its own full-load
+/// single explanation, refined by a pair search with jointly optimal
+/// scales in `[0, 1.05]` (a tenant cannot exceed its own full-load
 /// profile by much). The pair replaces the single only on a decisive error
 /// improvement — summed signals are often 90%-explained by one "middle
 /// ground" application, but the true pair fits to within instance jitter.
+///
+/// Atoms arrive as a flat row-major buffer: atom `a` is
+/// `values[a * target.len()..(a + 1) * target.len()]` and maps back to
+/// training example `indices[a]`.
+///
+/// The pair loop runs over the `shortlist` atoms with the lowest
+/// single-fit error rather than all O(n²) pairs; `shortlist >= n` is
+/// exactly the exhaustive search (same iteration order, so identical
+/// tie-breaking).
 ///
 /// Returns `(example index, scale, explained fraction)` per component.
 fn pair_pursuit(
     weights: &[f64],
     target: &[f64],
-    atoms: &[(usize, Vec<f64>)],
+    indices: &[usize],
+    values: &[f64],
+    shortlist: usize,
     max_components: usize,
 ) -> Vec<(usize, f64, f64)> {
     let total_energy: f64 = (0..target.len())
@@ -808,8 +857,9 @@ fn pair_pursuit(
     if total_energy == 0.0 {
         return Vec::new();
     }
-    let n = atoms.len();
+    let n = indices.len();
     let ndims = target.len();
+    let atom = |a: usize| &values[a * ndims..(a + 1) * ndims];
     // A reading at (or near) the resource's capacity is *censored*: the
     // true co-resident demand may exceed it, so the scale fits ignore the
     // dimension and the error only penalizes under-prediction — without
@@ -821,7 +871,7 @@ fn pair_pursuit(
         .map(|a| {
             (0..ndims)
                 .filter(|&d| !censored[d])
-                .map(|d| weights[d] * atoms[a].1[d] * atoms[a].1[d])
+                .map(|d| weights[d] * atom(a)[d] * atom(a)[d])
                 .sum()
         })
         .collect();
@@ -829,14 +879,14 @@ fn pair_pursuit(
         .map(|a| {
             (0..ndims)
                 .filter(|&d| !censored[d])
-                .map(|d| weights[d] * target[d] * atoms[a].1[d])
+                .map(|d| weights[d] * target[d] * atom(a)[d])
                 .sum()
         })
         .collect();
     let err_of = |picks: &[(usize, f64)]| -> f64 {
         (0..ndims)
             .map(|d| {
-                let pred: f64 = picks.iter().map(|&(a, l)| l * atoms[a].1[d]).sum();
+                let pred: f64 = picks.iter().map(|&(a, l)| l * atom(a)[d]).sum();
                 let e = if censored[d] {
                     (CENSOR - pred).max(0.0)
                 } else {
@@ -847,17 +897,20 @@ fn pair_pursuit(
             .sum()
     };
 
-    // Best single.
+    // Single-atom fits: pick the best single explanation and rank every
+    // usable atom for the pair-search shortlist.
+    let mut single_fit: Vec<(usize, f64)> = Vec::with_capacity(n);
     let mut best_single: Option<(usize, f64, f64)> = None;
     for a in 0..n {
         if self_sq[a] == 0.0 {
             continue;
         }
         let l = (with_target[a] / self_sq[a]).clamp(0.0, 1.05);
+        let e = err_of(&[(a, l)]);
+        single_fit.push((a, e));
         if l < 0.05 {
             continue;
         }
-        let e = err_of(&[(a, l)]);
         if best_single.map(|(_, _, b)| e < b).unwrap_or(true) {
             best_single = Some((a, l, e));
         }
@@ -867,22 +920,33 @@ fn pair_pursuit(
     };
     if max_components <= 1 {
         let explained = 1.0 - (s_err / total_energy).clamp(0.0, 1.0);
-        return vec![(atoms[s_atom].0, s_lambda, explained)];
+        return vec![(indices[s_atom], s_lambda, explained)];
     }
 
-    // Exhaustive pair search with jointly-optimal clamped scales.
+    // Shortlist: the true pair members each explain a large share of the
+    // summed signal on their own, so keep only the best single fits.
+    let candidates: Vec<usize> = if single_fit.len() > shortlist {
+        single_fit.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite errors"));
+        single_fit.truncate(shortlist.max(2));
+        let mut keep: Vec<usize> = single_fit.into_iter().map(|(a, _)| a).collect();
+        // Ascending atom order keeps the iteration — and thus equal-error
+        // tie-breaking — identical to the exhaustive loop's.
+        keep.sort_unstable();
+        keep
+    } else {
+        single_fit.into_iter().map(|(a, _)| a).collect()
+    };
+
+    // Pair search with jointly-optimal clamped scales.
     let mut best_pair: Option<(usize, f64, usize, f64, f64)> = None;
-    for a in 0..n {
-        if self_sq[a] == 0.0 {
-            continue;
-        }
-        for b in (a + 1)..n {
-            if self_sq[b] == 0.0 || atoms[a].0 == atoms[b].0 {
+    for (pa, &a) in candidates.iter().enumerate() {
+        for &b in &candidates[pa + 1..] {
+            if indices[a] == indices[b] {
                 continue;
             }
             let sab: f64 = (0..ndims)
                 .filter(|&d| !censored[d])
-                .map(|d| weights[d] * atoms[a].1[d] * atoms[b].1[d])
+                .map(|d| weights[d] * atom(a)[d] * atom(b)[d])
                 .sum();
             let det = self_sq[a] * self_sq[b] - sab * sab;
             let (mut la, mut lb) = if det.abs() < 1e-9 {
@@ -932,7 +996,7 @@ fn pair_pursuit(
     let explained = 1.0 - (final_err / total_energy).clamp(0.0, 1.0);
     picks
         .into_iter()
-        .map(|(a, l)| (atoms[a].0, l, explained))
+        .map(|(a, l)| (indices[a], l, explained))
         .collect()
 }
 

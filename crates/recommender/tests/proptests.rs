@@ -94,4 +94,51 @@ proptest! {
         }
         let _ = seed;
     }
+
+    #[test]
+    fn pair_shortlist_of_n_equals_exhaustive_search(
+        la in 0.3f64..1.0,
+        lb in 0.3f64..1.0,
+        i in 0usize..120,
+        j in 0usize..120,
+    ) {
+        // K >= dictionary size must reproduce the exhaustive pair search
+        // bit-for-bit: same iteration order, same tie-breaking, same
+        // components. The joint core/uncore dictionary holds 3 hypotheses
+        // per training example, so K = 3n covers both decomposition paths.
+        let exact_k = fit_with_shortlist(3 * 120);
+        let exhaustive = fit_with_shortlist(usize::MAX);
+        let n = exact_k.training_data().len();
+        let (i, j) = (i % n, j % n);
+        let a = exact_k.training_data().example(i).pressure;
+        let b = exact_k.training_data().example(j).pressure;
+        let mix: Vec<(Resource, f64)> = Resource::ALL
+            .iter()
+            .map(|&r| (r, (la * a[r] + lb * b[r]).min(100.0)))
+            .collect();
+        let core: Vec<(Resource, f64)> =
+            mix.iter().copied().filter(|&(r, _)| r.is_core()).collect();
+        let uncore: Vec<(Resource, f64)> =
+            mix.iter().copied().filter(|&(r, _)| !r.is_core()).collect();
+
+        let da = exact_k.decompose_mixture(&mix, &[], 2).expect("decompose");
+        let db = exhaustive.decompose_mixture(&mix, &[], 2).expect("decompose");
+        prop_assert_eq!(da, db);
+        let ca = exact_k
+            .decompose_with_core(&core, &uncore, 0.35, 2)
+            .expect("decompose");
+        let cb = exhaustive
+            .decompose_with_core(&core, &uncore, 0.35, 2)
+            .expect("decompose");
+        prop_assert_eq!(ca, cb);
+    }
+}
+
+fn fit_with_shortlist(pair_shortlist: usize) -> HybridRecommender {
+    let data = TrainingData::from_profiles(&training_set(7)).expect("training data");
+    let config = RecommenderConfig {
+        pair_shortlist,
+        ..RecommenderConfig::default()
+    };
+    HybridRecommender::fit(data, config).expect("fit")
 }

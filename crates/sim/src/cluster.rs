@@ -659,6 +659,25 @@ impl Cluster {
         std::mem::take(&mut self.events)
     }
 
+    /// An independent copy of the cluster's *placement* state — servers,
+    /// VMs and isolation config — with an empty event log.
+    ///
+    /// Snapshots freeze the cluster as observed at one instant so that
+    /// read-only work (e.g. a detection pass) can proceed on a worker
+    /// thread while the original cluster keeps evolving. The event log is
+    /// deliberately not copied: it is an append-only trace of the live
+    /// cluster, and duplicating it would make snapshots O(history) instead
+    /// of O(placement).
+    pub fn snapshot(&self) -> Cluster {
+        Cluster {
+            servers: self.servers.clone(),
+            vms: self.vms.clone(),
+            isolation: self.isolation,
+            next_id: self.next_id,
+            events: Vec::new(),
+        }
+    }
+
     /// The server index with the most free threads (ties to the lowest
     /// index) that can host `vcpus`, or `None` if the cluster is full —
     /// the primitive behind the least-loaded scheduler and the migration

@@ -292,8 +292,8 @@ impl Server {
         let mut cores = Vec::new();
         for c in 0..self.spec.cores as usize {
             let core_slots = &self.slots[c * tpc..(c + 1) * tpc];
-            let has_vm = core_slots.iter().any(|&s| s == Some(vm));
-            let has_other = core_slots.iter().any(|&s| s == Some(other));
+            let has_vm = core_slots.contains(&Some(vm));
+            let has_other = core_slots.contains(&Some(other));
             if has_vm && has_other {
                 cores.push(c);
             }

@@ -119,9 +119,7 @@ impl LoadPattern {
                 off_secs,
             } => {
                 let cycle = on_secs + off_secs;
-                if cycle <= 0.0 {
-                    *on_level
-                } else if t % cycle < *on_secs {
+                if cycle <= 0.0 || t % cycle < *on_secs {
                     *on_level
                 } else {
                     *off_level

@@ -224,8 +224,8 @@ impl PressureVector {
     /// saturated), which is one source of multi-tenant detection error.
     pub fn saturating_add(&self, rhs: &PressureVector) -> PressureVector {
         let mut out = [0.0; RESOURCE_COUNT];
-        for i in 0..RESOURCE_COUNT {
-            out[i] = (self.0[i] + rhs.0[i]).min(100.0);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (self.0[i] + rhs.0[i]).min(100.0);
         }
         PressureVector(out)
     }
@@ -233,8 +233,8 @@ impl PressureVector {
     /// Elementwise saturating difference: `max(self - rhs, 0)` per resource.
     pub fn saturating_sub(&self, rhs: &PressureVector) -> PressureVector {
         let mut out = [0.0; RESOURCE_COUNT];
-        for i in 0..RESOURCE_COUNT {
-            out[i] = (self.0[i] - rhs.0[i]).max(0.0);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (self.0[i] - rhs.0[i]).max(0.0);
         }
         PressureVector(out)
     }
@@ -242,8 +242,8 @@ impl PressureVector {
     /// Scales every component by `factor`, clamping back into `[0, 100]`.
     pub fn scaled(&self, factor: f64) -> PressureVector {
         let mut out = [0.0; RESOURCE_COUNT];
-        for i in 0..RESOURCE_COUNT {
-            out[i] = (self.0[i] * factor).clamp(0.0, 100.0);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (self.0[i] * factor).clamp(0.0, 100.0);
         }
         PressureVector(out)
     }

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.set_pressure_override(adversary, Some(PressureVector::zero()))?;
 
     // The victim's job schedule (the Fig. 8 sequence), each phase ~90 s.
-    let jobs = vec![
+    let jobs = [
         catalog::speccpu::profile(&catalog::speccpu::Benchmark::Mcf, &mut rng).with_vcpus(8),
         catalog::hadoop::profile(&catalog::hadoop::Algorithm::Svm, DatasetScale::Medium, &mut rng)
             .with_vcpus(8),

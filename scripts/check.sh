@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: build, tests, lints, and a compile check of every
+# bench harness so experiment targets cannot silently rot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo bench --no-run (bench harnesses must compile)"
+cargo bench --no-run --workspace
+
+echo "OK: all checks passed"

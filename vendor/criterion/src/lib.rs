@@ -1,0 +1,174 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`, and `black_box` with honest
+//! wall-clock measurement (calibrated batch size, multiple samples, mean ±
+//! standard deviation printed per benchmark). There are no HTML reports,
+//! statistical regression tests, or command-line filters.
+//!
+//! `BOLT_BENCH_QUICK=1` in the environment shortens measurement to one
+//! sample for smoke runs (used by CI's `--no-run`-adjacent checks).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for compatibility.
+pub use std::hint::black_box;
+
+/// Benchmark driver (the stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("BOLT_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        Criterion {
+            sample_count: if quick { 1 } else { 10 },
+            target_sample_time: Duration::from_millis(if quick { 20 } else { 150 }),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (chainable).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement time budget per benchmark (chainable).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.target_sample_time = t / self.sample_count.max(1) as u32;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_count: self.sample_count,
+            target_sample_time: self.target_sample_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Times a closure in calibrated batches (stand-in for
+/// `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    sample_count: usize,
+    target_sample_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `inner`, retaining per-iteration nanosecond samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut inner: R) {
+        // Calibration: time a single iteration, then size batches to the
+        // per-sample budget (at least 1 iteration per batch).
+        let t0 = Instant::now();
+        black_box(inner());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
+            as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(inner());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / per_batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let var = self
+            .samples_ns
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        println!(
+            "{id:<40} time: [{} ± {}]",
+            format_ns(mean),
+            format_ns(var.sqrt())
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("BOLT_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+}

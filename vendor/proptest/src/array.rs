@@ -1,0 +1,21 @@
+//! Fixed-size array strategies (`proptest::array::uniform10`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`uniform10`].
+#[derive(Debug, Clone)]
+pub struct Uniform10<S>(S);
+
+impl<S: Strategy> Strategy for Uniform10<S> {
+    type Value = [S::Value; 10];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; 10] {
+        core::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+/// Generates a `[T; 10]` with every element drawn from `element`.
+pub fn uniform10<S: Strategy>(element: S) -> Uniform10<S> {
+    Uniform10(element)
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses — the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], [`array::uniform10`], [`any`],
+//! [`Just`], the `proptest!` test macro, `ProptestConfig::with_cases`, and
+//! the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros — on top of
+//! a deterministic splitmix64 generator.
+//!
+//! Differences from upstream: no shrinking (failing cases report their
+//! generated inputs instead), and case generation is deterministic per
+//! test name rather than seeded from OS entropy. `PROPTEST_CASES` in the
+//! environment overrides the case count exactly as upstream.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Commonly used imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!` including the
+/// optional `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __cases = __config.resolved_cases();
+                let __max_rejects = __config.max_global_rejects();
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut __passed: u32 = 0;
+                let mut __rejected: u64 = 0;
+                let mut __attempt: u64 = 0;
+                while __passed < __cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__test_name, __attempt);
+                    __attempt += 1;
+                    let mut __case_desc: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(
+                        let __value = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                        __case_desc.push(::std::format!(
+                            "{} = {:?}", stringify!($arg), __value
+                        ));
+                        let $arg = __value;
+                    )+
+                    let __outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => __passed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__why),
+                        ) => {
+                            __rejected += 1;
+                            if __rejected > __max_rejects {
+                                panic!(
+                                    "{}: too many rejected cases ({}), last: {}",
+                                    __test_name, __rejected, __why
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "{} failed on case #{} :: {}\n  inputs:\n    {}",
+                                __test_name,
+                                __attempt - 1,
+                                __msg,
+                                __case_desc.join("\n    ")
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// its generated inputs) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}

@@ -1,0 +1,129 @@
+//! ChaCha block core with the `rand_chacha` 0.3 state layout: 64-bit block
+//! counter in words 12–13, 64-bit stream id in words 14–15 (always zero for
+//! `StdRng`), and four sequential blocks generated per refill.
+
+/// One ChaCha quarter round.
+#[inline(always)]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+/// Runs the ChaCha block function over `input` for `double_rounds * 2`
+/// rounds and writes the feed-forward sum into `out`.
+pub(crate) fn block(input: &[u32; 16], double_rounds: usize, out: &mut [u32; 16]) {
+    let mut x = *input;
+    for _ in 0..double_rounds {
+        // Column round.
+        quarter(&mut x, 0, 4, 8, 12);
+        quarter(&mut x, 1, 5, 9, 13);
+        quarter(&mut x, 2, 6, 10, 14);
+        quarter(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut x, 0, 5, 10, 15);
+        quarter(&mut x, 1, 6, 11, 12);
+        quarter(&mut x, 2, 7, 8, 13);
+        quarter(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(input[i]);
+    }
+}
+
+/// ChaCha12 core state for `StdRng`.
+#[derive(Debug, Clone)]
+pub(crate) struct ChaCha12Core {
+    state: [u32; 16],
+}
+
+/// Words produced per refill: four 16-word blocks, as `rand_chacha` buffers.
+pub(crate) const BUFFER_WORDS: usize = 64;
+
+impl ChaCha12Core {
+    /// "expand 32-byte k" constants.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    pub(crate) fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        // Words 12..16: 64-bit block counter then 64-bit stream id, all 0.
+        ChaCha12Core { state }
+    }
+
+    fn counter(&self) -> u64 {
+        (self.state[12] as u64) | ((self.state[13] as u64) << 32)
+    }
+
+    fn set_counter(&mut self, ctr: u64) {
+        self.state[12] = ctr as u32;
+        self.state[13] = (ctr >> 32) as u32;
+    }
+
+    /// Generates the next four sequential blocks into `out` and advances the
+    /// block counter by 4.
+    pub(crate) fn refill(&mut self, out: &mut [u32; BUFFER_WORDS]) {
+        let base = self.counter();
+        for blk in 0..4u64 {
+            self.set_counter(base.wrapping_add(blk));
+            let mut tmp = [0u32; 16];
+            block(&self.state, 6, &mut tmp);
+            out[blk as usize * 16..blk as usize * 16 + 16].copy_from_slice(&tmp);
+        }
+        self.set_counter(base.wrapping_add(4));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2: ChaCha20 block function test vector, mapped onto
+    /// this implementation's word layout (counter low word 12, remaining
+    /// nonce words 13..16), run at 20 rounds.
+    #[test]
+    fn rfc8439_chacha20_block() {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&[0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574]);
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        state[12] = 1; // block counter
+        state[13] = 0x0900_0000; // nonce words, little-endian
+        state[14] = 0x4a00_0000;
+        state[15] = 0;
+
+        let mut out = [0u32; 16];
+        block(&state, 10, &mut out);
+
+        let expected: [u32; 16] = [
+            0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3, 0xc7f4_d1c7, 0x0368_c033,
+            0x9aaa_2204, 0x4e6c_d4c3, 0x4664_82d2, 0x09aa_9f07, 0x05d7_c214, 0xa202_8bd9,
+            0xd19c_12b5, 0xb94e_16de, 0xe883_d0cb, 0x4e3c_50a2,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn refill_produces_distinct_sequential_blocks() {
+        let mut core = ChaCha12Core::from_seed([7u8; 32]);
+        let mut buf = [0u32; BUFFER_WORDS];
+        core.refill(&mut buf);
+        assert_ne!(buf[..16], buf[16..32], "blocks differ by counter");
+        // A fresh core skipped ahead by hand reproduces block 1.
+        let mut core2 = ChaCha12Core::from_seed([7u8; 32]);
+        core2.set_counter(1);
+        let mut buf2 = [0u32; BUFFER_WORDS];
+        core2.refill(&mut buf2);
+        assert_eq!(buf[16..32], buf2[..16]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its result types but
+//! never invokes a serializer (there is no `serde_json` or similar in the
+//! dependency tree). This vendored crate therefore provides the two trait
+//! names as empty marker traits plus no-op derive macros, so the derive
+//! attributes and trait bounds keep compiling without any network access.
+//! Swapping the real `serde` back in requires no source changes.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize` (no serializer exists in this
+/// workspace, so the trait carries no methods).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no deserializer exists in
+/// this workspace, so the trait carries no methods).
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,54 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! Emits empty marker-trait impls for the derived type. Written without
+//! `syn`/`quote` (unavailable offline): the input item is scanned token by
+//! token for the `struct`/`enum` keyword and the following type name.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct or enum a derive is attached to.
+///
+/// Panics on generic types — nothing in this workspace derives serde
+/// traits on a generic type, and silently emitting a broken impl would be
+/// worse than a loud failure here.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "vendored serde_derive does not support generic type `{name}`"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("derive input contained no struct or enum");
+}
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
