@@ -4,11 +4,17 @@
 //! configurations produce byte-identical records (property-tested in
 //! `crates/core/tests/parallel_determinism.rs`), so any wall-clock gap is
 //! pure scheduling win.
+//!
+//! The `run_experiment_serial_telemetry_off` case runs the telemetry-
+//! aware entry point with recording disabled; comparing it against
+//! `run_experiment_serial` measures the overhead of the disabled
+//! telemetry path (required: within 2%). `_telemetry_on` bounds the cost
+//! of full recording.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bolt::experiment::{run_experiment, ExperimentConfig};
+use bolt::experiment::{run_experiment, run_experiment_telemetry, ExperimentConfig};
 use bolt::parallel::Parallelism;
 use bolt_sim::LeastLoaded;
 
@@ -35,6 +41,24 @@ fn bench_run_experiment(c: &mut Criterion) {
         b.iter(|| {
             let r = run_experiment(black_box(&cfg), &LeastLoaded).expect("experiment runs");
             black_box(r.records.len())
+        })
+    });
+    c.bench_function("run_experiment_serial_telemetry_off", |b| {
+        // `run_experiment` IS the disabled-telemetry path (it delegates
+        // with recording off); benched under its own name so the disabled
+        // overhead is visible as serial-vs-this in the same report.
+        let cfg = config(Parallelism::Serial);
+        b.iter(|| {
+            let r = run_experiment(black_box(&cfg), &LeastLoaded).expect("experiment runs");
+            black_box(r.records.len())
+        })
+    });
+    c.bench_function("run_experiment_serial_telemetry_on", |b| {
+        let cfg = config(Parallelism::Serial);
+        b.iter(|| {
+            let (r, log) =
+                run_experiment_telemetry(black_box(&cfg), &LeastLoaded).expect("experiment runs");
+            black_box((r.records.len(), log.len()))
         })
     });
 }

@@ -43,7 +43,11 @@ fn main() {
     // quadrants are compared in aggregate rather than single cells).
     let l1i_llc = family_heatmap(&pop, "memcached", FIG2_PAIRS[0].0, FIG2_PAIRS[0].1, grid);
     let half = |lo: bool| -> f64 {
-        let cols: Vec<usize> = if lo { (0..grid / 2).collect() } else { (grid / 2..grid).collect() };
+        let cols: Vec<usize> = if lo {
+            (0..grid / 2).collect()
+        } else {
+            (grid / 2..grid).collect()
+        };
         let mut sum = 0.0;
         let mut n = 0;
         for &ix in &cols {
@@ -63,11 +67,21 @@ fn main() {
         half(true),
         if half(false) > half(true) + 0.1 { "shape holds" } else { "MISMATCH" }
     );
-    let disk = family_heatmap(&pop, "memcached", bolt_workloads::Resource::DiskBw, bolt_workloads::Resource::L2, grid);
+    let disk = family_heatmap(
+        &pop,
+        "memcached",
+        bolt_workloads::Resource::DiskBw,
+        bolt_workloads::Resource::L2,
+        grid,
+    );
     println!(
         "P(memcached | zero disk)={:.2} vs P(memcached | heavy disk)={:.2} — {}",
         disk.column_mean(0),
         disk.column_mean(grid - 1),
-        if disk.column_mean(0) > disk.column_mean(grid - 1) { "shape holds" } else { "MISMATCH" }
+        if disk.column_mean(0) > disk.column_mean(grid - 1) {
+            "shape holds"
+        } else {
+            "MISMATCH"
+        }
     );
 }

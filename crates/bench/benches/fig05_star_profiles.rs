@@ -22,11 +22,18 @@ fn main() {
     let rec = HybridRecommender::fit(data, RecommenderConfig::default()).expect("fit");
 
     let wordcount = hadoop::profile(&hadoop::Algorithm::WordCount, DatasetScale::Small, &mut rng);
-    let recommender_job =
-        hadoop::profile(&hadoop::Algorithm::Recommender, DatasetScale::Large, &mut rng);
+    let recommender_job = hadoop::profile(
+        &hadoop::Algorithm::Recommender,
+        DatasetScale::Large,
+        &mut rng,
+    );
     // The "new unknown app": a fresh recommender instance (different
     // jitter, unseen by training).
-    let unknown = hadoop::profile(&hadoop::Algorithm::Recommender, DatasetScale::Large, &mut rng);
+    let unknown = hadoop::profile(
+        &hadoop::Algorithm::Recommender,
+        DatasetScale::Large,
+        &mut rng,
+    );
 
     // The star-chart data: the three profiles across all ten axes.
     let mut stars = Table::new(vec![
@@ -63,8 +70,16 @@ fn main() {
     let s_wc = sim_to("hadoop", "wordcount");
     let s_rec = sim_to("hadoop", "recommender");
     let mut table = Table::new(vec!["reference", "paper similarity", "measured"]);
-    table.row(vec!["hadoop:wordcount".into(), "0.29".into(), format!("{s_wc:.2}")]);
-    table.row(vec!["hadoop:recommender".into(), "0.78".into(), format!("{s_rec:.2}")]);
+    table.row(vec![
+        "hadoop:wordcount".into(),
+        "0.29".into(),
+        format!("{s_wc:.2}"),
+    ]);
+    table.row(vec![
+        "hadoop:recommender".into(),
+        "0.78".into(),
+        format!("{s_rec:.2}"),
+    ]);
     emit(
         "fig05_similarity",
         "the unknown job matches the recommender (0.78), not word count (0.29)",
@@ -72,6 +87,10 @@ fn main() {
     );
     println!(
         "recommender wins: {}",
-        if s_rec > s_wc { "shape holds" } else { "MISMATCH" }
+        if s_rec > s_wc {
+            "shape holds"
+        } else {
+            "MISMATCH"
+        }
     );
 }

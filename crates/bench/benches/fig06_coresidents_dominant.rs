@@ -25,7 +25,10 @@ fn main() {
             ..ExperimentConfig::default()
         }
     };
-    eprintln!("running the controlled experiment ({} victims)...", config.victims);
+    eprintln!(
+        "running the controlled experiment ({} victims)...",
+        config.victims
+    );
     let results = run_experiment(&config, &LeastLoaded).expect("experiment runs");
 
     // (a) accuracy vs number of co-residents. The x-axis counts victim
@@ -37,7 +40,12 @@ fn main() {
     let paper = ["95%+", "95%+", "~78%", "~82%", "~67%"];
     for (n, acc, samples) in results.accuracy_by_co_residents() {
         let p = paper.get(n - 1).copied().unwrap_or("-");
-        by_count.row(vec![n.to_string(), p.to_string(), pct(acc), samples.to_string()]);
+        by_count.row(vec![
+            n.to_string(),
+            p.to_string(),
+            pct(acc),
+            samples.to_string(),
+        ]);
     }
     emit(
         "fig06a_coresidents",
@@ -64,7 +72,11 @@ fn main() {
             pct(first.1),
             last.0,
             pct(last.1),
-            if first.1 >= last.1 { "shape holds (monotone-ish decline)" } else { "MISMATCH" }
+            if first.1 >= last.1 {
+                "shape holds (monotone-ish decline)"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

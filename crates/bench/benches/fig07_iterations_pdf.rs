@@ -20,7 +20,10 @@ fn main() {
             ..ExperimentConfig::default()
         }
     };
-    eprintln!("running the controlled experiment ({} victims)...", config.victims);
+    eprintln!(
+        "running the controlled experiment ({} victims)...",
+        config.victims
+    );
     let results = run_experiment(&config, &LeastLoaded).expect("experiment runs");
     let max_iters = config.detector.max_iterations;
 

@@ -31,10 +31,14 @@ fn main() {
         .set_pressure_override(adversary, Some(PressureVector::zero()))
         .expect("quiet adversary");
 
-    let jobs = vec![
+    let jobs = [
         catalog::speccpu::profile(&catalog::speccpu::Benchmark::Mcf, &mut rng).with_vcpus(8),
-        catalog::hadoop::profile(&catalog::hadoop::Algorithm::Svm, DatasetScale::Medium, &mut rng)
-            .with_vcpus(8),
+        catalog::hadoop::profile(
+            &catalog::hadoop::Algorithm::Svm,
+            DatasetScale::Medium,
+            &mut rng,
+        )
+        .with_vcpus(8),
         catalog::spark::profile(
             &catalog::spark::Algorithm::DataMining,
             DatasetScale::Medium,
@@ -65,7 +69,9 @@ fn main() {
         cluster
             .swap_profile(victim, jobs[phase].clone())
             .expect("swap works");
-        let d = detector.detect(&cluster, adversary, t, &mut rng).expect("detect");
+        let d = detector
+            .detect(&cluster, adversary, t, &mut rng)
+            .expect("detect");
         let hit = d
             .label()
             .map(|l| l.same_family(jobs[phase].label()))
@@ -75,7 +81,9 @@ fn main() {
         table.row(vec![
             format!("{t:.0}"),
             jobs[phase].label().to_string(),
-            d.label().map(ToString::to_string).unwrap_or_else(|| "(none)".into()),
+            d.label()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "(none)".into()),
             if hit { "yes" } else { "no" }.to_string(),
         ]);
         t += 20.0;
@@ -88,6 +96,10 @@ fn main() {
     println!(
         "family hit rate across the timeline: {:.0}% ({hits}/{samples}) — {}",
         hits as f64 / samples as f64 * 100.0,
-        if hits as f64 / samples as f64 > 0.6 { "shape holds" } else { "MISMATCH" }
+        if hits as f64 / samples as f64 > 0.6 {
+            "shape holds"
+        } else {
+            "MISMATCH"
+        }
     );
 }

@@ -25,7 +25,10 @@ fn main() {
             ..ExperimentConfig::default()
         }
     };
-    eprintln!("running the controlled experiment ({} victims)...", config.victims);
+    eprintln!(
+        "running the controlled experiment ({} victims)...",
+        config.victims
+    );
     let results = run_experiment(&config, &LeastLoaded).expect("experiment runs");
 
     let resources = [
@@ -37,13 +40,7 @@ fn main() {
         Resource::DiskBw,
     ];
     let width = 25.0;
-    let mut table = Table::new(vec![
-        "resource",
-        "0-25%",
-        "25-50%",
-        "50-75%",
-        "75-100%",
-    ]);
+    let mut table = Table::new(vec!["resource", "0-25%", "25-50%", "50-75%", "75-100%"]);
     for r in resources {
         let rows = results.accuracy_by_pressure(r, width);
         let mut cells = vec![r.to_string()];

@@ -51,8 +51,15 @@ fn main() {
     let long = points.last().map(|p| p.accuracy).unwrap_or(0.0);
     println!(
         "interval shape: {} at {}s vs {} at {}s — {}",
-        pct(short), intervals[0], pct(long), intervals[4],
-        if short > long + 0.15 { "shape holds" } else { "MISMATCH" }
+        pct(short),
+        intervals[0],
+        pct(long),
+        intervals[4],
+        if short > long + 0.15 {
+            "shape holds"
+        } else {
+            "MISMATCH"
+        }
     );
 
     // (b) adversarial VM size.

@@ -29,7 +29,12 @@ fn main() {
     table.row(vec![
         "jobs named correctly".into(),
         "277/436 (64%)".into(),
-        format!("{}/{} ({})", results.named(), n, pct(results.named() as f64 / n as f64)),
+        format!(
+            "{}/{} ({})",
+            results.named(),
+            n,
+            pct(results.named() as f64 / n as f64)
+        ),
     ]);
     table.row(vec![
         "jobs characterized".into(),
@@ -53,7 +58,13 @@ fn main() {
     );
 
     // Per-label breakdown (Fig. 12a/b).
-    let mut per = Table::new(vec!["label id", "family", "occurrences", "named", "characterized"]);
+    let mut per = Table::new(vec![
+        "label id",
+        "family",
+        "occurrences",
+        "named",
+        "characterized",
+    ]);
     for (id, occurrences, named, characterized) in results.per_label() {
         let family = results
             .records

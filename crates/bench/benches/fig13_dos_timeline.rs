@@ -58,8 +58,8 @@ fn main() {
     .expect("bolt attack runs");
 
     let (mut c2, a2, v2, _) = scene(&mut rng);
-    let naive = run_dos(&mut c2, a2, v2, naive_attack(), &defense, &mut rng)
-        .expect("naive attack runs");
+    let naive =
+        run_dos(&mut c2, a2, v2, naive_attack(), &defense, &mut rng).expect("naive attack runs");
 
     let mut table = Table::new(vec![
         "t (s)",
@@ -78,7 +78,11 @@ fn main() {
             format!("{:.0}", b.cpu_utilization),
             format!("{:.2}", n.p99_latency_ms),
             format!("{:.0}", n.cpu_utilization),
-            if n.migrating { "migrating".into() } else { String::new() },
+            if n.migrating {
+                "migrating".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     emit(
@@ -100,10 +104,17 @@ fn main() {
         format!("{:.0}x", naive.final_amplification(baseline)),
         format!("{:?}", naive.migration_at),
     ]);
-    emit("fig13_summary", "tail latency increases up to 140x under Bolt", &summary);
+    emit(
+        "fig13_summary",
+        "tail latency increases up to 140x under Bolt",
+        &summary,
+    );
 
     let holds = bolt.migration_at.is_none()
         && naive.migration_at.is_some()
         && bolt.final_amplification(baseline) > naive.final_amplification(baseline) * 2.0;
-    println!("crossover shape: {}", if holds { "shape holds" } else { "MISMATCH" });
+    println!(
+        "crossover shape: {}",
+        if holds { "shape holds" } else { "MISMATCH" }
+    );
 }

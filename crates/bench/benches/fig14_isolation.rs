@@ -42,7 +42,12 @@ fn main() {
     for (i, stack) in stacks.iter().enumerate() {
         let mut row = vec![stack.to_string()];
         for setting in OsSetting::ALL {
-            row.push(study.accuracy(setting, i).map(pct).unwrap_or_else(|| "-".into()));
+            row.push(
+                study
+                    .accuracy(setting, i)
+                    .map(pct)
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         table.row(row);
     }
@@ -56,21 +61,40 @@ fn main() {
     for (setting, acc) in &study.core_isolation_only {
         core_only.row(vec![setting.name().to_string(), pct(*acc)]);
     }
-    emit("fig14_core_isolation_alone", "core isolation alone still allows 46%", &core_only);
+    emit(
+        "fig14_core_isolation_alone",
+        "core isolation alone still allows 46%",
+        &core_only,
+    );
 
     // Shape checks.
     let bm_none = study.accuracy(OsSetting::Baremetal, 0).unwrap_or(0.0);
     let vm_none = study.accuracy(OsSetting::VirtualMachines, 0).unwrap_or(0.0);
     let vm_full = study.accuracy(OsSetting::VirtualMachines, 4).unwrap_or(0.0);
     let vm_core = study.accuracy(OsSetting::VirtualMachines, 5).unwrap_or(0.0);
-    println!("baremetal/none {} >= VMs/none {}: {}", pct(bm_none), pct(vm_none),
-        if bm_none >= vm_none - 0.05 { "holds" } else { "MISMATCH" });
+    println!(
+        "baremetal/none {} >= VMs/none {}: {}",
+        pct(bm_none),
+        pct(vm_none),
+        if bm_none >= vm_none - 0.05 {
+            "holds"
+        } else {
+            "MISMATCH"
+        }
+    );
     // The decline must be monotone; the absolute core-isolation floor is
     // higher than the paper's 14% because this victim population is more
     // disk-heavy (disk is never isolated) — see EXPERIMENTS.md.
-    println!("VMs none {} -> full-stack {} -> +core isolation {}: {}", pct(vm_none), pct(vm_full), pct(vm_core),
-        if vm_none >= vm_full && vm_full >= vm_core { "declines as in the paper (floor is disk-borne)" } else { "MISMATCH" });
     println!(
-        "core isolation cost: 34% execution time or 45% utilization (modeled constants)"
+        "VMs none {} -> full-stack {} -> +core isolation {}: {}",
+        pct(vm_none),
+        pct(vm_full),
+        pct(vm_core),
+        if vm_none >= vm_full && vm_full >= vm_core {
+            "declines as in the paper (floor is disk-borne)"
+        } else {
+            "MISMATCH"
+        }
     );
+    println!("core isolation cost: 34% execution time or 45% utilization (modeled constants)");
 }

@@ -35,7 +35,9 @@ fn main() {
     for s in [3, 7, 19, 23, 28, 31, 36] {
         let p = catalog::database::profile(&catalog::database::Variant::SqlOltp, &mut rng)
             .with_vcpus(8);
-        cluster.launch_on(s, p, VmRole::Friendly, 0.0).expect("decoy placed");
+        cluster
+            .launch_on(s, p, VmRole::Friendly, 0.0)
+            .expect("decoy placed");
     }
     for s in [1, 5, 9, 13, 17, 21, 25, 29, 33, 37] {
         let p = catalog::spark::profile(
@@ -44,7 +46,9 @@ fn main() {
             &mut rng,
         )
         .with_vcpus(8);
-        cluster.launch_on(s, p, VmRole::Friendly, 0.0).expect("tenant placed");
+        cluster
+            .launch_on(s, p, VmRole::Friendly, 0.0)
+            .expect("tenant placed");
     }
 
     let data = TrainingData::from_examples(observed_training(&training_set(7), &isolation))
@@ -128,6 +132,10 @@ fn main() {
     );
     println!(
         "confirmed = {confirmed:?}: {}",
-        if confirmed == Some(11) { "shape holds" } else { "MISMATCH" }
+        if confirmed == Some(11) {
+            "shape holds"
+        } else {
+            "MISMATCH"
+        }
     );
 }

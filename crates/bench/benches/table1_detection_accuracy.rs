@@ -66,6 +66,10 @@ fn main() {
     println!(
         "scheduler delta: {:.1} points (paper: ~2) — {}",
         delta * 100.0,
-        if delta < 0.15 { "shape holds" } else { "LARGER than paper" }
+        if delta < 0.15 {
+            "shape holds"
+        } else {
+            "LARGER than paper"
+        }
     );
 }

@@ -59,11 +59,9 @@ fn main() {
     let mut all_hold = true;
     for (name, paper_v, paper_b, profile) in victims {
         let mut cluster =
-            Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default())
-                .expect("cluster");
+            Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default()).expect("cluster");
         let beneficiary = catalog::speccpu::profile(&catalog::speccpu::Benchmark::Mcf, &mut rng);
-        let outcome = run_rfa(&mut cluster, 0, profile, beneficiary, &mut rng)
-            .expect("rfa runs");
+        let outcome = run_rfa(&mut cluster, 0, profile, beneficiary, &mut rng).expect("rfa runs");
         all_hold &= outcome.victim_delta < -0.1 && outcome.beneficiary_delta > 0.0;
         table.row(vec![
             name.to_string(),

@@ -25,8 +25,7 @@ fn main() {
         // One victim + the attacker per host: the attack is crafted from
         // the victim's (detected) profile, as §5.1 prescribes.
         let mut cluster =
-            Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default())
-                .expect("cluster");
+            Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default()).expect("cluster");
         let profile = profile
             .with_vcpus(12)
             .with_load(LoadPattern::Constant { level: 0.7 });

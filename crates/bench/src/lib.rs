@@ -36,7 +36,9 @@ pub fn emit(experiment: &str, paper_claim: &str, table: &Table) {
 /// anything else (default) runs a reduced configuration that finishes in
 /// minutes while preserving the shapes.
 pub fn full_scale() -> bool {
-    std::env::var("BOLT_BENCH_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("BOLT_BENCH_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

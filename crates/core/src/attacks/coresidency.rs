@@ -21,6 +21,7 @@ use bolt_sim::{Cluster, VmId};
 use bolt_workloads::{catalog, PressureVector};
 
 use crate::detector::Detector;
+use crate::telemetry::{Phase, Telemetry};
 use crate::BoltError;
 
 /// The analytic placement probability `P(f) = 1 − (1 − k/N)ⁿ`.
@@ -108,6 +109,39 @@ pub fn hunt<R: Rng>(
     start_t: f64,
     rng: &mut R,
 ) -> Result<CoResidencyOutcome, BoltError> {
+    hunt_telemetry(
+        cluster,
+        detector,
+        target_vm,
+        target_family,
+        config,
+        start_t,
+        rng,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// Same as [`hunt`], recording into `telemetry`: the detection pipeline
+/// events of every probe's profiling pass, an [`Phase::AttackExecution`]
+/// span over the whole hunt, and the probe fleet's launch/terminate
+/// events (drained only when telemetry is enabled).
+///
+/// # Errors
+///
+/// Returns [`BoltError::InvalidExperiment`] if more probes than servers
+/// are requested; propagates simulator errors.
+#[allow(clippy::too_many_arguments)]
+pub fn hunt_telemetry<R: Rng>(
+    cluster: &mut Cluster,
+    detector: &Detector,
+    target_vm: VmId,
+    target_family: &str,
+    config: &CoResidencyConfig,
+    start_t: f64,
+    rng: &mut R,
+    telemetry: &mut Telemetry,
+) -> Result<CoResidencyOutcome, BoltError> {
+    let hunt_clock = telemetry.begin();
     if config.probes > cluster.server_count() {
         return Err(BoltError::InvalidExperiment {
             reason: format!(
@@ -145,14 +179,15 @@ pub fn hunt<R: Rng>(
     let mut candidates = Vec::new();
     let mut slowest = 0.0f64;
     for &(server, probe) in &probes {
-        let detection = detector.detect(cluster, probe, elapsed, rng)?;
+        let detection = detector.detect_telemetry(cluster, probe, elapsed, rng, telemetry)?;
         slowest = slowest.max(detection.duration_s);
         // The verdict matching the target's type carries the co-resident's
         // estimated profile, which the confirmation sender will stress.
-        let matching = detection
-            .verdicts
-            .iter()
-            .find(|v| v.label().map(|l| l.family() == target_family).unwrap_or(false));
+        let matching = detection.verdicts.iter().find(|v| {
+            v.label()
+                .map(|l| l.family() == target_family)
+                .unwrap_or(false)
+        });
         if let Some(verdict) = matching {
             candidates.push((server, probe, verdict.completed));
         }
@@ -184,6 +219,16 @@ pub fn hunt<R: Rng>(
     let probed_servers: Vec<usize> = probes.iter().map(|&(s, _)| s).collect();
     for (_, probe) in probes {
         cluster.terminate(probe)?;
+    }
+
+    telemetry.span(
+        Phase::AttackExecution,
+        start_t,
+        elapsed - start_t,
+        hunt_clock,
+    );
+    if telemetry.is_enabled() {
+        telemetry.cluster_events(cluster.take_events());
     }
 
     Ok(CoResidencyOutcome {
@@ -239,15 +284,15 @@ mod tests {
     fn scene(rng: &mut StdRng) -> (Cluster, VmId) {
         let mut cluster =
             Cluster::new(12, ServerSpec::xeon(), IsolationConfig::cloud_default()).unwrap();
-        let victim_profile = catalog::database::profile(&catalog::database::Variant::SqlOltp, rng)
-            .with_vcpus(8);
+        let victim_profile =
+            catalog::database::profile(&catalog::database::Variant::SqlOltp, rng).with_vcpus(8);
         let victim = cluster
             .launch_on(0, victim_profile, VmRole::Friendly, 0.0)
             .unwrap();
         // Other SQL servers on hosts 1-3.
         for s in 1..4 {
-            let p = catalog::database::profile(&catalog::database::Variant::SqlOltp, rng)
-                .with_vcpus(8);
+            let p =
+                catalog::database::profile(&catalog::database::Variant::SqlOltp, rng).with_vcpus(8);
             cluster.launch_on(s, p, VmRole::Friendly, 0.0).unwrap();
         }
         // Noise tenants elsewhere.

@@ -15,6 +15,7 @@ use bolt_recommender::Recommendation;
 use bolt_sim::{Cluster, VmId};
 use bolt_workloads::{PressureVector, Resource};
 
+use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::BoltError;
 
 /// How far above the victim's measured pressure the attack drives each
@@ -166,6 +167,39 @@ pub fn run_dos<R: Rng>(
     config: &DosRunConfig,
     rng: &mut R,
 ) -> Result<DosTimeline, BoltError> {
+    run_dos_telemetry(
+        cluster,
+        attacker,
+        victim,
+        attack,
+        config,
+        rng,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// Same as [`run_dos`], recording into `telemetry`: an
+/// [`Phase::AttackExecution`] span over the whole run, one
+/// [`Counter::MigrationsTriggered`] tick whenever the defense moves the
+/// victim, a [`Counter::ProbeSamples`] total for the per-second
+/// utilization samples, and the cluster's migration events (drained only
+/// when telemetry is enabled).
+///
+/// # Errors
+///
+/// Propagates [`BoltError`] for unknown VMs; a failed migration (full
+/// cluster) leaves the victim in place, as in a real operator's retry loop.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dos_telemetry<R: Rng>(
+    cluster: &mut Cluster,
+    attacker: VmId,
+    victim: VmId,
+    attack: PressureVector,
+    config: &DosRunConfig,
+    rng: &mut R,
+    telemetry: &mut Telemetry,
+) -> Result<DosTimeline, BoltError> {
+    let attack_clock = telemetry.begin();
     cluster.set_pressure_override(attacker, Some(attack))?;
     let mut samples = Vec::with_capacity(config.horizon_s as usize);
     let mut migration_at: Option<f64> = None;
@@ -176,7 +210,8 @@ pub fn run_dos<R: Rng>(
     while t < config.horizon_s {
         let server = cluster.vm(victim)?.server;
         let util = cluster.cpu_utilization(server, t, rng)?;
-        let migrating = matches!((migration_at, migration_done), (Some(s), Some(d)) if t >= s && t < d);
+        let migrating =
+            matches!((migration_at, migration_done), (Some(s), Some(d)) if t >= s && t < d);
 
         let (mut latency, _) = cluster.performance_of(victim, t, rng)?;
         if migrating {
@@ -200,13 +235,13 @@ pub fn run_dos<R: Rng>(
                 let since = *over_threshold_since.get_or_insert(t);
                 if t - since >= config.sustained_s {
                     let vcpus = cluster.vm(victim)?.vcpus();
-                    if let Some(target) = cluster
-                        .least_loaded_server(vcpus)
-                        .filter(|&s| s != server)
+                    if let Some(target) =
+                        cluster.least_loaded_server(vcpus).filter(|&s| s != server)
                     {
                         migration_at = Some(t);
                         migration_done = Some(t + config.migration_overhead_s);
                         cluster.migrate(victim, target)?;
+                        telemetry.count(Counter::MigrationsTriggered, 1);
                     }
                 }
             } else {
@@ -217,6 +252,11 @@ pub fn run_dos<R: Rng>(
     }
 
     cluster.set_pressure_override(attacker, None)?;
+    telemetry.count(Counter::ProbeSamples, samples.len() as u64);
+    telemetry.span(Phase::AttackExecution, 0.0, config.horizon_s, attack_clock);
+    if telemetry.is_enabled() {
+        telemetry.cluster_events(cluster.take_events());
+    }
     Ok(DosTimeline {
         samples,
         migration_at,
@@ -335,7 +375,11 @@ mod tests {
             final_amp < 2.0,
             "victim should recover after migration, got {final_amp}x"
         );
-        assert_ne!(cluster.vm(victim).unwrap().server, 0, "victim must have moved");
+        assert_ne!(
+            cluster.vm(victim).unwrap().server,
+            0,
+            "victim must have moved"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use bolt_sim::vm::VmRole;
 use bolt_sim::Cluster;
 use bolt_workloads::{perf, PressureVector, Resource, WorkloadKind, WorkloadProfile};
 
+use crate::telemetry::{Phase, Telemetry};
 use crate::BoltError;
 
 /// Builds the helper contention vector: saturate the victim's dominant
@@ -58,6 +59,33 @@ pub fn run_rfa<R: Rng>(
     beneficiary_profile: WorkloadProfile,
     rng: &mut R,
 ) -> Result<RfaOutcome, BoltError> {
+    run_rfa_telemetry(
+        cluster,
+        server,
+        victim_profile,
+        beneficiary_profile,
+        rng,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// Same as [`run_rfa`], recording into `telemetry`: an
+/// [`Phase::AttackExecution`] span over the run, a gauge of the helper's
+/// pressure on the victim's dominant resource, and the cluster's
+/// launch/terminate events (drained only when telemetry is enabled).
+///
+/// # Errors
+///
+/// Propagates [`BoltError`] from the simulator.
+pub fn run_rfa_telemetry<R: Rng>(
+    cluster: &mut Cluster,
+    server: usize,
+    victim_profile: WorkloadProfile,
+    beneficiary_profile: WorkloadProfile,
+    rng: &mut R,
+    telemetry: &mut Telemetry,
+) -> Result<RfaOutcome, BoltError> {
+    let attack_clock = telemetry.begin();
     let victim_kind = victim_profile.kind();
     let victim_family = victim_profile.label().family().to_string();
     let victim_dominant = victim_profile.base_pressure().dominant();
@@ -98,10 +126,16 @@ pub fn run_rfa<R: Rng>(
     let victim_state = cluster.vm(victim)?;
     let victim_delta = match victim_kind {
         WorkloadKind::Interactive => {
-            let before =
-                perf::qps_loss(&victim_state.profile, &victim_interference_before, victim_load);
-            let after =
-                perf::qps_loss(&victim_state.profile, &victim_interference_after, victim_load);
+            let before = perf::qps_loss(
+                &victim_state.profile,
+                &victim_interference_before,
+                victim_load,
+            );
+            let after = perf::qps_loss(
+                &victim_state.profile,
+                &victim_interference_after,
+                victim_load,
+            );
             -(after - before)
         }
         WorkloadKind::Batch => {
@@ -129,6 +163,13 @@ pub fn run_rfa<R: Rng>(
     cluster.terminate(victim)?;
     cluster.terminate(beneficiary)?;
     cluster.terminate(helper)?;
+
+    let helper_vector = helper_pressure(victim_dominant);
+    telemetry.gauge(victim_dominant, helper_vector[victim_dominant]);
+    telemetry.span(Phase::AttackExecution, 0.0, t, attack_clock);
+    if telemetry.is_enabled() {
+        telemetry.cluster_events(cluster.take_events());
+    }
 
     Ok(RfaOutcome {
         victim: victim_family,

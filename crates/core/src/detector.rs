@@ -19,10 +19,11 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use bolt_probes::{Profiler, ProfilerConfig, ShutterConfig, Snapshot};
-use bolt_recommender::{HybridRecommender, Recommendation};
+use bolt_recommender::{HybridRecommender, Recommendation, RecommenderStats};
 use bolt_sim::{Cluster, VmId};
 use bolt_workloads::{AppLabel, ResourceCharacteristics};
 
+use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::BoltError;
 
 /// Detection-engine configuration.
@@ -118,7 +119,9 @@ impl Detection {
 
     /// True if any verdict's characteristics match `truth`.
     pub fn matches_characteristics(&self, truth: &ResourceCharacteristics) -> bool {
-        self.verdicts.iter().any(|r| r.characteristics.matches(truth))
+        self.verdicts
+            .iter()
+            .any(|r| r.characteristics.matches(truth))
     }
 }
 
@@ -230,6 +233,23 @@ impl Detector {
         self.detect_with_baseline(cluster, adversary, t, None, rng)
     }
 
+    /// [`Detector::detect`], recording phase spans, probe-sample counts,
+    /// and per-resource pressure gauges into `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::detect`].
+    pub fn detect_telemetry<R: Rng>(
+        &self,
+        cluster: &Cluster,
+        adversary: VmId,
+        t: f64,
+        rng: &mut R,
+        telemetry: &mut Telemetry,
+    ) -> Result<Detection, BoltError> {
+        self.detect_with_baseline_telemetry(cluster, adversary, t, None, rng, telemetry)
+    }
+
     /// Like [`Detector::detect`], with an optional observation sweep from a
     /// *previous* iteration. Differencing against a minutes-old baseline
     /// sees slow load drift (diurnal services) that the within-iteration
@@ -247,12 +267,43 @@ impl Detector {
         baseline: Option<&[(bolt_workloads::Resource, f64)]>,
         rng: &mut R,
     ) -> Result<Detection, BoltError> {
+        self.detect_with_baseline_telemetry(
+            cluster,
+            adversary,
+            t,
+            baseline,
+            rng,
+            &mut Telemetry::disabled(),
+        )
+    }
+
+    /// [`Detector::detect_with_baseline`] with telemetry recording. The
+    /// instrumentation points are the pipeline phases: the probe sweep
+    /// (snapshot + widening + second sweep), content matching, mixture
+    /// decomposition, the shutter fallback, and the plain-recommendation
+    /// (SGD completion) fallback.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::detect`].
+    pub fn detect_with_baseline_telemetry<R: Rng>(
+        &self,
+        cluster: &Cluster,
+        adversary: VmId,
+        t: f64,
+        baseline: Option<&[(bolt_workloads::Resource, f64)]>,
+        rng: &mut R,
+        telemetry: &mut Telemetry,
+    ) -> Result<Detection, BoltError> {
+        let sweep_clock = telemetry.begin();
         let mut snapshot = self.profiler.snapshot(cluster, adversary, t, rng)?;
 
         // An idle host: every probed resource reads (near) zero. Matching
         // a zero signal against anything would be spurious — report "no
         // co-resident detected".
         if snapshot.readings.iter().all(|r| r.pressure <= 6.0) {
+            telemetry.count(Counter::ProbeSamples, snapshot.readings.len() as u64);
+            telemetry.span(Phase::ProbeSweep, t, snapshot.duration_s, sweep_clock);
             return Ok(Detection {
                 duration_s: snapshot.duration_s,
                 used_shutter: false,
@@ -272,9 +323,8 @@ impl Detector {
         // decompositions of a static mixture).
         let core_usable = core_signal_usable(&snapshot);
         if core_usable {
-            let probed_cores = |s: &Snapshot| {
-                s.readings.iter().filter(|x| x.resource.is_core()).count()
-            };
+            let probed_cores =
+                |s: &Snapshot| s.readings.iter().filter(|x| x.resource.is_core()).count();
             while probed_cores(&snapshot) < bolt_workloads::Resource::CORE.len() {
                 self.profiler
                     .extra_core_probe(cluster, adversary, t, &mut snapshot, rng)?;
@@ -298,12 +348,20 @@ impl Detector {
             sweep2.push((r, reading.pressure));
         }
         snapshot.duration_s += gap_s;
+        telemetry.count(
+            Counter::ProbeSamples,
+            (snapshot.readings.len() + sweep2.len()) as u64,
+        );
+        telemetry.span(Phase::ProbeSweep, t, snapshot.duration_s, sweep_clock);
 
         let averaged: Vec<(bolt_workloads::Resource, f64)> = sweep1
             .iter()
             .zip(&sweep2)
             .map(|(&(r, a), &(_, b))| (r, (a + b) / 2.0))
             .collect();
+        for &(r, v) in &averaged {
+            telemetry.gauge(r, v);
+        }
 
         // The informative-signal gate: matching needs at least two
         // resources carrying signal clearly above the probe noise floor —
@@ -343,14 +401,19 @@ impl Detector {
                 .expect("at least one candidate");
             let magnitude: f64 = best_diff.iter().map(|&(_, v)| v).sum();
             if magnitude > 18.0 && best_diff.len() >= 2 {
+                let match_clock = telemetry.begin();
                 let scores = self.recommender.match_subspace(&best_diff)?;
+                telemetry.span(
+                    Phase::ContentMatch,
+                    t + snapshot.duration_s,
+                    0.0,
+                    match_clock,
+                );
                 if let Some(best) = scores.first() {
                     if best.correlation > 0.6 {
                         let ex = self.recommender.training_data().example(best.index);
                         verdicts.push(Recommendation {
-                            characteristics: ResourceCharacteristics::from_pressure(
-                                &ex.reference,
-                            ),
+                            characteristics: ResourceCharacteristics::from_pressure(&ex.reference),
                             completed: ex.pressure,
                             scores,
                         });
@@ -373,17 +436,40 @@ impl Detector {
             .filter(|(r, _)| r.is_uncore())
             .copied()
             .collect();
-        let max_components = if self.config.enable_decomposition { 3 } else { 1 };
+        let max_components = if self.config.enable_decomposition {
+            3
+        } else {
+            1
+        };
+        let mut rec_stats = RecommenderStats::default();
+        let decomp_clock = telemetry.begin();
         let components = if core_usable && core_obs.len() >= 2 {
             let float = cluster.isolation().float_visibility();
-            self.recommender
-                .decompose_with_core(&core_obs, &uncore_obs, float, max_components)?
+            self.recommender.decompose_with_core_stats(
+                &core_obs,
+                &uncore_obs,
+                float,
+                max_components,
+                &mut rec_stats,
+            )?
         } else if uncore_obs.len() >= 2 {
-            self.recommender
-                .decompose_mixture(&uncore_obs, &[], max_components)?
+            self.recommender.decompose_mixture_with_stats(
+                &uncore_obs,
+                &[],
+                max_components,
+                &mut rec_stats,
+            )?
         } else {
             Vec::new()
         };
+        telemetry.span(
+            Phase::Decomposition,
+            t + snapshot.duration_s,
+            0.0,
+            decomp_clock,
+        );
+        telemetry.count(Counter::ShortlistPairHits, rec_stats.shortlist_hits);
+        telemetry.count(Counter::ExactPairSearches, rec_stats.exact_searches);
         for &(idx, _, explained) in &components {
             verdicts.push(self.recommender.component_recommendation(idx, explained));
         }
@@ -397,18 +483,34 @@ impl Detector {
             .unwrap_or(true);
         if weak && !core_usable && self.config.enable_shutter {
             used_shutter = true;
+            let shutter_t = t + snapshot.duration_s;
+            let shutter_clock = telemetry.begin();
             let capture = bolt_probes::shutter_capture(
                 cluster,
                 adversary,
-                t + snapshot.duration_s,
+                shutter_t,
                 &self.config.shutter,
                 rng,
             )?;
             snapshot.duration_s += capture.duration_s;
+            telemetry.count(Counter::ProbeSamples, capture.frames.len() as u64);
+            telemetry.span(
+                Phase::ShutterCapture,
+                shutter_t,
+                capture.duration_s,
+                shutter_clock,
+            );
             if capture.swing() > 0.2 {
                 // The low frame is (approximately) one co-resident; the
                 // residual is the rest.
+                let match_clock = telemetry.begin();
                 let low_scores = self.recommender.score_profile(&capture.low_frame)?;
+                telemetry.span(
+                    Phase::ContentMatch,
+                    t + snapshot.duration_s,
+                    0.0,
+                    match_clock,
+                );
                 if !low_scores.is_empty() {
                     let residual = capture.residual();
                     verdicts.insert(
@@ -437,7 +539,18 @@ impl Detector {
         // plain full-signal recommendation (single co-resident at steady
         // load is exactly this case).
         if verdicts.is_empty() {
-            let plain = self.recommender.recommend(&averaged, rng)?;
+            let mut plain_stats = RecommenderStats::default();
+            let completion_clock = telemetry.begin();
+            let plain = self
+                .recommender
+                .recommend_with_stats(&averaged, rng, &mut plain_stats)?;
+            telemetry.span(
+                Phase::MatrixCompletion,
+                t + snapshot.duration_s,
+                0.0,
+                completion_clock,
+            );
+            telemetry.count(Counter::SgdIterations, plain_stats.sgd_iterations);
             if plain.best().is_some() {
                 verdicts.push(plain);
             }
@@ -495,8 +608,38 @@ impl Detector {
         cluster: &Cluster,
         adversary: VmId,
         start_t: f64,
+        accept: F,
+        rng: &mut R,
+    ) -> Result<(Detection, usize), BoltError>
+    where
+        R: Rng,
+        F: FnMut(&Detection) -> bool,
+    {
+        self.detect_until_telemetry(
+            cluster,
+            adversary,
+            start_t,
+            accept,
+            rng,
+            &mut Telemetry::disabled(),
+        )
+    }
+
+    /// [`Detector::detect_until`] with telemetry recording: every
+    /// iteration contributes its inner phase spans plus one
+    /// [`Phase::DetectionIteration`] span covering the whole iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BoltError`] from [`Detector::detect`].
+    pub fn detect_until_telemetry<R, F>(
+        &self,
+        cluster: &Cluster,
+        adversary: VmId,
+        start_t: f64,
         mut accept: F,
         rng: &mut R,
+        telemetry: &mut Telemetry,
     ) -> Result<(Detection, usize), BoltError>
     where
         R: Rng,
@@ -506,8 +649,16 @@ impl Detector {
         let mut baseline: Option<Vec<(bolt_workloads::Resource, f64)>> = None;
         for i in 0..self.config.max_iterations.max(1) {
             let t = start_t + i as f64 * self.config.interval_s;
-            let d =
-                self.detect_with_baseline(cluster, adversary, t, baseline.as_deref(), rng)?;
+            let iteration_clock = telemetry.begin();
+            let d = self.detect_with_baseline_telemetry(
+                cluster,
+                adversary,
+                t,
+                baseline.as_deref(),
+                rng,
+                telemetry,
+            )?;
+            telemetry.span(Phase::DetectionIteration, t, d.duration_s, iteration_clock);
             let done = accept(&d);
             if !d.sweep.is_empty() {
                 baseline = Some(d.sweep.clone());
@@ -601,7 +752,9 @@ mod tests {
         let (cluster, adv) = cluster_with_victims(vec![victim], &mut r);
         let det = detector();
         let accept = |d: &Detection| d.matches_family(&truth);
-        let (d, iters) = det.detect_until(&cluster, adv, 0.0, accept, &mut r).unwrap();
+        let (d, iters) = det
+            .detect_until(&cluster, adv, 0.0, accept, &mut r)
+            .unwrap();
         assert!(iters <= 6);
         assert!(
             d.matches_family(&truth),

@@ -18,6 +18,11 @@ pub enum BoltError {
         /// Human-readable description.
         reason: String,
     },
+    /// A telemetry trace could not be read or decoded.
+    Telemetry {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BoltError {
@@ -28,6 +33,9 @@ impl fmt::Display for BoltError {
             BoltError::InvalidExperiment { reason } => {
                 write!(f, "invalid experiment: {reason}")
             }
+            BoltError::Telemetry { reason } => {
+                write!(f, "telemetry error: {reason}")
+            }
         }
     }
 }
@@ -37,7 +45,7 @@ impl Error for BoltError {
         match self {
             BoltError::Sim(e) => Some(e),
             BoltError::Linalg(e) => Some(e),
-            BoltError::InvalidExperiment { .. } => None,
+            BoltError::InvalidExperiment { .. } | BoltError::Telemetry { .. } => None,
         }
     }
 }

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData, TrainingExample};
 use bolt_sim::vm::VmRole;
 use bolt_sim::{Cluster, IsolationConfig, Scheduler, ServerSpec, VmId};
-use bolt_workloads::catalog::{
-    cassandra, database, hadoop, memcached, spark, speccpu, webserver,
-};
+use bolt_workloads::catalog::{cassandra, database, hadoop, memcached, spark, speccpu, webserver};
 use bolt_workloads::training::training_set;
 use bolt_workloads::{
     AppLabel, DatasetScale, PressureVector, Resource, ResourceCharacteristics, WorkloadProfile,
@@ -23,6 +21,7 @@ use bolt_workloads::{
 
 use crate::detector::{Detector, DetectorConfig};
 use crate::parallel::{split_seed, sweep, Parallelism};
+use crate::telemetry::{Telemetry, TelemetryLog};
 use crate::BoltError;
 
 /// Controlled-experiment configuration.
@@ -134,7 +133,12 @@ impl ExperimentResults {
     /// counts victim VMs on the server *including the hunted victim* (see
     /// [`ExperimentRecord::co_residents`]), so rows start at 1.
     pub fn accuracy_by_co_residents(&self) -> Vec<(usize, f64, usize)> {
-        let max = self.records.iter().map(|r| r.co_residents).max().unwrap_or(0);
+        let max = self
+            .records
+            .iter()
+            .map(|r| r.co_residents)
+            .max()
+            .unwrap_or(0);
         (1..=max)
             .filter_map(|n| {
                 let subset: Vec<&ExperimentRecord> = self
@@ -237,8 +241,8 @@ impl ExperimentResults {
                 })
                 .collect();
             if !subset.is_empty() {
-                let acc = subset.iter().filter(|r| r.label_correct).count() as f64
-                    / subset.len() as f64;
+                let acc =
+                    subset.iter().filter(|r| r.label_correct).count() as f64 / subset.len() as f64;
                 out.push((lo + width / 2.0, acc, subset.len()));
             }
         }
@@ -363,14 +367,15 @@ pub fn build_testbed<S: Scheduler>(
     let profiles = victim_set(config.victims, &mut rng);
     let mut victims = Vec::with_capacity(profiles.len());
     for p in profiles {
-        let server = scheduler.select_server(&cluster, &p).ok_or_else(|| {
-            BoltError::InvalidExperiment {
-                reason: format!(
-                    "cluster too small: {} victims do not fit on {} servers",
-                    config.victims, config.servers
-                ),
-            }
-        })?;
+        let server =
+            scheduler
+                .select_server(&cluster, &p)
+                .ok_or_else(|| BoltError::InvalidExperiment {
+                    reason: format!(
+                        "cluster too small: {} victims do not fit on {} servers",
+                        config.victims, config.servers
+                    ),
+                })?;
         victims.push(cluster.launch_on(server, p, VmRole::Friendly, 0.0)?);
     }
 
@@ -409,7 +414,44 @@ pub fn run_experiment<S: Scheduler>(
     config: &ExperimentConfig,
     scheduler: &S,
 ) -> Result<ExperimentResults, BoltError> {
-    let testbed = build_testbed(config, scheduler)?;
+    run_experiment_inner(config, scheduler, false).map(|(results, _)| results)
+}
+
+/// [`run_experiment`] with telemetry: returns the merged event stream of
+/// the run alongside the results. The testbed construction's cluster
+/// events record as unit 0; victim `i`'s hunt records as unit `i + 1`.
+/// Unit buffers merge in unit order, so the stream is identical for every
+/// [`Parallelism`] setting (wall-clock span durations aside — see
+/// [`TelemetryLog::normalized`]).
+///
+/// # Errors
+///
+/// Same conditions as [`run_experiment`].
+pub fn run_experiment_telemetry<S: Scheduler>(
+    config: &ExperimentConfig,
+    scheduler: &S,
+) -> Result<(ExperimentResults, TelemetryLog), BoltError> {
+    run_experiment_inner(config, scheduler, true)
+}
+
+fn run_experiment_inner<S: Scheduler>(
+    config: &ExperimentConfig,
+    scheduler: &S,
+    telemetry_enabled: bool,
+) -> Result<(ExperimentResults, TelemetryLog), BoltError> {
+    let unit = |u: usize| {
+        if telemetry_enabled {
+            Telemetry::for_unit(u)
+        } else {
+            Telemetry::disabled()
+        }
+    };
+    let mut testbed = build_testbed(config, scheduler)?;
+    // Unit 0 carries the shared setup: every launch the testbed performed.
+    let mut unit0 = unit(0);
+    if unit0.is_enabled() {
+        unit0.cluster_events(testbed.cluster.take_events());
+    }
     let Testbed {
         cluster,
         adversaries,
@@ -426,7 +468,8 @@ pub fn run_experiment<S: Scheduler>(
     }
 
     let outcomes = sweep(&victims, config.parallelism, |idx, &victim_id| {
-        hunt_victim(
+        let mut telemetry = unit(idx + 1);
+        let record = hunt_victim(
             config,
             &cluster,
             &detector,
@@ -434,18 +477,32 @@ pub fn run_experiment<S: Scheduler>(
             &victims_per_server,
             idx,
             victim_id,
-        )
+            &mut telemetry,
+        );
+        record.map(|r| (r, telemetry.into_events()))
     });
-    let records = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
 
-    Ok(ExperimentResults {
-        records,
-        scheduler: scheduler.name().to_string(),
-    })
+    let mut log = TelemetryLog::new();
+    log.merge(unit0);
+    let mut records = Vec::with_capacity(victims.len());
+    for outcome in outcomes {
+        let (record, events) = outcome?;
+        records.push(record);
+        log.extend(events);
+    }
+
+    Ok((
+        ExperimentResults {
+            records,
+            scheduler: scheduler.name().to_string(),
+        },
+        log,
+    ))
 }
 
 /// Hunts one victim with an RNG stream derived from the victim index —
 /// the per-item body of [`run_experiment`]'s sweep.
+#[allow(clippy::too_many_arguments)]
 fn hunt_victim(
     config: &ExperimentConfig,
     cluster: &Cluster,
@@ -454,6 +511,7 @@ fn hunt_victim(
     victims_per_server: &[usize],
     idx: usize,
     victim_id: VmId,
+    telemetry: &mut Telemetry,
 ) -> Result<ExperimentRecord, BoltError> {
     let mut rng = StdRng::seed_from_u64(split_seed(config.seed ^ 0x5EED, idx as u64));
 
@@ -473,12 +531,13 @@ fn hunt_victim(
 
     // Stagger each victim's hunt so load-pattern phases decorrelate.
     let start_t = rng.gen::<f64>() * 200.0;
-    let (detection, iterations) = detector.detect_until(
+    let (detection, iterations) = detector.detect_until_telemetry(
         cluster,
         adversary,
         start_t,
         |d| d.matches_label(&truth),
         &mut rng,
+        telemetry,
     )?;
 
     let detected = detection.label().cloned();
@@ -521,11 +580,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let set = victim_set(30, &mut rng);
         assert_eq!(set.len(), 30);
-        let families: std::collections::HashSet<String> = set
-            .iter()
-            .map(|p| p.label().family().to_string())
-            .collect();
-        assert!(families.len() >= 5, "want diverse families, got {families:?}");
+        let families: std::collections::HashSet<String> =
+            set.iter().map(|p| p.label().family().to_string()).collect();
+        assert!(
+            families.len() >= 5,
+            "want diverse families, got {families:?}"
+        );
     }
 
     #[test]
@@ -562,7 +622,10 @@ mod tests {
             "label accuracy {acc} suspiciously low for a lightly-loaded cluster"
         );
         let chars = results.characteristics_accuracy();
-        assert!(chars >= acc, "characteristics accuracy {chars} < label accuracy {acc}");
+        assert!(
+            chars >= acc,
+            "characteristics accuracy {chars} < label accuracy {acc}"
+        );
     }
 
     #[test]
@@ -582,8 +645,38 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-9);
         }
         // dominant-resource counts also sum to the record count.
-        let total_dom: usize = results.accuracy_by_dominant().iter().map(|&(_, _, n)| n).sum();
+        let total_dom: usize = results
+            .accuracy_by_dominant()
+            .iter()
+            .map(|&(_, _, n)| n)
+            .sum();
         assert_eq!(total_dom, results.records.len());
+    }
+
+    #[test]
+    fn telemetry_stream_is_thread_count_invariant() {
+        let serial = ExperimentConfig {
+            parallelism: Parallelism::Serial,
+            ..small_config()
+        };
+        let threaded = ExperimentConfig {
+            parallelism: Parallelism::Threads(3),
+            ..small_config()
+        };
+        let (r1, log1) = run_experiment_telemetry(&serial, &LeastLoaded).unwrap();
+        let (r2, log2) = run_experiment_telemetry(&threaded, &LeastLoaded).unwrap();
+        assert_eq!(r1, r2);
+        assert!(!log1.is_empty());
+        // The event sequence is identical at any thread count once the
+        // (necessarily nondeterministic) wall-clock durations are zeroed.
+        assert_eq!(log1.normalized(), log2.normalized());
+        assert_eq!(log1.normalized().to_jsonl(), log2.normalized().to_jsonl());
+        // The JSONL encoding round-trips to the same event sequence.
+        let back = TelemetryLog::from_jsonl(&log1.to_jsonl()).unwrap();
+        assert_eq!(back, log1);
+        // A telemetry-off run computes the same results.
+        let plain = run_experiment(&serial, &LeastLoaded).unwrap();
+        assert_eq!(plain, r1);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Heatmap {
     ///
     /// Panics if either index is out of range.
     pub fn at(&self, ix: usize, iy: usize) -> f64 {
-        assert!(ix < self.grid && iy < self.grid, "cell ({ix},{iy}) out of range");
+        assert!(
+            ix < self.grid && iy < self.grid,
+            "cell ({ix},{iy}) out of range"
+        );
         self.cells[iy * self.grid + ix]
     }
 
@@ -179,8 +182,7 @@ mod tests {
         // column's range rules it out, so those columns sit at or below
         // the smoothed base rate while the zero-disk column rises above.
         let zero_disk = map.column_mean(0);
-        let disk_active =
-            (map.column_mean(1) + map.column_mean(2) + map.column_mean(3)) / 3.0;
+        let disk_active = (map.column_mean(1) + map.column_mean(2) + map.column_mean(3)) / 3.0;
         let base_rate = p
             .iter()
             .filter(|w| w.label().family() == "memcached")

@@ -19,8 +19,9 @@ use serde::{Deserialize, Serialize};
 
 use bolt_sim::{IsolationConfig, LeastLoaded, Mechanisms, OsSetting};
 
-use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::experiment::{run_experiment, run_experiment_telemetry, ExperimentConfig};
 use crate::parallel::{sweep, Parallelism};
+use crate::telemetry::{Counter, Phase, Telemetry, TelemetryLog};
 use crate::BoltError;
 
 /// One cell of the Fig. 14 matrix.
@@ -74,6 +75,31 @@ impl IsolationStudy {
 ///
 /// Propagates [`BoltError`] from the underlying experiments.
 pub fn run_isolation_study(base: &ExperimentConfig) -> Result<IsolationStudy, BoltError> {
+    run_isolation_study_inner(base, false).map(|(study, _)| study)
+}
+
+/// Runs the Fig. 14 sweep with telemetry enabled.
+///
+/// Each cell records into its own unit (cells in sweep order: 18
+/// cumulative stacks, then the 3 core-isolation-only runs): one
+/// [`Phase::DetectionIteration`] span timing the whole cell plus a rollup
+/// of the inner experiment's counter totals. The inner experiments run
+/// serially, so the merged stream is identical for every
+/// [`Parallelism`] setting of `base`.
+///
+/// # Errors
+///
+/// Propagates [`BoltError`] from the underlying experiments.
+pub fn run_isolation_study_telemetry(
+    base: &ExperimentConfig,
+) -> Result<(IsolationStudy, TelemetryLog), BoltError> {
+    run_isolation_study_inner(base, true)
+}
+
+fn run_isolation_study_inner(
+    base: &ExperimentConfig,
+    telemetry_enabled: bool,
+) -> Result<(IsolationStudy, TelemetryLog), BoltError> {
     let mut stack_cells: Vec<IsolationConfig> = Vec::new();
     for setting in OsSetting::ALL {
         for mechanisms in Mechanisms::cumulative_stacks() {
@@ -96,15 +122,34 @@ pub fn run_isolation_study(base: &ExperimentConfig) -> Result<IsolationStudy, Bo
         .chain(core_cells.iter())
         .copied()
         .collect();
-    let outcomes = sweep(&tasks, base.parallelism, |_, isolation| {
+    let outcomes = sweep(&tasks, base.parallelism, |idx, isolation| {
         let config = ExperimentConfig {
             isolation: *isolation,
             parallelism: Parallelism::Serial,
             ..*base
         };
-        run_experiment(&config, &LeastLoaded).map(|r| r.label_accuracy())
+        if telemetry_enabled {
+            // One unit per cell: a span timing the whole cell plus the
+            // inner experiment's counter totals rolled up into it.
+            let mut telemetry = Telemetry::for_unit(idx);
+            let cell_clock = telemetry.begin();
+            let (results, inner) = run_experiment_telemetry(&config, &LeastLoaded)?;
+            telemetry.span(Phase::DetectionIteration, 0.0, 0.0, cell_clock);
+            for counter in Counter::ALL {
+                telemetry.count(counter, inner.counter_total(counter));
+            }
+            Ok((results.label_accuracy(), telemetry.into_events()))
+        } else {
+            run_experiment(&config, &LeastLoaded).map(|r| (r.label_accuracy(), Vec::new()))
+        }
     });
-    let accuracies = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let mut accuracies = Vec::with_capacity(tasks.len());
+    let mut log = TelemetryLog::new();
+    for outcome in outcomes {
+        let (accuracy, events) = outcome?;
+        accuracies.push(accuracy);
+        log.extend(events);
+    }
 
     let cells = stack_cells
         .iter()
@@ -123,10 +168,13 @@ pub fn run_isolation_study(base: &ExperimentConfig) -> Result<IsolationStudy, Bo
         .map(|(isolation, &accuracy)| (isolation.setting, accuracy))
         .collect();
 
-    Ok(IsolationStudy {
-        cells,
-        core_isolation_only,
-    })
+    Ok((
+        IsolationStudy {
+            cells,
+            core_isolation_only,
+        },
+        log,
+    ))
 }
 
 #[cfg(test)]

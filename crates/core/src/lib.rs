@@ -73,11 +73,13 @@ pub mod isolation_study;
 pub mod parallel;
 pub mod report;
 pub mod sensitivity;
+pub mod telemetry;
 pub mod user_study;
 
 pub use detector::{Detection, Detector, DetectorConfig};
 pub use error::BoltError;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentRecord, ExperimentResults};
-pub use parallel::Parallelism;
 pub use isolation_study::{run_isolation_study, IsolationStudy};
+pub use parallel::Parallelism;
+pub use telemetry::{Counter, Phase, Telemetry, TelemetryEvent, TelemetryLog};
 pub use user_study::{run_user_study, UserStudyConfig, UserStudyResults};

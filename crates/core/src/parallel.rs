@@ -127,7 +127,10 @@ mod tests {
             });
             assert_eq!(serial, parallel, "threads={threads}");
         }
-        assert_eq!(serial, sweep(&items, Parallelism::Auto, |i, &x| (i as u64) * 1000 + x));
+        assert_eq!(
+            serial,
+            sweep(&items, Parallelism::Auto, |i, &x| (i as u64) * 1000 + x)
+        );
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl Table {
     /// Renders the table as CSV.
     pub fn to_csv(&self) -> String {
         let escape = |s: &str| {
-            if s.contains(',') || s.contains('"') {
+            if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
                 format!("\"{}\"", s.replace('"', "\"\""))
             } else {
                 s.to_string()
@@ -97,7 +97,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -158,6 +162,16 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_quotes_embedded_newlines() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["line1\nline2".into(), "cr\rhere".into()]);
+        let csv = t.to_csv();
+        // RFC 4180: cells containing line breaks must be quoted.
+        assert!(csv.contains("\"line1\nline2\""));
+        assert!(csv.contains("\"cr\rhere\""));
     }
 
     #[test]

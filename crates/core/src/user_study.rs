@@ -21,6 +21,7 @@ use bolt_workloads::{AppLabel, PressureVector, ResourceCharacteristics};
 
 use crate::detector::{Detector, DetectorConfig};
 use crate::parallel::{split_seed, sweep, Parallelism};
+use crate::telemetry::{Telemetry, TelemetryLog};
 use crate::BoltError;
 
 /// User-study configuration.
@@ -175,11 +176,13 @@ fn detect_job(
     detector: &Detector,
     seed: u64,
     p: &PendingDetection,
+    telemetry: &mut Telemetry,
 ) -> Result<UserStudyRecord, BoltError> {
     // Job-derived stream: detection noise no longer perturbs the shared
     // placement RNG, and any fan-out order yields identical records.
     let mut rng = StdRng::seed_from_u64(split_seed(seed ^ 0xD37EC7, p.job as u64));
-    let detection = detector.detect(&p.snapshot, p.bolt_vm, p.detect_t, &mut rng)?;
+    let detection =
+        detector.detect_telemetry(&p.snapshot, p.bolt_vm, p.detect_t, &mut rng, telemetry)?;
     let name_correct = p.in_training && detection.matches_family(&p.truth_label);
     let characteristics_correct = detection.matches_characteristics(&p.truth_characteristics);
     Ok(UserStudyRecord {
@@ -204,14 +207,26 @@ fn detect_job(
 fn flush_detections(
     detector: &Detector,
     config: &UserStudyConfig,
+    telemetry_enabled: bool,
     pending: &mut Vec<PendingDetection>,
     records: &mut Vec<UserStudyRecord>,
+    log: &mut TelemetryLog,
 ) -> Result<(), BoltError> {
     let outcomes = sweep(&pending[..], config.parallelism, |_, p| {
-        detect_job(detector, config.seed, p)
+        // Job `j` records into unit `j + 1`; unit 0 is reserved for the
+        // cluster's own placement events. Batches flush in job order, so
+        // the merged stream is identical for every `parallelism` setting.
+        let mut telemetry = if telemetry_enabled {
+            Telemetry::for_unit(p.job + 1)
+        } else {
+            Telemetry::disabled()
+        };
+        detect_job(detector, config.seed, p, &mut telemetry).map(|r| (r, telemetry.into_events()))
     });
     for outcome in outcomes {
-        records.push(outcome?);
+        let (record, events) = outcome?;
+        records.push(record);
+        log.extend(events);
     }
     pending.clear();
     Ok(())
@@ -233,6 +248,29 @@ fn flush_detections(
 ///
 /// Propagates [`BoltError`] from the simulator or detector.
 pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, BoltError> {
+    run_user_study_inner(config, false).map(|(results, _)| results)
+}
+
+/// Runs the user study with telemetry enabled.
+///
+/// Each job's detection pass records into its own unit (`job + 1`);
+/// the cluster's placement events (launches, departures) form a trailing
+/// unit-0 block. The merged stream is identical for every
+/// [`Parallelism`] setting.
+///
+/// # Errors
+///
+/// Propagates [`BoltError`] from the simulator or detector.
+pub fn run_user_study_telemetry(
+    config: &UserStudyConfig,
+) -> Result<(UserStudyResults, TelemetryLog), BoltError> {
+    run_user_study_inner(config, true)
+}
+
+fn run_user_study_inner(
+    config: &UserStudyConfig,
+    telemetry_enabled: bool,
+) -> Result<(UserStudyResults, TelemetryLog), BoltError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut cluster = Cluster::new(
         config.instances,
@@ -261,6 +299,7 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
 
     let horizon_s = 4.0 * 3600.0;
     let mut records = Vec::with_capacity(config.jobs);
+    let mut log = TelemetryLog::new();
     let mut pending: Vec<PendingDetection> = Vec::with_capacity(DETECTION_CHUNK);
     // Jobs a user keeps concentrated on "their" instances: each user gets a
     // home instance for manual placements.
@@ -277,11 +316,7 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
         // Placement: manual (the user's home instance if it fits) or
         // least-loaded.
         let manual = rng.gen::<f64>() < config.manual_placement_rate;
-        let server = if manual
-            && cluster
-                .server(home[user])?
-                .can_host(profile.vcpus(), false)
-        {
+        let server = if manual && cluster.server(home[user])?.can_host(profile.vcpus(), false) {
             home[user]
         } else {
             match cluster.least_loaded_server(profile.vcpus()) {
@@ -325,7 +360,14 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
             snapshot: cluster.snapshot(),
         });
         if pending.len() >= DETECTION_CHUNK {
-            flush_detections(&detector, config, &mut pending, &mut records)?;
+            flush_detections(
+                &detector,
+                config,
+                telemetry_enabled,
+                &mut pending,
+                &mut records,
+                &mut log,
+            )?;
         }
 
         // Jobs complete over time: once the pool holds more friendly VMs
@@ -349,7 +391,22 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
             }
         }
     }
-    flush_detections(&detector, config, &mut pending, &mut records)?;
+    flush_detections(
+        &detector,
+        config,
+        telemetry_enabled,
+        &mut pending,
+        &mut records,
+        &mut log,
+    )?;
+
+    // The pool mutates throughout the run, so its launch/terminate stream
+    // drains once, as a trailing unit-0 block.
+    if telemetry_enabled {
+        let mut unit0 = Telemetry::for_unit(0);
+        unit0.cluster_events(cluster.take_events());
+        log.merge(unit0);
+    }
 
     let instances_used = {
         let mut used = vec![false; config.instances];
@@ -359,10 +416,13 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
         used.iter().filter(|&&u| u).count()
     };
 
-    Ok(UserStudyResults {
-        records,
-        instances_used,
-    })
+    Ok((
+        UserStudyResults {
+            records,
+            instances_used,
+        },
+        log,
+    ))
 }
 
 #[cfg(test)]

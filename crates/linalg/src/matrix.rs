@@ -86,10 +86,7 @@ impl Matrix {
         for (i, row) in rows.iter().enumerate() {
             if row.len() != ncols {
                 return Err(LinalgError::InvalidShape {
-                    reason: format!(
-                        "row {i} has {} columns, expected {ncols}",
-                        row.len()
-                    ),
+                    reason: format!("row {i} has {} columns, expected {ncols}", row.len()),
                 });
             }
             data.extend_from_slice(row);
@@ -166,7 +163,11 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -242,13 +243,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -321,14 +316,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -146,8 +146,12 @@ pub fn complete<R: Rng>(
 
     let k = config.factors;
     // Factor matrices stored as flat row-major [row * k + f].
-    let mut p: Vec<f64> = (0..rows * k).map(|_| rng.gen::<f64>() * config.init_scale).collect();
-    let mut q: Vec<f64> = (0..cols * k).map(|_| rng.gen::<f64>() * config.init_scale).collect();
+    let mut p: Vec<f64> = (0..rows * k)
+        .map(|_| rng.gen::<f64>() * config.init_scale)
+        .collect();
+    let mut q: Vec<f64> = (0..cols * k)
+        .map(|_| rng.gen::<f64>() * config.init_scale)
+        .collect();
 
     let mut order: Vec<usize> = (0..observations.len()).collect();
     let mut rmse = f64::INFINITY;
@@ -385,8 +389,12 @@ fn train_q<R: Rng>(
         });
     }
     let k = config.factors;
-    let mut p: Vec<f64> = (0..rows * k).map(|_| rng.gen::<f64>() * config.init_scale).collect();
-    let mut q: Vec<f64> = (0..cols * k).map(|_| rng.gen::<f64>() * config.init_scale).collect();
+    let mut p: Vec<f64> = (0..rows * k)
+        .map(|_| rng.gen::<f64>() * config.init_scale)
+        .collect();
+    let mut q: Vec<f64> = (0..cols * k)
+        .map(|_| rng.gen::<f64>() * config.init_scale)
+        .collect();
     let mut order: Vec<usize> = (0..observations.len()).collect();
     let mut rmse = f64::INFINITY;
     for _ in 0..config.max_epochs {
@@ -433,17 +441,17 @@ mod tests {
     #[test]
     fn recovers_exact_rank_one_matrix() {
         // M = [1,2,3]ᵀ [2,4,6] scaled: observations of a rank-1 structure.
-        let full = [
-            [2.0, 4.0, 6.0],
-            [4.0, 8.0, 12.0],
-            [6.0, 12.0, 18.0],
-        ];
+        let full = [[2.0, 4.0, 6.0], [4.0, 8.0, 12.0], [6.0, 12.0, 18.0]];
         let mut obs = Vec::new();
         for (r, row) in full.iter().enumerate() {
             for (c, &v) in row.iter().enumerate() {
                 // Leave out the (2,2) corner.
                 if (r, c) != (2, 2) {
-                    obs.push(Observation { row: r, col: c, value: v });
+                    obs.push(Observation {
+                        row: r,
+                        col: c,
+                        value: v,
+                    });
                 }
             }
         }
@@ -475,7 +483,11 @@ mod tests {
     #[test]
     fn out_of_bounds_observation_rejected() {
         let config = SgdConfig::default();
-        let obs = [Observation { row: 5, col: 0, value: 1.0 }];
+        let obs = [Observation {
+            row: 5,
+            col: 0,
+            value: 1.0,
+        }];
         assert!(matches!(
             complete(2, 2, &obs, &config, &mut rng()),
             Err(LinalgError::InvalidShape { .. })
@@ -485,7 +497,11 @@ mod tests {
     #[test]
     fn non_finite_observation_rejected() {
         let config = SgdConfig::default();
-        let obs = [Observation { row: 0, col: 0, value: f64::NAN }];
+        let obs = [Observation {
+            row: 0,
+            col: 0,
+            value: f64::NAN,
+        }];
         assert!(matches!(
             complete(2, 2, &obs, &config, &mut rng()),
             Err(LinalgError::NonFiniteInput { .. })
@@ -494,8 +510,15 @@ mod tests {
 
     #[test]
     fn zero_factors_rejected() {
-        let config = SgdConfig { factors: 0, ..SgdConfig::default() };
-        let obs = [Observation { row: 0, col: 0, value: 1.0 }];
+        let config = SgdConfig {
+            factors: 0,
+            ..SgdConfig::default()
+        };
+        let obs = [Observation {
+            row: 0,
+            col: 0,
+            value: 1.0,
+        }];
         assert!(matches!(
             complete(2, 2, &obs, &config, &mut rng()),
             Err(LinalgError::InvalidShape { .. })
@@ -505,11 +528,26 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let obs = [
-            Observation { row: 0, col: 0, value: 1.0 },
-            Observation { row: 0, col: 1, value: 2.0 },
-            Observation { row: 1, col: 0, value: 3.0 },
+            Observation {
+                row: 0,
+                col: 0,
+                value: 1.0,
+            },
+            Observation {
+                row: 0,
+                col: 1,
+                value: 2.0,
+            },
+            Observation {
+                row: 1,
+                col: 0,
+                value: 3.0,
+            },
         ];
-        let config = SgdConfig { max_epochs: 50, ..SgdConfig::default() };
+        let config = SgdConfig {
+            max_epochs: 50,
+            ..SgdConfig::default()
+        };
         let a = complete(2, 2, &obs, &config, &mut StdRng::seed_from_u64(9)).unwrap();
         let b = complete(2, 2, &obs, &config, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a.completed, b.completed);
@@ -519,8 +557,16 @@ mod tests {
     #[test]
     fn early_stop_when_target_rmse_reached() {
         let obs = [
-            Observation { row: 0, col: 0, value: 1.0 },
-            Observation { row: 1, col: 1, value: 1.0 },
+            Observation {
+                row: 0,
+                col: 0,
+                value: 1.0,
+            },
+            Observation {
+                row: 1,
+                col: 1,
+                value: 1.0,
+            },
         ];
         let config = SgdConfig {
             target_rmse: 1e9, // trivially satisfied after one epoch
@@ -535,11 +581,9 @@ mod tests {
     fn complete_row_predicts_missing_resources() {
         // Reference: two "application" rows over 4 "resources"; the new row
         // is proportional to row 0, observed at columns 0 and 1 only.
-        let reference = Matrix::from_rows(&[
-            vec![10.0, 20.0, 30.0, 40.0],
-            vec![40.0, 30.0, 20.0, 10.0],
-        ])
-        .unwrap();
+        let reference =
+            Matrix::from_rows(&[vec![10.0, 20.0, 30.0, 40.0], vec![40.0, 30.0, 20.0, 10.0]])
+                .unwrap();
         let observed = [(0usize, 10.0), (1usize, 20.0)];
         let config = SgdConfig {
             factors: 2,
@@ -561,7 +605,10 @@ mod tests {
             .zip(reference.row(1))
             .map(|(a, b)| (a - b).powi(2))
             .sum();
-        assert!(d0 < d1, "completed row should resemble its generator: d0={d0} d1={d1}");
+        assert!(
+            d0 < d1,
+            "completed row should resemble its generator: d0={d0} d1={d1}"
+        );
     }
 
     #[test]
@@ -591,13 +638,19 @@ mod tests {
         assert!((row[0] - 10.0).abs() < 5.0, "row[0]={}", row[0]);
         assert!((row[1] - 20.0).abs() < 5.0, "row[1]={}", row[1]);
         // Unobserved entries lean toward the generator's shape (ascending).
-        assert!(row[3] > row[0], "completion should rise like row 0: {row:?}");
+        assert!(
+            row[3] > row[0],
+            "completion should rise like row 0: {row:?}"
+        );
     }
 
     #[test]
     fn pq_fold_in_validates_inputs() {
         let reference = Matrix::identity(3).unwrap();
-        let config = SgdConfig { max_epochs: 10, ..SgdConfig::default() };
+        let config = SgdConfig {
+            max_epochs: 10,
+            ..SgdConfig::default()
+        };
         let model = PqModel::train(&reference, &config, &mut rng()).unwrap();
         assert!(matches!(
             model.fold_in(&[], &mut rng()),
@@ -616,7 +669,11 @@ mod tests {
     #[test]
     fn pq_model_exposes_factors() {
         let reference = Matrix::identity(4).unwrap();
-        let config = SgdConfig { factors: 3, max_epochs: 5, ..SgdConfig::default() };
+        let config = SgdConfig {
+            factors: 3,
+            max_epochs: 5,
+            ..SgdConfig::default()
+        };
         let model = PqModel::train(&reference, &config, &mut rng()).unwrap();
         assert_eq!(model.factors(), 3);
     }

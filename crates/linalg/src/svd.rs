@@ -154,11 +154,7 @@ impl Svd {
             }
         }
 
-        Ok(Svd {
-            u,
-            sigma,
-            v: vv,
-        })
+        Ok(Svd { u, sigma, v: vv })
     }
 
     /// The left singular vectors, one column per singular value.
@@ -202,10 +198,7 @@ impl Svd {
     pub fn reconstruct_rank(&self, r: usize) -> Result<Matrix, LinalgError> {
         if r == 0 || r > self.sigma.len() {
             return Err(LinalgError::InvalidShape {
-                reason: format!(
-                    "rank {r} out of range 1..={}",
-                    self.sigma.len()
-                ),
+                reason: format!("rank {r} out of range 1..={}", self.sigma.len()),
             });
         }
         let mut out = Matrix::zeros(self.u.rows(), self.v.rows())?;
@@ -235,7 +228,11 @@ impl Svd {
     /// Panics if `i` is out of bounds or `r` exceeds the number of singular
     /// values.
     pub fn concept_row(&self, i: usize, r: usize) -> Vec<f64> {
-        assert!(r <= self.sigma.len(), "rank {r} exceeds {}", self.sigma.len());
+        assert!(
+            r <= self.sigma.len(),
+            "rank {r} exceeds {}",
+            self.sigma.len()
+        );
         (0..r).map(|k| self.u[(i, k)]).collect()
     }
 }

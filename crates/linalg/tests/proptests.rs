@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra kernels.
 
 use bolt_linalg::sgd::{complete, Observation, SgdConfig};
-use bolt_linalg::stats::{pearson, percentile, weighted_pearson};
+use bolt_linalg::stats::{pearson, percentile, weighted_pearson, Histogram};
 use bolt_linalg::svd::{energy_rank, Svd};
 use bolt_linalg::Matrix;
 use proptest::prelude::*;
@@ -115,6 +115,85 @@ proptest! {
         let a = percentile(&xs, lo).expect("valid");
         let b = percentile(&xs, hi).expect("valid");
         prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn percentile_matches_linear_interpolation(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..30),
+        p in 0.0f64..=100.0,
+    ) {
+        // Pin the interpolation scheme: rank = p/100 * (n-1), linear
+        // blend between the two bracketing order statistics.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let frac = rank - lo as f64;
+        let expected = if lo + 1 < sorted.len() {
+            sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac
+        } else {
+            sorted[lo]
+        };
+        let got = percentile(&xs, p).expect("valid");
+        prop_assert!(
+            (got - expected).abs() <= 1e-9 * (1.0 + expected.abs()),
+            "percentile({p}) = {got}, expected {expected}"
+        );
+        // And the result is bracketed by the order statistics around it.
+        let hi_idx = (lo + 1).min(sorted.len() - 1);
+        prop_assert!(got >= sorted[lo] - 1e-9 && got <= sorted[hi_idx] + 1e-9);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range_samples(
+        lo in -100.0f64..0.0,
+        width in 1.0f64..100.0,
+        bins in 1usize..16,
+        raw in proptest::collection::vec((0u8..8, -1e9f64..1e9), 0..40),
+    ) {
+        let hi = lo + width;
+        // Mix the specials in by selector: ±∞ and NaN alongside finite
+        // samples far outside the histogram's range.
+        let xs: Vec<f64> = raw
+            .into_iter()
+            .map(|(k, v)| match k {
+                0 => f64::INFINITY,
+                1 => f64::NEG_INFINITY,
+                2 => f64::NAN,
+                _ => v,
+            })
+            .collect();
+        let mut h = Histogram::new(lo, hi, bins).expect("valid spec");
+        for &x in &xs {
+            h.record(x);
+        }
+        // NaN is dropped; everything else lands in exactly one bin.
+        let finite_or_inf = xs.iter().filter(|x| !x.is_nan()).count() as u64;
+        prop_assert_eq!(h.total(), finite_or_inf);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), finite_or_inf);
+        // Below-range samples (including -inf) clamp into the first bin,
+        // above-range ones (including +inf) into the last.
+        let below = xs.iter().filter(|&&x| x < lo && !x.is_nan()).count() as u64;
+        let above = xs.iter().filter(|&&x| x >= hi && !x.is_nan()).count() as u64;
+        prop_assert!(h.counts()[0] >= below, "first bin lost a clamped sample");
+        prop_assert!(h.counts()[bins - 1] >= above, "last bin lost a clamped sample");
+    }
+
+    #[test]
+    fn histogram_edges_land_in_terminal_bins(
+        lo in -50.0f64..50.0,
+        width in 0.5f64..100.0,
+        bins in 2usize..16,
+    ) {
+        let hi = lo + width;
+        let mut h = Histogram::new(lo, hi, bins).expect("valid spec");
+        // x == hi falls outside every half-open bin; it must clamp into
+        // the last one rather than panic or vanish.
+        h.record(hi);
+        h.record(lo);
+        prop_assert_eq!(h.total(), 2);
+        prop_assert_eq!(h.counts()[0], 1);
+        prop_assert_eq!(h.counts()[bins - 1], 1);
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl Microbenchmark {
 
     /// The full iBench-style suite: one benchmark per shared resource.
     pub fn suite() -> Vec<Microbenchmark> {
-        Resource::ALL.iter().map(|&r| Microbenchmark::new(r)).collect()
+        Resource::ALL
+            .iter()
+            .map(|&r| Microbenchmark::new(r))
+            .collect()
     }
 
     /// The probed resource.
@@ -117,8 +120,7 @@ impl Microbenchmark {
             true_pressure += visible[self.resource];
         }
         true_pressure /= EMISSION_SAMPLES as f64;
-        let noise_scale =
-            cluster.isolation().measurement_noise(self.resource) + config.base_noise;
+        let noise_scale = cluster.isolation().measurement_noise(self.resource) + config.base_noise;
 
         // A small adversarial VM cannot drive a host-wide resource to
         // saturation: its achievable intensity tops out with its vCPU
@@ -195,8 +197,7 @@ mod tests {
         let mut r = rng();
         let mut cluster =
             Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default()).unwrap();
-        let adv_profile =
-            catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut r);
+        let adv_profile = catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut r);
         let adv = cluster
             .launch_on(0, adv_profile, VmRole::Adversarial, 0.0)
             .unwrap();
@@ -219,7 +220,10 @@ mod tests {
         let (cluster, adv) = setup(PressureVector::from_pairs(&[(Resource::MemBw, 60.0)]));
         let bench = Microbenchmark::new(Resource::MemBw);
         let mut r = rng();
-        let config = RampConfig { base_noise: 0.5, ..RampConfig::default() };
+        let config = RampConfig {
+            base_noise: 0.5,
+            ..RampConfig::default()
+        };
         let reading = bench.measure(&cluster, adv, 0.0, &config, &mut r).unwrap();
         assert!(
             (reading.pressure - 60.0).abs() <= 8.0,
@@ -236,7 +240,11 @@ mod tests {
         let reading = bench
             .measure(&cluster, adv, 0.0, &RampConfig::default(), &mut r)
             .unwrap();
-        assert!(reading.pressure < 10.0, "idle disk read {}", reading.pressure);
+        assert!(
+            reading.pressure < 10.0,
+            "idle disk read {}",
+            reading.pressure
+        );
     }
 
     #[test]
@@ -249,7 +257,10 @@ mod tests {
         assert!(float > 0.0 && float < 0.3);
         let bench = Microbenchmark::new(Resource::L1i);
         let mut r = rng();
-        let config = RampConfig { base_noise: 0.0, ..RampConfig::default() };
+        let config = RampConfig {
+            base_noise: 0.0,
+            ..RampConfig::default()
+        };
         let reading = bench.measure(&cluster, adv, 0.0, &config, &mut r).unwrap();
         assert!(
             reading.pressure <= 90.0 * float + 10.0,
@@ -267,13 +278,23 @@ mod tests {
     fn higher_pressure_detected_earlier_and_reported_larger() {
         let mut r = rng();
         let bench = Microbenchmark::new(Resource::NetBw);
-        let config = RampConfig { base_noise: 0.5, ..RampConfig::default() };
+        let config = RampConfig {
+            base_noise: 0.5,
+            ..RampConfig::default()
+        };
         let (c_low, adv_low) = setup(PressureVector::from_pairs(&[(Resource::NetBw, 20.0)]));
         let (c_high, adv_high) = setup(PressureVector::from_pairs(&[(Resource::NetBw, 80.0)]));
-        let low = bench.measure(&c_low, adv_low, 0.0, &config, &mut r).unwrap();
-        let high = bench.measure(&c_high, adv_high, 0.0, &config, &mut r).unwrap();
+        let low = bench
+            .measure(&c_low, adv_low, 0.0, &config, &mut r)
+            .unwrap();
+        let high = bench
+            .measure(&c_high, adv_high, 0.0, &config, &mut r)
+            .unwrap();
         assert!(high.pressure > low.pressure + 30.0);
-        assert!(high.duration_s < low.duration_s, "high pressure should knee sooner");
+        assert!(
+            high.duration_s < low.duration_s,
+            "high pressure should knee sooner"
+        );
     }
 
     #[test]
@@ -281,8 +302,16 @@ mod tests {
         let (cluster, adv) = setup(PressureVector::zero());
         let bench = Microbenchmark::new(Resource::Llc);
         let mut r = rng();
-        let coarse = RampConfig { step: 20.0, base_noise: 0.0, ..RampConfig::default() };
-        let fine = RampConfig { step: 2.0, base_noise: 0.0, ..RampConfig::default() };
+        let coarse = RampConfig {
+            step: 20.0,
+            base_noise: 0.0,
+            ..RampConfig::default()
+        };
+        let fine = RampConfig {
+            step: 2.0,
+            base_noise: 0.0,
+            ..RampConfig::default()
+        };
         let a = bench.measure(&cluster, adv, 0.0, &coarse, &mut r).unwrap();
         let b = bench.measure(&cluster, adv, 0.0, &fine, &mut r).unwrap();
         assert!(b.duration_s > a.duration_s);
@@ -295,8 +324,8 @@ mod tests {
         let mut r = rng();
         let mut cluster =
             Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default()).unwrap();
-        let adv_profile = catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut r)
-            .with_vcpus(1);
+        let adv_profile =
+            catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut r).with_vcpus(1);
         let adv = cluster
             .launch_on(0, adv_profile, VmRole::Adversarial, 0.0)
             .unwrap();
@@ -315,7 +344,10 @@ mod tests {
             )
             .unwrap();
         let bench = Microbenchmark::new(Resource::MemBw);
-        let config = RampConfig { base_noise: 0.0, ..RampConfig::default() };
+        let config = RampConfig {
+            base_noise: 0.0,
+            ..RampConfig::default()
+        };
         let reading = bench.measure(&cluster, adv, 0.0, &config, &mut r).unwrap();
         assert_eq!(
             reading.pressure, 0.0,

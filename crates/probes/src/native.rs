@@ -45,7 +45,9 @@ fn chase_pattern(len: usize, seed: u64) -> Vec<usize> {
     let mut state = seed | 1;
     // Sattolo's algorithm yields a single cycle through all slots.
     for i in (1..len).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % i;
         order.swap(i, j);
     }
@@ -190,11 +192,8 @@ pub fn disk_stream(bytes: usize) -> std::io::Result<KernelRun> {
     use std::io::{Read, Seek, SeekFrom, Write};
 
     assert!(bytes >= 4096, "buffer too small for a disk measurement");
-    let path = std::env::temp_dir().join(format!(
-        "bolt-probe-disk-{}-{}",
-        std::process::id(),
-        bytes
-    ));
+    let path =
+        std::env::temp_dir().join(format!("bolt-probe-disk-{}-{}", std::process::id(), bytes));
     let chunk = vec![0xB5u8; 64 * 1024];
     let start = Instant::now();
     let mut moved = 0u64;
@@ -235,7 +234,7 @@ mod tests {
     #[test]
     fn chase_pattern_is_single_full_cycle() {
         let next = chase_pattern(64, 42);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         let mut idx = 0;
         for _ in 0..64 {
             assert!(!seen[idx], "revisited slot {idx} before full cycle");

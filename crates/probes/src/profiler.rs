@@ -51,7 +51,10 @@ pub struct Snapshot {
 impl Snapshot {
     /// The readings as `(resource, pressure)` observation pairs.
     pub fn observations(&self) -> Vec<(Resource, f64)> {
-        self.readings.iter().map(|r| (r.resource, r.pressure)).collect()
+        self.readings
+            .iter()
+            .map(|r| (r.resource, r.pressure))
+            .collect()
     }
 
     /// The reading for `resource`, if it was probed.
@@ -222,8 +225,7 @@ mod tests {
         let mut r = rng();
         let mut cluster =
             Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default()).unwrap();
-        let adv_profile =
-            catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut r);
+        let adv_profile = catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut r);
         let adv = cluster
             .launch_on(0, adv_profile, VmRole::Adversarial, 0.0)
             .unwrap();
@@ -242,9 +244,19 @@ mod tests {
     fn default_snapshot_has_core_and_uncore() {
         let (cluster, adv) = setup(1);
         let mut r = rng();
-        let snap = Profiler::default().snapshot(&cluster, adv, 0.0, &mut r).unwrap();
-        let cores = snap.readings.iter().filter(|x| x.resource.is_core()).count();
-        let uncores = snap.readings.iter().filter(|x| x.resource.is_uncore()).count();
+        let snap = Profiler::default()
+            .snapshot(&cluster, adv, 0.0, &mut r)
+            .unwrap();
+        let cores = snap
+            .readings
+            .iter()
+            .filter(|x| x.resource.is_core())
+            .count();
+        let uncores = snap
+            .readings
+            .iter()
+            .filter(|x| x.resource.is_uncore())
+            .count();
         assert_eq!(cores, 1);
         // One uncore benchmark, plus a second only if the core probe read
         // (near) zero — under scheduler-float leakage it may not.
@@ -275,9 +287,18 @@ mod tests {
             }
         }
         let mut r = rng();
-        let snap = Profiler::default().snapshot(&cluster, adv, 0.0, &mut r).unwrap();
-        assert!(!snap.core_reading_is_zero(), "core must be shared at 16/16 threads");
-        assert_eq!(snap.readings.len(), 2, "no extra probe when core pressure seen");
+        let snap = Profiler::default()
+            .snapshot(&cluster, adv, 0.0, &mut r)
+            .unwrap();
+        assert!(
+            !snap.core_reading_is_zero(),
+            "core must be shared at 16/16 threads"
+        );
+        assert_eq!(
+            snap.readings.len(),
+            2,
+            "no extra probe when core pressure seen"
+        );
     }
 
     #[test]
@@ -329,7 +350,9 @@ mod tests {
     fn observations_expose_pairs() {
         let (cluster, adv) = setup(1);
         let mut r = rng();
-        let snap = Profiler::default().snapshot(&cluster, adv, 0.0, &mut r).unwrap();
+        let snap = Profiler::default()
+            .snapshot(&cluster, adv, 0.0, &mut r)
+            .unwrap();
         let obs = snap.observations();
         assert_eq!(obs.len(), snap.readings.len());
     }
@@ -340,7 +363,9 @@ mod tests {
         // dwell yields durations in the same order of magnitude.
         let (cluster, adv) = setup(1);
         let mut r = rng();
-        let snap = Profiler::default().snapshot(&cluster, adv, 0.0, &mut r).unwrap();
+        let snap = Profiler::default()
+            .snapshot(&cluster, adv, 0.0, &mut r)
+            .unwrap();
         assert!(
             (0.5..=10.0).contains(&snap.duration_s),
             "duration {} out of plausible range",

@@ -227,7 +227,10 @@ mod tests {
     fn zero_frames_rejected() {
         let mut r = rng();
         let (cluster, adv) = cluster_with(vec![steady_batch(&mut r)]);
-        let config = ShutterConfig { frames: 0, ..ShutterConfig::default() };
+        let config = ShutterConfig {
+            frames: 0,
+            ..ShutterConfig::default()
+        };
         assert!(matches!(
             capture(&cluster, adv, 0.0, &config, &mut r),
             Err(SimError::InvalidConfig { .. })

@@ -19,11 +19,14 @@ use bolt_linalg::sgd::{PqModel, SgdConfig};
 use bolt_linalg::stats::{pearson, weighted_pearson};
 use bolt_linalg::svd::{energy_rank, Svd};
 use bolt_linalg::LinalgError;
-use bolt_workloads::{
-    AppLabel, PressureVector, Resource, ResourceCharacteristics, RESOURCE_COUNT,
-};
+use bolt_workloads::{AppLabel, PressureVector, Resource, ResourceCharacteristics, RESOURCE_COUNT};
 
 use crate::dataset::TrainingData;
+
+/// Epoch count of the frozen-basis SGD completion
+/// (`solve_concept_coords`); also the multiplier behind
+/// [`RecommenderStats::sgd_iterations`].
+const SGD_EPOCHS: u64 = 600;
 
 /// Recommender configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +78,31 @@ impl Default for RecommenderConfig {
                 init_scale: 3.0,
             },
         }
+    }
+}
+
+/// Work counters accumulated across recommender invocations: how many
+/// SGD coordinate updates the completion stage ran, and whether each
+/// pair-pursuit decomposition used the pruned shortlist or fell back to
+/// the exact `K = n` search. Deterministic for a fixed input, so safe to
+/// fold into a telemetry stream that must be thread-count-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecommenderStats {
+    /// Individual SGD coordinate updates in [`HybridRecommender::recommend`]'s
+    /// completion stage (epochs × observed entries).
+    pub sgd_iterations: u64,
+    /// Pair searches that ran over the pruned single-fit shortlist.
+    pub shortlist_hits: u64,
+    /// Pair searches that ran the exact exhaustive loop.
+    pub exact_searches: u64,
+}
+
+impl RecommenderStats {
+    /// Folds another invocation's counters into this one.
+    pub fn merge(&mut self, other: RecommenderStats) {
+        self.sgd_iterations += other.sgd_iterations;
+        self.shortlist_hits += other.shortlist_hits;
+        self.exact_searches += other.exact_searches;
     }
 }
 
@@ -273,10 +301,22 @@ impl HybridRecommender {
         observations: &[(Resource, f64)],
         rng: &mut R,
     ) -> Result<Recommendation, LinalgError> {
-        let obs: Vec<(usize, f64)> = observations
-            .iter()
-            .map(|&(r, v)| (r.index(), v))
-            .collect();
+        self.recommend_with_stats(observations, rng, &mut RecommenderStats::default())
+    }
+
+    /// [`HybridRecommender::recommend`], additionally accumulating work
+    /// counters (SGD iterations) into `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::recommend`].
+    pub fn recommend_with_stats<R: Rng>(
+        &self,
+        observations: &[(Resource, f64)],
+        rng: &mut R,
+        stats: &mut RecommenderStats,
+    ) -> Result<Recommendation, LinalgError> {
+        let obs: Vec<(usize, f64)> = observations.iter().map(|&(r, v)| (r.index(), v)).collect();
         if obs.is_empty() {
             return Err(LinalgError::InsufficientData {
                 op: "recommend",
@@ -290,6 +330,7 @@ impl HybridRecommender {
             }
         }
         let w = self.solve_concept_coords(&obs, rng);
+        stats.sgd_iterations += SGD_EPOCHS * obs.len() as u64;
 
         // Reconstruct the dense profile from the concept coordinates:
         // unobserved resources default toward the training column means
@@ -346,7 +387,11 @@ impl HybridRecommender {
                 den += ex.reference[r];
             }
         }
-        let inst_level = if den > 0.0 { (num / den).clamp(0.05, 1.0) } else { 1.0 };
+        let inst_level = if den > 0.0 {
+            (num / den).clamp(0.05, 1.0)
+        } else {
+            1.0
+        };
         // The victim's level relative to the instance.
         let lambda = self.estimate_scale(best_index, observations).max(0.05);
         let total = (inst_level * lambda).clamp(0.05, 1.0);
@@ -438,7 +483,11 @@ impl HybridRecommender {
                 label: self.data.example(index).label.clone(),
                 index,
                 correlation,
-                share: if mass > 0.0 { correlation.max(0.0) / mass } else { 0.0 },
+                share: if mass > 0.0 {
+                    correlation.max(0.0) / mass
+                } else {
+                    0.0
+                },
             })
             .collect())
     }
@@ -458,7 +507,9 @@ impl HybridRecommender {
         }
         for &(_, v) in observations {
             if !v.is_finite() {
-                return Err(LinalgError::NonFiniteInput { op: "subspace match" });
+                return Err(LinalgError::NonFiniteInput {
+                    op: "subspace match",
+                });
             }
         }
         let dims: Vec<usize> = observations.iter().map(|&(r, _)| r.index()).collect();
@@ -496,7 +547,11 @@ impl HybridRecommender {
                 .map(|d| weights[d] * centered[d] * centered[d])
                 .sum();
             let denom = (na * nb).sqrt();
-            let sim = if denom > 0.0 { (num / denom).clamp(-1.0, 1.0) } else { 0.0 };
+            let sim = if denom > 0.0 {
+                (num / denom).clamp(-1.0, 1.0)
+            } else {
+                0.0
+            };
             raw.push((i, sim));
         }
         raw.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
@@ -535,8 +590,7 @@ impl HybridRecommender {
         // unfiltered scores so anti-correlated candidates keep their
         // negative evidence.
         let uncore_scores = self.subspace_raw(uncore_obs)?;
-        let uncore_sim: std::collections::HashMap<usize, f64> =
-            uncore_scores.into_iter().collect();
+        let uncore_sim: std::collections::HashMap<usize, f64> = uncore_scores.into_iter().collect();
         let obs_total: f64 = uncore_obs.iter().map(|&(_, v)| v).sum();
         let m = self.data.matrix();
         for s in &mut scores {
@@ -549,8 +603,7 @@ impl HybridRecommender {
             // Blend: core shape dominates, uncore agreement refines, and
             // impossible (super-additive) uncore demand penalizes relative
             // to the observed signal's size.
-            s.correlation =
-                0.65 * s.correlation + 0.35 * u - violation / (obs_total + 25.0);
+            s.correlation = 0.65 * s.correlation + 0.35 * u - violation / (obs_total + 25.0);
         }
         scores.sort_by(|a, b| b.correlation.partial_cmp(&a.correlation).expect("finite"));
         let mass: f64 = scores.iter().map(|s| s.correlation.max(0.0)).sum();
@@ -589,6 +642,27 @@ impl HybridRecommender {
         consistency: &[(Resource, f64)],
         max_components: usize,
     ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        self.decompose_mixture_with_stats(
+            observations,
+            consistency,
+            max_components,
+            &mut RecommenderStats::default(),
+        )
+    }
+
+    /// [`HybridRecommender::decompose_mixture`], additionally recording
+    /// whether the pair search ran pruned or exact into `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::decompose_mixture`].
+    pub fn decompose_mixture_with_stats(
+        &self,
+        observations: &[(Resource, f64)],
+        consistency: &[(Resource, f64)],
+        max_components: usize,
+        stats: &mut RecommenderStats,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
         let _ = consistency;
         validate_obs(observations)?;
         let dims: Vec<usize> = observations.iter().map(|&(r, _)| r.index()).collect();
@@ -609,6 +683,7 @@ impl HybridRecommender {
             &values,
             self.config.pair_shortlist,
             max_components,
+            stats,
         ))
     }
 
@@ -635,11 +710,30 @@ impl HybridRecommender {
         float_visibility: f64,
         max_components: usize,
     ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
-        let all: Vec<(Resource, f64)> = core_obs
-            .iter()
-            .chain(uncore_obs)
-            .copied()
-            .collect();
+        self.decompose_with_core_stats(
+            core_obs,
+            uncore_obs,
+            float_visibility,
+            max_components,
+            &mut RecommenderStats::default(),
+        )
+    }
+
+    /// [`HybridRecommender::decompose_with_core`], additionally recording
+    /// whether the pair search ran pruned or exact into `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::decompose_with_core`].
+    pub fn decompose_with_core_stats(
+        &self,
+        core_obs: &[(Resource, f64)],
+        uncore_obs: &[(Resource, f64)],
+        float_visibility: f64,
+        max_components: usize,
+        stats: &mut RecommenderStats,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        let all: Vec<(Resource, f64)> = core_obs.iter().chain(uncore_obs).copied().collect();
         validate_obs(&all)?;
         let dims: Vec<usize> = all.iter().map(|&(r, _)| r.index()).collect();
         let weights: Vec<f64> = dims.iter().map(|&j| self.information_weight(j)).collect();
@@ -680,6 +774,7 @@ impl HybridRecommender {
             &values,
             self.config.pair_shortlist,
             max_components,
+            stats,
         ))
     }
 
@@ -738,10 +833,7 @@ impl HybridRecommender {
         observations: &[(Resource, f64)],
         rng: &mut R,
     ) -> Result<PressureVector, LinalgError> {
-        let obs: Vec<(usize, f64)> = observations
-            .iter()
-            .map(|&(r, v)| (r.index(), v))
-            .collect();
+        let obs: Vec<(usize, f64)> = observations.iter().map(|&(r, v)| (r.index(), v)).collect();
         let raw = self.pq.fold_in(&obs, rng)?;
         let mut vals = [0.0; RESOURCE_COUNT];
         for (i, v) in raw.iter().enumerate() {
@@ -764,7 +856,7 @@ impl HybridRecommender {
         let lr = 0.05;
         let reg = 0.002;
         let mut order: Vec<usize> = (0..obs.len()).collect();
-        for _ in 0..600 {
+        for _ in 0..SGD_EPOCHS {
             // Stochastic order over the observed entries.
             for i in (1..order.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -797,8 +889,7 @@ impl HybridRecommender {
                 }
                 let dot: f64 = (0..RESOURCE_COUNT)
                     .map(|j| {
-                        (profile.as_slice()[j] - self.col_means[j]) / self.col_stds[j]
-                            * v[(j, k)]
+                        (profile.as_slice()[j] - self.col_means[j]) / self.col_stds[j] * v[(j, k)]
                     })
                     .sum();
                 dot / sigma[k]
@@ -850,6 +941,7 @@ fn pair_pursuit(
     values: &[f64],
     shortlist: usize,
     max_components: usize,
+    stats: &mut RecommenderStats,
 ) -> Vec<(usize, f64, f64)> {
     let total_energy: f64 = (0..target.len())
         .map(|d| weights[d] * target[d] * target[d])
@@ -926,6 +1018,7 @@ fn pair_pursuit(
     // Shortlist: the true pair members each explain a large share of the
     // summed signal on their own, so keep only the best single fits.
     let candidates: Vec<usize> = if single_fit.len() > shortlist {
+        stats.shortlist_hits += 1;
         single_fit.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite errors"));
         single_fit.truncate(shortlist.max(2));
         let mut keep: Vec<usize> = single_fit.into_iter().map(|(a, _)| a).collect();
@@ -934,6 +1027,7 @@ fn pair_pursuit(
         keep.sort_unstable();
         keep
     } else {
+        stats.exact_searches += 1;
         single_fit.into_iter().map(|(a, _)| a).collect()
     };
 
@@ -1132,8 +1226,7 @@ mod tests {
     #[test]
     fn weighted_and_plain_pearson_can_disagree() {
         let data = TrainingData::from_profiles(&training_set(7)).unwrap();
-        let weighted =
-            HybridRecommender::fit(data.clone(), RecommenderConfig::default()).unwrap();
+        let weighted = HybridRecommender::fit(data.clone(), RecommenderConfig::default()).unwrap();
         let plain = HybridRecommender::fit(
             data,
             RecommenderConfig {
@@ -1153,6 +1246,37 @@ mod tests {
             .zip(&b)
             .any(|(x, y)| (x.correlation - y.correlation).abs() > 1e-6 || x.index != y.index);
         assert!(differs, "weighting should change the score landscape");
+    }
+
+    #[test]
+    fn stats_count_sgd_and_pair_search_modes() {
+        let rec = recommender();
+        let mut r = rng();
+        let mut stats = RecommenderStats::default();
+        let obs = [
+            (Resource::L1i, 80.0),
+            (Resource::Llc, 76.0),
+            (Resource::DiskBw, 0.0),
+        ];
+        rec.recommend_with_stats(&obs, &mut r, &mut stats).unwrap();
+        assert_eq!(stats.sgd_iterations, SGD_EPOCHS * 3);
+        // The plain mixture search over the 120-app dictionary fits inside
+        // the default shortlist (128), so it stays exact...
+        rec.decompose_mixture_with_stats(&obs, &[], 2, &mut stats)
+            .unwrap();
+        assert_eq!(stats.exact_searches, 1);
+        assert_eq!(stats.shortlist_hits, 0);
+        // ...while the 3-hypothesis joint core/uncore dictionary (360
+        // atoms) is pruned.
+        let core = [(Resource::L1i, 40.0), (Resource::L2, 30.0)];
+        let uncore = [(Resource::Llc, 30.0), (Resource::MemBw, 20.0)];
+        rec.decompose_with_core_stats(&core, &uncore, 0.5, 2, &mut stats)
+            .unwrap();
+        assert_eq!(stats.shortlist_hits, 1);
+
+        let mut merged = RecommenderStats::default();
+        merged.merge(stats);
+        assert_eq!(merged, stats);
     }
 
     #[test]

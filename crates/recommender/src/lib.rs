@@ -27,4 +27,6 @@ mod dataset;
 mod hybrid;
 
 pub use dataset::{TrainingData, TrainingExample};
-pub use hybrid::{HybridRecommender, Recommendation, RecommenderConfig, SimilarityScore};
+pub use hybrid::{
+    HybridRecommender, Recommendation, RecommenderConfig, RecommenderStats, SimilarityScore,
+};

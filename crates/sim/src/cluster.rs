@@ -319,11 +319,7 @@ impl Cluster {
     /// * [`SimError::UnknownVm`] if the VM does not exist.
     /// * [`SimError::InsufficientCapacity`] if a larger replacement does
     ///   not fit (the original VM is restored).
-    pub fn swap_profile(
-        &mut self,
-        id: VmId,
-        profile: WorkloadProfile,
-    ) -> Result<(), SimError> {
+    pub fn swap_profile(&mut self, id: VmId, profile: WorkloadProfile) -> Result<(), SimError> {
         let (server, old_vcpus) = {
             let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
             (state.server, state.vcpus())
@@ -384,7 +380,10 @@ impl Cluster {
         id: VmId,
         pressure: Option<PressureVector>,
     ) -> Result<(), SimError> {
-        let state = self.vms.get_mut(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        let state = self
+            .vms
+            .get_mut(&id)
+            .ok_or(SimError::UnknownVm { vm: id })?;
         state.pressure_override = pressure;
         Ok(())
     }
@@ -684,9 +683,12 @@ impl Cluster {
     /// defense's target choice.
     pub fn least_loaded_server(&self, vcpus: u32) -> Option<usize> {
         let core_iso = self.isolation.mechanisms.core_isolation;
+        // `max_by_key` keeps the *last* maximal element, so the index enters
+        // the key (reversed) to break free-thread ties toward the lowest
+        // index, as documented.
         (0..self.servers.len())
             .filter(|&i| self.servers[i].can_host(vcpus, core_iso))
-            .max_by_key(|&i| self.servers[i].free_threads())
+            .max_by_key(|&i| (self.servers[i].free_threads(), std::cmp::Reverse(i)))
     }
 }
 
@@ -726,7 +728,9 @@ mod tests {
     fn launch_and_terminate_lifecycle() {
         let mut r = rng();
         let mut c = cluster(2);
-        let id = c.launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let id = c
+            .launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         assert_eq!(c.vm(id).unwrap().server, 1);
         assert_eq!(c.vms_on(1), vec![id]);
         c.terminate(id).unwrap();
@@ -749,7 +753,8 @@ mod tests {
         let mut r = rng();
         let mut c = cluster(1);
         for _ in 0..4 {
-            c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+            c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+                .unwrap();
         }
         match c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0) {
             Err(SimError::InsufficientCapacity { server, .. }) => assert_eq!(server, 0),
@@ -761,7 +766,9 @@ mod tests {
     fn solo_vm_sees_zero_interference() {
         let mut r = rng();
         let mut c = cluster(1);
-        let id = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let id = c
+            .launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         let i = c.interference_on(id, 10.0, &mut r).unwrap();
         assert!(i.is_zero(), "solo VM should see no contention, got {i}");
     }
@@ -770,11 +777,18 @@ mod tests {
     fn colocated_vms_see_uncore_interference() {
         let mut r = rng();
         let mut c = cluster(1);
-        let a = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
-        let _b = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let a = c
+            .launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0)
+            .unwrap();
+        let _b = c
+            .launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         let i = c.interference_on(a, 10.0, &mut r).unwrap();
         // Hadoop's disk traffic is uncore and fully visible.
-        assert!(i[Resource::DiskBw] > 10.0, "expected disk contention, got {i}");
+        assert!(
+            i[Resource::DiskBw] > 10.0,
+            "expected disk contention, got {i}"
+        );
     }
 
     #[test]
@@ -791,14 +805,22 @@ mod tests {
         };
         let mut c = Cluster::new(1, ServerSpec::xeon(), isolation).unwrap();
         // Two 4-vCPU VMs spread over 8 cores: no core sharing.
-        let a = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
-        let b = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let a = c
+            .launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0)
+            .unwrap();
+        let b = c
+            .launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         let i = c.interference_on(a, 5.0, &mut r).unwrap();
         assert_eq!(i[Resource::L1i], 0.0, "no core shared -> no L1i contention");
 
         // A third 4-vCPU VM and a fourth force sibling sharing.
-        let _c3 = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
-        let _c4 = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let _c3 = c
+            .launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
+        let _c4 = c
+            .launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         let i2 = c.interference_on(a, 5.0, &mut r).unwrap();
         assert!(
             i2[Resource::L1i] > 0.0,
@@ -811,9 +833,13 @@ mod tests {
     fn interference_saturates_at_100() {
         let mut r = rng();
         let mut c = cluster(1);
-        let a = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        let a = c
+            .launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0)
+            .unwrap();
         for _ in 0..3 {
-            let id = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+            let id = c
+                .launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0)
+                .unwrap();
             c.set_pressure_override(id, Some(PressureVector::from_raw([100.0; 10])))
                 .unwrap();
         }
@@ -826,8 +852,12 @@ mod tests {
     fn pressure_override_replaces_profile_pressure() {
         let mut r = rng();
         let mut c = cluster(1);
-        let a = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
-        let b = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let a = c
+            .launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0)
+            .unwrap();
+        let b = c
+            .launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         c.set_pressure_override(
             b,
             Some(PressureVector::from_pairs(&[(Resource::NetBw, 90.0)])),
@@ -835,17 +865,26 @@ mod tests {
         .unwrap();
         let i = c.interference_on(a, 0.0, &mut r).unwrap();
         assert!((i[Resource::NetBw] - 90.0).abs() < 1e-9);
-        assert_eq!(i[Resource::DiskBw], 0.0, "override suppresses profile pressure");
+        assert_eq!(
+            i[Resource::DiskBw],
+            0.0,
+            "override suppresses profile pressure"
+        );
         c.set_pressure_override(b, None).unwrap();
         let i2 = c.interference_on(a, 0.0, &mut r).unwrap();
-        assert!(i2[Resource::DiskBw] > 0.0, "cleared override restores profile");
+        assert!(
+            i2[Resource::DiskBw] > 0.0,
+            "cleared override restores profile"
+        );
     }
 
     #[test]
     fn migration_moves_vm_and_frees_source() {
         let mut r = rng();
         let mut c = cluster(2);
-        let id = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let id = c
+            .launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         c.migrate(id, 1).unwrap();
         assert_eq!(c.vm(id).unwrap().server, 1);
         assert_eq!(c.server(0).unwrap().used_threads(), 0);
@@ -857,11 +896,18 @@ mod tests {
         let mut r = rng();
         let mut c = cluster(2);
         for _ in 0..4 {
-            c.launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+            c.launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0)
+                .unwrap();
         }
-        let id = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let id = c
+            .launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         assert!(c.migrate(id, 1).is_err());
-        assert_eq!(c.vm(id).unwrap().server, 0, "failed migration must not move the VM");
+        assert_eq!(
+            c.vm(id).unwrap().server,
+            0,
+            "failed migration must not move the VM"
+        );
     }
 
     #[test]
@@ -869,13 +915,20 @@ mod tests {
         let mut r = rng();
         let mut c = cluster(1);
         assert_eq!(c.cpu_utilization(0, 0.0, &mut r).unwrap(), 0.0);
-        let id = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let id = c
+            .launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         let u1 = c.cpu_utilization(0, 0.0, &mut r).unwrap();
         assert!(u1 > 10.0, "hadoop should keep cpus busy, got {u1}");
         // A compute-saturating attacker drives occupied-thread utilization up.
-        let atk = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
-        c.set_pressure_override(atk, Some(PressureVector::from_pairs(&[(Resource::Cpu, 100.0)])))
+        let atk = c
+            .launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0)
             .unwrap();
+        c.set_pressure_override(
+            atk,
+            Some(PressureVector::from_pairs(&[(Resource::Cpu, 100.0)])),
+        )
+        .unwrap();
         let u2 = c.cpu_utilization(0, 0.0, &mut r).unwrap();
         assert!(u2 > u1, "attack should raise utilization: {u2} vs {u1}");
         let _ = id;
@@ -885,9 +938,13 @@ mod tests {
     fn performance_degrades_under_targeted_contention() {
         let mut r = rng();
         let mut c = cluster(1);
-        let victim = c.launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0).unwrap();
+        let victim = c
+            .launch_on(0, memcached(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         let (lat0, _) = c.performance_of(victim, 10.0, &mut r).unwrap();
-        let atk = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
+        let atk = c
+            .launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0)
+            .unwrap();
         c.set_pressure_override(
             atk,
             Some(PressureVector::from_pairs(&[
@@ -897,7 +954,10 @@ mod tests {
         )
         .unwrap();
         let (lat1, slow) = c.performance_of(victim, 10.0, &mut r).unwrap();
-        assert!(lat1 > lat0 * 1.5, "latency should inflate: {lat0} -> {lat1}");
+        assert!(
+            lat1 > lat0 * 1.5,
+            "latency should inflate: {lat0} -> {lat1}"
+        );
         assert!(slow > 1.5);
     }
 
@@ -908,13 +968,25 @@ mod tests {
         // Adversary takes cores 0-3 (sibling 0). Two 6-vCPU victims fill
         // the rest: each ends up on a different subset of the adversary's
         // sibling threads.
-        let adv = c.launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0).unwrap();
-        let v1 = c.launch_on(0, memcached(&mut r).with_vcpus(6), VmRole::Friendly, 0.0).unwrap();
-        let v2 = c.launch_on(0, memcached(&mut r).with_vcpus(6), VmRole::Friendly, 0.0).unwrap();
-        c.set_pressure_override(v1, Some(PressureVector::from_pairs(&[(Resource::L1i, 80.0)])))
+        let adv = c
+            .launch_on(0, memcached(&mut r), VmRole::Adversarial, 0.0)
             .unwrap();
-        c.set_pressure_override(v2, Some(PressureVector::from_pairs(&[(Resource::L1d, 70.0)])))
+        let v1 = c
+            .launch_on(0, memcached(&mut r).with_vcpus(6), VmRole::Friendly, 0.0)
             .unwrap();
+        let v2 = c
+            .launch_on(0, memcached(&mut r).with_vcpus(6), VmRole::Friendly, 0.0)
+            .unwrap();
+        c.set_pressure_override(
+            v1,
+            Some(PressureVector::from_pairs(&[(Resource::L1i, 80.0)])),
+        )
+        .unwrap();
+        c.set_pressure_override(
+            v2,
+            Some(PressureVector::from_pairs(&[(Resource::L1d, 70.0)])),
+        )
+        .unwrap();
         let adv_cores = c.vm(adv).unwrap().cores(2);
         // Across the adversary's cores, some see v1's L1i signature and
         // others see v2's L1d signature — never a blend on one core unless
@@ -946,7 +1018,9 @@ mod tests {
         use crate::trace::TraceEvent;
         let mut r = rng();
         let mut c = cluster(2);
-        let id = c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 5.0).unwrap();
+        let id = c
+            .launch_on(0, hadoop(&mut r), VmRole::Friendly, 5.0)
+            .unwrap();
         c.migrate(id, 1).unwrap();
         c.swap_profile(id, memcached(&mut r)).unwrap();
         c.terminate(id).unwrap();
@@ -967,10 +1041,27 @@ mod tests {
     fn least_loaded_prefers_emptier_server() {
         let mut r = rng();
         let mut c = cluster(3);
-        c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
-        c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
-        c.launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+        c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
+        c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
+        c.launch_on(1, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
         assert_eq!(c.least_loaded_server(4), Some(2));
+    }
+
+    #[test]
+    fn least_loaded_ties_break_to_lowest_index() {
+        let mut r = rng();
+        // All servers equally free: the documented tie-break picks index 0.
+        let c = cluster(3);
+        assert_eq!(c.least_loaded_server(4), Some(0));
+        // Load server 0 so servers 1 and 2 tie: the lowest index of the
+        // tied pair wins, not the last one `max_by_key` would keep.
+        let mut c = cluster(3);
+        c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+            .unwrap();
+        assert_eq!(c.least_loaded_server(4), Some(1));
     }
 
     #[test]
@@ -978,7 +1069,8 @@ mod tests {
         let mut r = rng();
         let mut c = cluster(1);
         for _ in 0..4 {
-            c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0).unwrap();
+            c.launch_on(0, hadoop(&mut r), VmRole::Friendly, 0.0)
+                .unwrap();
         }
         assert_eq!(c.least_loaded_server(4), None);
         assert_eq!(c.least_loaded_server(0), Some(0));

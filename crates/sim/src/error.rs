@@ -45,8 +45,14 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::UnknownServer { server, cluster_size } => {
-                write!(f, "server {server} does not exist in a {cluster_size}-server cluster")
+            SimError::UnknownServer {
+                server,
+                cluster_size,
+            } => {
+                write!(
+                    f,
+                    "server {server} does not exist in a {cluster_size}-server cluster"
+                )
             }
             SimError::UnknownVm { vm } => write!(f, "unknown vm {vm}"),
             SimError::InsufficientCapacity {

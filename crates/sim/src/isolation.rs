@@ -73,11 +73,26 @@ impl Mechanisms {
     /// `[none, +pinning, +net, +mem, +cache, +core]`.
     pub fn cumulative_stacks() -> [Mechanisms; 6] {
         let none = Mechanisms::none();
-        let pin = Mechanisms { thread_pinning: true, ..none };
-        let net = Mechanisms { net_bw_partitioning: true, ..pin };
-        let mem = Mechanisms { mem_bw_partitioning: true, ..net };
-        let cache = Mechanisms { cache_partitioning: true, ..mem };
-        let core = Mechanisms { core_isolation: true, ..cache };
+        let pin = Mechanisms {
+            thread_pinning: true,
+            ..none
+        };
+        let net = Mechanisms {
+            net_bw_partitioning: true,
+            ..pin
+        };
+        let mem = Mechanisms {
+            mem_bw_partitioning: true,
+            ..net
+        };
+        let cache = Mechanisms {
+            cache_partitioning: true,
+            ..mem
+        };
+        let core = Mechanisms {
+            core_isolation: true,
+            ..cache
+        };
         [none, pin, net, mem, cache, core]
     }
 
@@ -156,9 +171,7 @@ impl IsolationConfig {
             Resource::Llc if m.cache_partitioning => factor *= 0.04,
             // Core isolation eliminates cross-tenant core sharing, so no
             // foreign pressure reaches core-private resources at all.
-            Resource::L1i | Resource::L1d | Resource::L2 | Resource::Cpu
-                if m.core_isolation =>
-            {
+            Resource::L1i | Resource::L1d | Resource::L2 | Resource::Cpu if m.core_isolation => {
                 factor = 0.0
             }
             _ => {}
@@ -290,7 +303,10 @@ mod tests {
         for setting in OsSetting::ALL {
             let mut prev: Option<f64> = None;
             for mech in Mechanisms::cumulative_stacks() {
-                let c = IsolationConfig { setting, mechanisms: mech };
+                let c = IsolationConfig {
+                    setting,
+                    mechanisms: mech,
+                };
                 let total: f64 = Resource::ALL.iter().map(|&r| c.attenuation(r)).sum();
                 if let Some(p) = prev {
                     assert!(
@@ -318,7 +334,9 @@ mod tests {
                 ..Mechanisms::none()
             },
         };
-        assert!(pinned.measurement_noise(Resource::L1i) < unpinned.measurement_noise(Resource::L1i));
+        assert!(
+            pinned.measurement_noise(Resource::L1i) < unpinned.measurement_noise(Resource::L1i)
+        );
         assert_eq!(unpinned.measurement_noise(Resource::NetBw), 0.0);
     }
 

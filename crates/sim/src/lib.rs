@@ -44,6 +44,7 @@ mod error;
 pub mod isolation;
 pub mod scheduler;
 pub mod server;
+pub mod telemetry;
 pub mod trace;
 pub mod vm;
 
@@ -52,5 +53,6 @@ pub use error::SimError;
 pub use isolation::{IsolationConfig, Mechanisms, OsSetting};
 pub use scheduler::{LeastLoaded, Quasar, Scheduler};
 pub use server::{Server, ServerSpec};
+pub use telemetry::{EventSink, NullSink, VecSink};
 pub use trace::TraceEvent;
 pub use vm::{VmId, VmRole, VmState};

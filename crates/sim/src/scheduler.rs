@@ -144,7 +144,8 @@ mod tests {
             DatasetScale::Medium,
             &mut r,
         );
-        c.launch_on(0, spark.clone(), VmRole::Friendly, 0.0).unwrap();
+        c.launch_on(0, spark.clone(), VmRole::Friendly, 0.0)
+            .unwrap();
         c.launch_on(1, hadoop, VmRole::Friendly, 0.0).unwrap();
         // A second memory-bound Spark job should land next to Hadoop, not
         // next to the first Spark job.

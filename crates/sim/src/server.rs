@@ -97,7 +97,11 @@ impl Server {
     pub fn free_whole_cores(&self) -> u32 {
         let tpc = self.spec.threads_per_core as usize;
         (0..self.spec.cores as usize)
-            .filter(|&c| self.slots[c * tpc..(c + 1) * tpc].iter().all(Option::is_none))
+            .filter(|&c| {
+                self.slots[c * tpc..(c + 1) * tpc]
+                    .iter()
+                    .all(Option::is_none)
+            })
             .count() as u32
     }
 
@@ -115,8 +119,7 @@ impl Server {
     /// True if the server can host a `vcpus`-sized VM.
     pub fn can_host(&self, vcpus: u32, core_isolation: bool) -> bool {
         if core_isolation {
-            self.free_whole_cores() * self.spec.threads_per_core
-                >= self.threads_needed(vcpus, true)
+            self.free_whole_cores() * self.spec.threads_per_core >= self.threads_needed(vcpus, true)
         } else {
             self.free_threads() >= vcpus
         }
@@ -168,7 +171,10 @@ impl Server {
                 if taken == cores_needed {
                     break;
                 }
-                if self.slots[c * tpc..(c + 1) * tpc].iter().all(Option::is_none) {
+                if self.slots[c * tpc..(c + 1) * tpc]
+                    .iter()
+                    .all(Option::is_none)
+                {
                     for s in 0..tpc {
                         chosen.push(c * tpc + s);
                     }
@@ -319,7 +325,11 @@ mod tests {
 
     #[test]
     fn zero_topology_rejected() {
-        assert!(Server::new(ServerSpec { cores: 0, threads_per_core: 2 }).is_err());
+        assert!(Server::new(ServerSpec {
+            cores: 0,
+            threads_per_core: 2
+        })
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Reusable event-sink abstraction for structured telemetry.
+//!
+//! The simulator already produces a [`crate::TraceEvent`] log; higher
+//! layers (the detection pipeline in `bolt`) produce richer events of
+//! their own. This module defines the minimal sink contract both share:
+//! something that accepts events and can report whether recording is
+//! enabled, so producers can skip event construction entirely when it
+//! is not.
+//!
+//! # Example
+//!
+//! ```
+//! use bolt_sim::telemetry::{EventSink, NullSink, VecSink};
+//!
+//! let mut sink = VecSink::new();
+//! sink.record("launched");
+//! assert_eq!(sink.events(), ["launched"]);
+//!
+//! let mut off: NullSink = NullSink;
+//! assert!(!EventSink::<&str>::enabled(&off));
+//! EventSink::record(&mut off, "dropped");
+//! ```
+
+/// A destination for telemetry events of type `E`.
+///
+/// Producers should guard any non-trivial event construction behind
+/// [`EventSink::enabled`] so a disabled sink costs nothing beyond the
+/// branch.
+pub trait EventSink<E> {
+    /// Accepts one event.
+    fn record(&mut self, event: E);
+
+    /// Whether recording is active. Producers may skip building events
+    /// (and taking timestamps) when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that discards everything — the zero-cost disabled path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl<E> EventSink<E> for NullSink {
+    fn record(&mut self, _event: E) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that buffers events in memory, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink<E> {
+    events: Vec<E>,
+}
+
+impl<E> VecSink<E> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        VecSink { events: Vec::new() }
+    }
+
+    /// The buffered events, in arrival order.
+    pub fn events(&self) -> &[E] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the buffered events.
+    pub fn into_events(self) -> Vec<E> {
+        self.events
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<E> EventSink<E> for VecSink<E> {
+    fn record(&mut self, event: E) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_buffers_in_order() {
+        let mut sink = VecSink::new();
+        assert!(sink.is_empty());
+        sink.record(1);
+        sink.record(2);
+        assert!(EventSink::<i32>::enabled(&sink));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events(), [1, 2]);
+        assert_eq!(sink.into_events(), vec![1, 2]);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullSink;
+        assert!(!EventSink::<i32>::enabled(&sink));
+        EventSink::record(&mut sink, 1);
+    }
+}

@@ -16,6 +16,13 @@ impl VmId {
         self.0
     }
 
+    /// Rebuilds an id from a raw value, e.g. when decoding a serialized
+    /// telemetry trace. Live ids are assigned by [`crate::Cluster`]; a
+    /// reconstructed id only identifies a VM within the trace it came from.
+    pub fn from_raw(raw: u64) -> Self {
+        VmId(raw)
+    }
+
     /// Builds an id from a raw value, for tests that drive [`crate::Server`]
     /// directly. Real ids are assigned by [`crate::Cluster`].
     #[doc(hidden)]

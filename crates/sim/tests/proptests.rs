@@ -2,7 +2,7 @@
 //! invariants.
 
 use bolt_sim::vm::VmRole;
-use bolt_sim::{Cluster, IsolationConfig, Mechanisms, OsSetting, Server, ServerSpec};
+use bolt_sim::{Cluster, IsolationConfig, Mechanisms, OsSetting, Server, ServerSpec, TraceEvent};
 use bolt_workloads::{catalog, Resource};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -126,6 +126,81 @@ proptest! {
         prop_assert!(config.performance_penalty() >= 1.0);
         prop_assert!((0.0..1.0).contains(&config.utilization_penalty()));
         prop_assert!(config.float_visibility() >= 0.0 && config.float_visibility() < 1.0);
+    }
+
+    #[test]
+    fn trace_events_reference_previously_launched_vms(
+        seed in 0u64..300,
+        ops in proptest::collection::vec((0u8..4, 0usize..64), 1..40),
+    ) {
+        // Drive a random launch/terminate/migrate/swap schedule, then
+        // check the trace invariant: every Terminate, Migrate, and
+        // SwapProfile names a VM some earlier Launch introduced.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cluster = Cluster::new(
+            4,
+            ServerSpec::xeon(),
+            IsolationConfig::cloud_default(),
+        )
+        .expect("cluster");
+        let mut live: Vec<bolt_sim::VmId> = Vec::new();
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    let p = catalog::memcached::profile(
+                        &catalog::memcached::Variant::Mixed,
+                        &mut rng,
+                    );
+                    if let Some(s) = cluster.least_loaded_server(p.vcpus()) {
+                        let id = cluster
+                            .launch_on(s, p, VmRole::Friendly, 0.0)
+                            .expect("server reported capacity");
+                        live.push(id);
+                    }
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let id = live.remove(pick % live.len());
+                        cluster.terminate(id).expect("vm is live");
+                    }
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let id = live[pick % live.len()];
+                        let state = cluster.vm(id).expect("vm is live");
+                        let (from, vcpus) = (state.server, state.vcpus());
+                        if let Some(target) =
+                            cluster.least_loaded_server(vcpus).filter(|&s| s != from)
+                        {
+                            cluster.migrate(id, target).expect("target has room");
+                        }
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let id = live[pick % live.len()];
+                        let p = catalog::memcached::profile(
+                            &catalog::memcached::Variant::ReadHeavyKb,
+                            &mut rng,
+                        );
+                        let _ = cluster.swap_profile(id, p);
+                    }
+                }
+            }
+        }
+        let mut launched = std::collections::HashSet::new();
+        for event in cluster.events() {
+            match event {
+                TraceEvent::Launch { vm, .. } => {
+                    prop_assert!(launched.insert(*vm), "VM launched twice");
+                }
+                other => prop_assert!(
+                    launched.contains(&other.vm()),
+                    "`{}` refers to a VM the trace never launched",
+                    other.describe()
+                ),
+            }
+        }
     }
 
     #[test]

@@ -121,11 +121,7 @@ impl Algorithm {
 ///
 /// Hadoop jobs run at a steady load until completion — the constant-load
 /// profile that makes shutter profiling *less* effective (paper §3.3).
-pub fn profile<R: Rng>(
-    algorithm: &Algorithm,
-    scale: DatasetScale,
-    rng: &mut R,
-) -> WorkloadProfile {
+pub fn profile<R: Rng>(algorithm: &Algorithm, scale: DatasetScale, rng: &mut R) -> WorkloadProfile {
     let runtime = match scale {
         DatasetScale::Small => 180.0,
         DatasetScale::Medium => 600.0,

@@ -135,7 +135,11 @@ mod tests {
             let p = profile(&v, &mut rng);
             let base = p.base_pressure();
             // Very high instruction-cache pressure...
-            assert!(base[Resource::L1i] > 60.0, "{v:?} L1i {}", base[Resource::L1i]);
+            assert!(
+                base[Resource::L1i] > 60.0,
+                "{v:?} L1i {}",
+                base[Resource::L1i]
+            );
             // ...and exactly zero disk traffic.
             assert_eq!(base[Resource::DiskBw], 0.0);
             assert_eq!(base[Resource::DiskCap], 0.0);

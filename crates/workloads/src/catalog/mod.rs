@@ -93,10 +93,7 @@ mod tests {
 
     #[test]
     fn scale_capacity_shrinks_small_datasets() {
-        let base = PressureVector::from_pairs(&[
-            (Resource::MemCap, 80.0),
-            (Resource::L1i, 60.0),
-        ]);
+        let base = PressureVector::from_pairs(&[(Resource::MemCap, 80.0), (Resource::L1i, 60.0)]);
         let small = scale_capacity(&base, DatasetScale::Small);
         let large = scale_capacity(&base, DatasetScale::Large);
         assert!(small[Resource::MemCap] < large[Resource::MemCap]);

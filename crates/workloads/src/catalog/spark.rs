@@ -102,11 +102,7 @@ impl Algorithm {
 }
 
 /// Builds a Spark job profile for `algorithm` on a dataset of `scale`.
-pub fn profile<R: Rng>(
-    algorithm: &Algorithm,
-    scale: DatasetScale,
-    rng: &mut R,
-) -> WorkloadProfile {
+pub fn profile<R: Rng>(algorithm: &Algorithm, scale: DatasetScale, rng: &mut R) -> WorkloadProfile {
     let runtime = match scale {
         DatasetScale::Small => 120.0,
         DatasetScale::Medium => 420.0,
@@ -152,7 +148,10 @@ mod tests {
 
     #[test]
     fn kmeans_dominant_resource_is_memory_bandwidth() {
-        assert_eq!(Algorithm::KMeans.base_pressure().dominant(), Resource::MemBw);
+        assert_eq!(
+            Algorithm::KMeans.base_pressure().dominant(),
+            Resource::MemBw
+        );
     }
 
     #[test]
@@ -162,8 +161,6 @@ mod tests {
         let s = profile(&Algorithm::KMeans, DatasetScale::Medium, &mut rng);
         let h = hadoop::profile(&hadoop::Algorithm::KMeans, DatasetScale::Medium, &mut rng);
         // Same algorithm, different framework: disk traffic separates them.
-        assert!(
-            h.base_pressure()[Resource::DiskBw] > s.base_pressure()[Resource::DiskBw] + 20.0
-        );
+        assert!(h.base_pressure()[Resource::DiskBw] > s.base_pressure()[Resource::DiskBw] + 20.0);
     }
 }

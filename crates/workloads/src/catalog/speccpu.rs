@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn bandwidth_benchmarks_are_membw_dominant() {
         assert_eq!(Benchmark::Lbm.base_pressure().dominant(), Resource::MemBw);
-        assert_eq!(Benchmark::Libquantum.base_pressure().dominant(), Resource::MemBw);
+        assert_eq!(
+            Benchmark::Libquantum.base_pressure().dominant(),
+            Resource::MemBw
+        );
         assert_eq!(Benchmark::Milc.base_pressure().dominant(), Resource::MemBw);
     }
 

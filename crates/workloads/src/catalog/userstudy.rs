@@ -52,112 +52,536 @@ pub struct UserStudyApp {
 
 /// The full user-study application table, Fig. 11 labels 1–53.
 pub const APPS: [UserStudyApp; LABEL_COUNT] = [
-    UserStudyApp { id: 1, family: "hadoop", variant: "analytics", in_training: true, kind: WorkloadKind::Batch,
-        pressure: [26.0, 45.0, 34.0, 48.0, 55.0, 48.0, 62.0, 38.0, 55.0, 62.0], vcpus: 4, weight: 28.0 },
-    UserStudyApp { id: 2, family: "spark", variant: "analytics", in_training: true, kind: WorkloadKind::Batch,
-        pressure: [22.0, 52.0, 44.0, 64.0, 72.0, 78.0, 60.0, 32.0, 12.0, 8.0], vcpus: 4, weight: 22.0 },
-    UserStudyApp { id: 3, family: "email", variant: "client", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [30.0, 15.0, 10.0, 12.0, 18.0, 8.0, 8.0, 12.0, 10.0, 5.0], vcpus: 1, weight: 8.0 },
-    UserStudyApp { id: 4, family: "browser", variant: "interactive", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [55.0, 30.0, 22.0, 28.0, 40.0, 20.0, 25.0, 25.0, 8.0, 5.0], vcpus: 2, weight: 10.0 },
-    UserStudyApp { id: 5, family: "cadence", variant: "synthesis", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [40.0, 55.0, 48.0, 58.0, 70.0, 52.0, 85.0, 5.0, 35.0, 25.0], vcpus: 8, weight: 9.0 },
-    UserStudyApp { id: 6, family: "zsim", variant: "simulation", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [35.0, 58.0, 50.0, 62.0, 55.0, 60.0, 88.0, 2.0, 15.0, 10.0], vcpus: 8, weight: 8.0 },
-    UserStudyApp { id: 7, family: "video", variant: "stream", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [25.0, 40.0, 30.0, 35.0, 30.0, 38.0, 45.0, 68.0, 5.0, 4.0], vcpus: 2, weight: 9.0 },
-    UserStudyApp { id: 8, family: "latex", variant: "compile", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [48.0, 30.0, 22.0, 20.0, 15.0, 12.0, 55.0, 0.0, 18.0, 20.0], vcpus: 1, weight: 7.0 },
-    UserStudyApp { id: 9, family: "mlpython", variant: "training", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [20.0, 55.0, 46.0, 60.0, 65.0, 72.0, 80.0, 8.0, 20.0, 15.0], vcpus: 4, weight: 10.0 },
-    UserStudyApp { id: 10, family: "make", variant: "build", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [62.0, 42.0, 32.0, 35.0, 30.0, 28.0, 78.0, 2.0, 40.0, 48.0], vcpus: 8, weight: 12.0 },
-    UserStudyApp { id: 11, family: "memcached", variant: "service", in_training: true, kind: WorkloadKind::Interactive,
-        pressure: [80.0, 42.0, 30.0, 75.0, 55.0, 40.0, 35.0, 50.0, 0.0, 0.0], vcpus: 4, weight: 11.0 },
-    UserStudyApp { id: 12, family: "webserver", variant: "http", in_training: true, kind: WorkloadKind::Interactive,
-        pressure: [76.0, 36.0, 28.0, 46.0, 36.0, 28.0, 40.0, 70.0, 25.0, 18.0], vcpus: 2, weight: 10.0 },
-    UserStudyApp { id: 13, family: "speccpu2006", variant: "benchmark", in_training: true, kind: WorkloadKind::Batch,
-        pressure: [25.0, 52.0, 45.0, 55.0, 32.0, 48.0, 72.0, 0.0, 0.0, 0.0], vcpus: 1, weight: 9.0 },
-    UserStudyApp { id: 14, family: "matlab", variant: "numeric", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [18.0, 58.0, 48.0, 58.0, 60.0, 68.0, 82.0, 2.0, 12.0, 10.0], vcpus: 4, weight: 8.0 },
-    UserStudyApp { id: 15, family: "mysql", variant: "oltp", in_training: true, kind: WorkloadKind::Interactive,
-        pressure: [55.0, 48.0, 45.0, 60.0, 72.0, 38.0, 42.0, 45.0, 55.0, 38.0], vcpus: 4, weight: 8.0 },
-    UserStudyApp { id: 16, family: "vivado", variant: "hls", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [42.0, 56.0, 50.0, 62.0, 75.0, 55.0, 88.0, 2.0, 30.0, 22.0], vcpus: 8, weight: 7.0 },
-    UserStudyApp { id: 17, family: "parsec", variant: "benchmark", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [28.0, 55.0, 46.0, 58.0, 45.0, 62.0, 78.0, 5.0, 8.0, 6.0], vcpus: 8, weight: 8.0 },
-    UserStudyApp { id: 18, family: "vim", variant: "editor", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [20.0, 8.0, 5.0, 6.0, 5.0, 3.0, 5.0, 1.0, 5.0, 4.0], vcpus: 1, weight: 6.0 },
-    UserStudyApp { id: 19, family: "scala", variant: "compile", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [55.0, 45.0, 38.0, 45.0, 50.0, 42.0, 72.0, 2.0, 22.0, 25.0], vcpus: 4, weight: 6.0 },
-    UserStudyApp { id: 20, family: "php", variant: "scripts", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [60.0, 35.0, 26.0, 32.0, 28.0, 22.0, 50.0, 30.0, 12.0, 8.0], vcpus: 2, weight: 6.0 },
-    UserStudyApp { id: 21, family: "postgres", variant: "oltp", in_training: true, kind: WorkloadKind::Interactive,
-        pressure: [52.0, 50.0, 46.0, 62.0, 74.0, 40.0, 44.0, 42.0, 58.0, 42.0], vcpus: 4, weight: 7.0 },
-    UserStudyApp { id: 22, family: "musicstream", variant: "stream", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [22.0, 25.0, 18.0, 20.0, 18.0, 20.0, 20.0, 55.0, 4.0, 3.0], vcpus: 1, weight: 6.0 },
-    UserStudyApp { id: 23, family: "minebench", variant: "mining", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [25.0, 52.0, 45.0, 58.0, 55.0, 65.0, 75.0, 5.0, 25.0, 20.0], vcpus: 4, weight: 5.0 },
-    UserStudyApp { id: 24, family: "nbody", variant: "simulation", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [12.0, 55.0, 48.0, 50.0, 35.0, 58.0, 90.0, 2.0, 5.0, 4.0], vcpus: 8, weight: 6.0 },
-    UserStudyApp { id: 25, family: "ppt", variant: "office", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [35.0, 20.0, 14.0, 18.0, 25.0, 12.0, 15.0, 5.0, 10.0, 8.0], vcpus: 1, weight: 4.0 },
-    UserStudyApp { id: 26, family: "osimg", variant: "image-build", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [30.0, 35.0, 28.0, 32.0, 35.0, 40.0, 45.0, 20.0, 75.0, 78.0], vcpus: 2, weight: 4.0 },
-    UserStudyApp { id: 27, family: "pdfview", variant: "viewer", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [32.0, 22.0, 15.0, 18.0, 20.0, 14.0, 18.0, 2.0, 12.0, 10.0], vcpus: 1, weight: 4.0 },
-    UserStudyApp { id: 28, family: "scons", variant: "build", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [58.0, 40.0, 30.0, 34.0, 32.0, 26.0, 74.0, 2.0, 42.0, 50.0], vcpus: 4, weight: 4.0 },
-    UserStudyApp { id: 29, family: "du", variant: "disk-usage", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [15.0, 18.0, 12.0, 14.0, 8.0, 10.0, 20.0, 0.0, 55.0, 70.0], vcpus: 1, weight: 4.0 },
-    UserStudyApp { id: 30, family: "cgroup", variant: "create-delete", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [25.0, 15.0, 10.0, 10.0, 6.0, 8.0, 30.0, 0.0, 15.0, 20.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 31, family: "bioparallel", variant: "genomics", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [22.0, 50.0, 44.0, 55.0, 62.0, 60.0, 80.0, 5.0, 35.0, 30.0], vcpus: 8, weight: 4.0 },
-    UserStudyApp { id: 32, family: "storm", variant: "streaming", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [35.0, 42.0, 34.0, 45.0, 48.0, 50.0, 55.0, 62.0, 10.0, 8.0], vcpus: 4, weight: 4.0 },
-    UserStudyApp { id: 33, family: "cpuburn", variant: "stress", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [8.0, 12.0, 8.0, 6.0, 4.0, 8.0, 98.0, 0.0, 0.0, 0.0], vcpus: 4, weight: 4.0 },
-    UserStudyApp { id: 34, family: "audacity", variant: "audio-edit", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [28.0, 35.0, 25.0, 28.0, 30.0, 32.0, 40.0, 2.0, 25.0, 28.0], vcpus: 2, weight: 3.0 },
-    UserStudyApp { id: 35, family: "javascript", variant: "node", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [58.0, 32.0, 24.0, 30.0, 35.0, 25.0, 48.0, 35.0, 8.0, 5.0], vcpus: 2, weight: 4.0 },
-    UserStudyApp { id: 36, family: "createvms", variant: "provisioning", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [30.0, 28.0, 22.0, 25.0, 40.0, 35.0, 45.0, 25.0, 60.0, 65.0], vcpus: 2, weight: 3.0 },
-    UserStudyApp { id: 37, family: "html", variant: "authoring", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [25.0, 12.0, 8.0, 10.0, 12.0, 6.0, 10.0, 3.0, 8.0, 6.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 38, family: "cassandra", variant: "service", in_training: true, kind: WorkloadKind::Interactive,
-        pressure: [58.0, 48.0, 39.0, 55.0, 60.0, 44.0, 48.0, 58.0, 64.0, 58.0], vcpus: 4, weight: 5.0 },
-    UserStudyApp { id: 39, family: "mongodb", variant: "crud", in_training: true, kind: WorkloadKind::Interactive,
-        pressure: [48.0, 42.0, 36.0, 48.0, 65.0, 35.0, 38.0, 50.0, 60.0, 45.0], vcpus: 4, weight: 4.0 },
-    UserStudyApp { id: 40, family: "mkdir", variant: "shell", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [12.0, 8.0, 5.0, 5.0, 3.0, 4.0, 10.0, 0.0, 18.0, 22.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 41, family: "cpmv", variant: "shell", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [10.0, 20.0, 12.0, 15.0, 8.0, 25.0, 18.0, 0.0, 60.0, 75.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 42, family: "sirius", variant: "assistant", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [50.0, 48.0, 40.0, 55.0, 58.0, 60.0, 70.0, 30.0, 15.0, 10.0], vcpus: 4, weight: 3.0 },
-    UserStudyApp { id: 43, family: "oprofile", variant: "profiling", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [35.0, 30.0, 22.0, 25.0, 20.0, 22.0, 40.0, 0.0, 30.0, 35.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 44, family: "download", variant: "large-file", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [8.0, 15.0, 10.0, 12.0, 10.0, 22.0, 12.0, 85.0, 45.0, 55.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 45, family: "rsync", variant: "sync", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [15.0, 22.0, 15.0, 18.0, 12.0, 25.0, 25.0, 70.0, 55.0, 62.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 46, family: "ping", variant: "probe", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [5.0, 4.0, 3.0, 3.0, 2.0, 2.0, 3.0, 15.0, 0.0, 0.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 47, family: "photoshop", variant: "image-edit", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [30.0, 48.0, 38.0, 45.0, 55.0, 50.0, 55.0, 2.0, 20.0, 18.0], vcpus: 4, weight: 3.0 },
-    UserStudyApp { id: 48, family: "ssh", variant: "session", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [15.0, 8.0, 5.0, 6.0, 4.0, 3.0, 8.0, 10.0, 2.0, 2.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 49, family: "rm", variant: "shell", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [10.0, 10.0, 6.0, 8.0, 4.0, 6.0, 12.0, 0.0, 35.0, 48.0], vcpus: 1, weight: 3.0 },
-    UserStudyApp { id: 50, family: "skype", variant: "call", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [25.0, 30.0, 22.0, 25.0, 22.0, 28.0, 35.0, 60.0, 3.0, 2.0], vcpus: 2, weight: 3.0 },
-    UserStudyApp { id: 51, family: "zipkin", variant: "tracing", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [40.0, 32.0, 25.0, 35.0, 45.0, 30.0, 35.0, 48.0, 35.0, 30.0], vcpus: 2, weight: 3.0 },
-    UserStudyApp { id: 52, family: "graphx", variant: "graph", in_training: false, kind: WorkloadKind::Batch,
-        pressure: [22.0, 50.0, 42.0, 60.0, 68.0, 70.0, 58.0, 35.0, 12.0, 8.0], vcpus: 4, weight: 3.0 },
-    UserStudyApp { id: 53, family: "ix", variant: "dataplane", in_training: false, kind: WorkloadKind::Interactive,
-        pressure: [55.0, 40.0, 28.0, 42.0, 30.0, 35.0, 60.0, 90.0, 0.0, 0.0], vcpus: 4, weight: 3.0 },
+    UserStudyApp {
+        id: 1,
+        family: "hadoop",
+        variant: "analytics",
+        in_training: true,
+        kind: WorkloadKind::Batch,
+        pressure: [26.0, 45.0, 34.0, 48.0, 55.0, 48.0, 62.0, 38.0, 55.0, 62.0],
+        vcpus: 4,
+        weight: 28.0,
+    },
+    UserStudyApp {
+        id: 2,
+        family: "spark",
+        variant: "analytics",
+        in_training: true,
+        kind: WorkloadKind::Batch,
+        pressure: [22.0, 52.0, 44.0, 64.0, 72.0, 78.0, 60.0, 32.0, 12.0, 8.0],
+        vcpus: 4,
+        weight: 22.0,
+    },
+    UserStudyApp {
+        id: 3,
+        family: "email",
+        variant: "client",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [30.0, 15.0, 10.0, 12.0, 18.0, 8.0, 8.0, 12.0, 10.0, 5.0],
+        vcpus: 1,
+        weight: 8.0,
+    },
+    UserStudyApp {
+        id: 4,
+        family: "browser",
+        variant: "interactive",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [55.0, 30.0, 22.0, 28.0, 40.0, 20.0, 25.0, 25.0, 8.0, 5.0],
+        vcpus: 2,
+        weight: 10.0,
+    },
+    UserStudyApp {
+        id: 5,
+        family: "cadence",
+        variant: "synthesis",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [40.0, 55.0, 48.0, 58.0, 70.0, 52.0, 85.0, 5.0, 35.0, 25.0],
+        vcpus: 8,
+        weight: 9.0,
+    },
+    UserStudyApp {
+        id: 6,
+        family: "zsim",
+        variant: "simulation",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [35.0, 58.0, 50.0, 62.0, 55.0, 60.0, 88.0, 2.0, 15.0, 10.0],
+        vcpus: 8,
+        weight: 8.0,
+    },
+    UserStudyApp {
+        id: 7,
+        family: "video",
+        variant: "stream",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [25.0, 40.0, 30.0, 35.0, 30.0, 38.0, 45.0, 68.0, 5.0, 4.0],
+        vcpus: 2,
+        weight: 9.0,
+    },
+    UserStudyApp {
+        id: 8,
+        family: "latex",
+        variant: "compile",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [48.0, 30.0, 22.0, 20.0, 15.0, 12.0, 55.0, 0.0, 18.0, 20.0],
+        vcpus: 1,
+        weight: 7.0,
+    },
+    UserStudyApp {
+        id: 9,
+        family: "mlpython",
+        variant: "training",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [20.0, 55.0, 46.0, 60.0, 65.0, 72.0, 80.0, 8.0, 20.0, 15.0],
+        vcpus: 4,
+        weight: 10.0,
+    },
+    UserStudyApp {
+        id: 10,
+        family: "make",
+        variant: "build",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [62.0, 42.0, 32.0, 35.0, 30.0, 28.0, 78.0, 2.0, 40.0, 48.0],
+        vcpus: 8,
+        weight: 12.0,
+    },
+    UserStudyApp {
+        id: 11,
+        family: "memcached",
+        variant: "service",
+        in_training: true,
+        kind: WorkloadKind::Interactive,
+        pressure: [80.0, 42.0, 30.0, 75.0, 55.0, 40.0, 35.0, 50.0, 0.0, 0.0],
+        vcpus: 4,
+        weight: 11.0,
+    },
+    UserStudyApp {
+        id: 12,
+        family: "webserver",
+        variant: "http",
+        in_training: true,
+        kind: WorkloadKind::Interactive,
+        pressure: [76.0, 36.0, 28.0, 46.0, 36.0, 28.0, 40.0, 70.0, 25.0, 18.0],
+        vcpus: 2,
+        weight: 10.0,
+    },
+    UserStudyApp {
+        id: 13,
+        family: "speccpu2006",
+        variant: "benchmark",
+        in_training: true,
+        kind: WorkloadKind::Batch,
+        pressure: [25.0, 52.0, 45.0, 55.0, 32.0, 48.0, 72.0, 0.0, 0.0, 0.0],
+        vcpus: 1,
+        weight: 9.0,
+    },
+    UserStudyApp {
+        id: 14,
+        family: "matlab",
+        variant: "numeric",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [18.0, 58.0, 48.0, 58.0, 60.0, 68.0, 82.0, 2.0, 12.0, 10.0],
+        vcpus: 4,
+        weight: 8.0,
+    },
+    UserStudyApp {
+        id: 15,
+        family: "mysql",
+        variant: "oltp",
+        in_training: true,
+        kind: WorkloadKind::Interactive,
+        pressure: [55.0, 48.0, 45.0, 60.0, 72.0, 38.0, 42.0, 45.0, 55.0, 38.0],
+        vcpus: 4,
+        weight: 8.0,
+    },
+    UserStudyApp {
+        id: 16,
+        family: "vivado",
+        variant: "hls",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [42.0, 56.0, 50.0, 62.0, 75.0, 55.0, 88.0, 2.0, 30.0, 22.0],
+        vcpus: 8,
+        weight: 7.0,
+    },
+    UserStudyApp {
+        id: 17,
+        family: "parsec",
+        variant: "benchmark",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [28.0, 55.0, 46.0, 58.0, 45.0, 62.0, 78.0, 5.0, 8.0, 6.0],
+        vcpus: 8,
+        weight: 8.0,
+    },
+    UserStudyApp {
+        id: 18,
+        family: "vim",
+        variant: "editor",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [20.0, 8.0, 5.0, 6.0, 5.0, 3.0, 5.0, 1.0, 5.0, 4.0],
+        vcpus: 1,
+        weight: 6.0,
+    },
+    UserStudyApp {
+        id: 19,
+        family: "scala",
+        variant: "compile",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [55.0, 45.0, 38.0, 45.0, 50.0, 42.0, 72.0, 2.0, 22.0, 25.0],
+        vcpus: 4,
+        weight: 6.0,
+    },
+    UserStudyApp {
+        id: 20,
+        family: "php",
+        variant: "scripts",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [60.0, 35.0, 26.0, 32.0, 28.0, 22.0, 50.0, 30.0, 12.0, 8.0],
+        vcpus: 2,
+        weight: 6.0,
+    },
+    UserStudyApp {
+        id: 21,
+        family: "postgres",
+        variant: "oltp",
+        in_training: true,
+        kind: WorkloadKind::Interactive,
+        pressure: [52.0, 50.0, 46.0, 62.0, 74.0, 40.0, 44.0, 42.0, 58.0, 42.0],
+        vcpus: 4,
+        weight: 7.0,
+    },
+    UserStudyApp {
+        id: 22,
+        family: "musicstream",
+        variant: "stream",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [22.0, 25.0, 18.0, 20.0, 18.0, 20.0, 20.0, 55.0, 4.0, 3.0],
+        vcpus: 1,
+        weight: 6.0,
+    },
+    UserStudyApp {
+        id: 23,
+        family: "minebench",
+        variant: "mining",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [25.0, 52.0, 45.0, 58.0, 55.0, 65.0, 75.0, 5.0, 25.0, 20.0],
+        vcpus: 4,
+        weight: 5.0,
+    },
+    UserStudyApp {
+        id: 24,
+        family: "nbody",
+        variant: "simulation",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [12.0, 55.0, 48.0, 50.0, 35.0, 58.0, 90.0, 2.0, 5.0, 4.0],
+        vcpus: 8,
+        weight: 6.0,
+    },
+    UserStudyApp {
+        id: 25,
+        family: "ppt",
+        variant: "office",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [35.0, 20.0, 14.0, 18.0, 25.0, 12.0, 15.0, 5.0, 10.0, 8.0],
+        vcpus: 1,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 26,
+        family: "osimg",
+        variant: "image-build",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [30.0, 35.0, 28.0, 32.0, 35.0, 40.0, 45.0, 20.0, 75.0, 78.0],
+        vcpus: 2,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 27,
+        family: "pdfview",
+        variant: "viewer",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [32.0, 22.0, 15.0, 18.0, 20.0, 14.0, 18.0, 2.0, 12.0, 10.0],
+        vcpus: 1,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 28,
+        family: "scons",
+        variant: "build",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [58.0, 40.0, 30.0, 34.0, 32.0, 26.0, 74.0, 2.0, 42.0, 50.0],
+        vcpus: 4,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 29,
+        family: "du",
+        variant: "disk-usage",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [15.0, 18.0, 12.0, 14.0, 8.0, 10.0, 20.0, 0.0, 55.0, 70.0],
+        vcpus: 1,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 30,
+        family: "cgroup",
+        variant: "create-delete",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [25.0, 15.0, 10.0, 10.0, 6.0, 8.0, 30.0, 0.0, 15.0, 20.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 31,
+        family: "bioparallel",
+        variant: "genomics",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [22.0, 50.0, 44.0, 55.0, 62.0, 60.0, 80.0, 5.0, 35.0, 30.0],
+        vcpus: 8,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 32,
+        family: "storm",
+        variant: "streaming",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [35.0, 42.0, 34.0, 45.0, 48.0, 50.0, 55.0, 62.0, 10.0, 8.0],
+        vcpus: 4,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 33,
+        family: "cpuburn",
+        variant: "stress",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [8.0, 12.0, 8.0, 6.0, 4.0, 8.0, 98.0, 0.0, 0.0, 0.0],
+        vcpus: 4,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 34,
+        family: "audacity",
+        variant: "audio-edit",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [28.0, 35.0, 25.0, 28.0, 30.0, 32.0, 40.0, 2.0, 25.0, 28.0],
+        vcpus: 2,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 35,
+        family: "javascript",
+        variant: "node",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [58.0, 32.0, 24.0, 30.0, 35.0, 25.0, 48.0, 35.0, 8.0, 5.0],
+        vcpus: 2,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 36,
+        family: "createvms",
+        variant: "provisioning",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [30.0, 28.0, 22.0, 25.0, 40.0, 35.0, 45.0, 25.0, 60.0, 65.0],
+        vcpus: 2,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 37,
+        family: "html",
+        variant: "authoring",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [25.0, 12.0, 8.0, 10.0, 12.0, 6.0, 10.0, 3.0, 8.0, 6.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 38,
+        family: "cassandra",
+        variant: "service",
+        in_training: true,
+        kind: WorkloadKind::Interactive,
+        pressure: [58.0, 48.0, 39.0, 55.0, 60.0, 44.0, 48.0, 58.0, 64.0, 58.0],
+        vcpus: 4,
+        weight: 5.0,
+    },
+    UserStudyApp {
+        id: 39,
+        family: "mongodb",
+        variant: "crud",
+        in_training: true,
+        kind: WorkloadKind::Interactive,
+        pressure: [48.0, 42.0, 36.0, 48.0, 65.0, 35.0, 38.0, 50.0, 60.0, 45.0],
+        vcpus: 4,
+        weight: 4.0,
+    },
+    UserStudyApp {
+        id: 40,
+        family: "mkdir",
+        variant: "shell",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [12.0, 8.0, 5.0, 5.0, 3.0, 4.0, 10.0, 0.0, 18.0, 22.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 41,
+        family: "cpmv",
+        variant: "shell",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [10.0, 20.0, 12.0, 15.0, 8.0, 25.0, 18.0, 0.0, 60.0, 75.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 42,
+        family: "sirius",
+        variant: "assistant",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [50.0, 48.0, 40.0, 55.0, 58.0, 60.0, 70.0, 30.0, 15.0, 10.0],
+        vcpus: 4,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 43,
+        family: "oprofile",
+        variant: "profiling",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [35.0, 30.0, 22.0, 25.0, 20.0, 22.0, 40.0, 0.0, 30.0, 35.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 44,
+        family: "download",
+        variant: "large-file",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [8.0, 15.0, 10.0, 12.0, 10.0, 22.0, 12.0, 85.0, 45.0, 55.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 45,
+        family: "rsync",
+        variant: "sync",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [15.0, 22.0, 15.0, 18.0, 12.0, 25.0, 25.0, 70.0, 55.0, 62.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 46,
+        family: "ping",
+        variant: "probe",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [5.0, 4.0, 3.0, 3.0, 2.0, 2.0, 3.0, 15.0, 0.0, 0.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 47,
+        family: "photoshop",
+        variant: "image-edit",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [30.0, 48.0, 38.0, 45.0, 55.0, 50.0, 55.0, 2.0, 20.0, 18.0],
+        vcpus: 4,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 48,
+        family: "ssh",
+        variant: "session",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [15.0, 8.0, 5.0, 6.0, 4.0, 3.0, 8.0, 10.0, 2.0, 2.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 49,
+        family: "rm",
+        variant: "shell",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [10.0, 10.0, 6.0, 8.0, 4.0, 6.0, 12.0, 0.0, 35.0, 48.0],
+        vcpus: 1,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 50,
+        family: "skype",
+        variant: "call",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [25.0, 30.0, 22.0, 25.0, 22.0, 28.0, 35.0, 60.0, 3.0, 2.0],
+        vcpus: 2,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 51,
+        family: "zipkin",
+        variant: "tracing",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [40.0, 32.0, 25.0, 35.0, 45.0, 30.0, 35.0, 48.0, 35.0, 30.0],
+        vcpus: 2,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 52,
+        family: "graphx",
+        variant: "graph",
+        in_training: false,
+        kind: WorkloadKind::Batch,
+        pressure: [22.0, 50.0, 42.0, 60.0, 68.0, 70.0, 58.0, 35.0, 12.0, 8.0],
+        vcpus: 4,
+        weight: 3.0,
+    },
+    UserStudyApp {
+        id: 53,
+        family: "ix",
+        variant: "dataplane",
+        in_training: false,
+        kind: WorkloadKind::Interactive,
+        pressure: [55.0, 40.0, 28.0, 42.0, 30.0, 35.0, 60.0, 90.0, 0.0, 0.0],
+        vcpus: 4,
+        weight: 3.0,
+    },
 ];
 
 /// Looks up a user-study application by its Fig. 11 label id (1-based).
@@ -237,8 +661,15 @@ mod tests {
     fn training_families_match_main_catalog() {
         // Every in_training family must be one the training set can cover.
         let trained = [
-            "hadoop", "spark", "memcached", "webserver", "speccpu2006",
-            "mysql", "postgres", "cassandra", "mongodb",
+            "hadoop",
+            "spark",
+            "memcached",
+            "webserver",
+            "speccpu2006",
+            "mysql",
+            "postgres",
+            "cassandra",
+            "mongodb",
         ];
         for a in &APPS {
             if a.in_training {
@@ -248,7 +679,10 @@ mod tests {
         // And a meaningful majority of labels are *not* trainable, which is
         // what produces the labeled-vs-characterized gap in Fig. 12.
         let untrained = APPS.iter().filter(|a| !a.in_training).count();
-        assert!(untrained > 35, "most user-study apps are unseen, got {untrained}");
+        assert!(
+            untrained > 35,
+            "most user-study apps are unseen, got {untrained}"
+        );
     }
 
     #[test]

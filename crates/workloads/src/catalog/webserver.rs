@@ -115,11 +115,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         for v in Variant::ALL {
             let p = profile(&v, &mut rng);
+            assert!(p.base_pressure()[Resource::L1i] > 55.0, "{v:?} L1i too low");
             assert!(
-                p.base_pressure()[Resource::L1i] > 55.0,
-                "{v:?} L1i too low"
+                p.base_pressure()[Resource::NetBw] > 40.0,
+                "{v:?} net too low"
             );
-            assert!(p.base_pressure()[Resource::NetBw] > 40.0, "{v:?} net too low");
         }
     }
 

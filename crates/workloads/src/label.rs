@@ -26,8 +26,11 @@ pub enum DatasetScale {
 
 impl DatasetScale {
     /// All scales, smallest first.
-    pub const ALL: [DatasetScale; 3] =
-        [DatasetScale::Small, DatasetScale::Medium, DatasetScale::Large];
+    pub const ALL: [DatasetScale; 3] = [
+        DatasetScale::Small,
+        DatasetScale::Medium,
+        DatasetScale::Large,
+    ];
 
     /// A multiplicative factor applied to capacity-style pressure.
     pub fn pressure_factor(self) -> f64 {
@@ -168,7 +171,12 @@ impl ResourceCharacteristics {
 impl fmt::Display for ResourceCharacteristics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let crit: Vec<&str> = self.critical.iter().map(|r| r.short_name()).collect();
-        write!(f, "dominant={} critical=[{}]", self.dominant, crit.join(", "))
+        write!(
+            f,
+            "dominant={} critical=[{}]",
+            self.dominant,
+            crit.join(", ")
+        )
     }
 }
 
@@ -215,7 +223,10 @@ mod tests {
         ]);
         let c = ResourceCharacteristics::from_pressure(&p);
         assert_eq!(c.dominant, Resource::L1i);
-        assert_eq!(c.critical, vec![Resource::L1i, Resource::Llc, Resource::NetBw]);
+        assert_eq!(
+            c.critical,
+            vec![Resource::L1i, Resource::Llc, Resource::NetBw]
+        );
     }
 
     #[test]

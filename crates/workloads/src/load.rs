@@ -157,7 +157,9 @@ impl LoadPattern {
             LoadPattern::Constant { .. } => 1.0,
             LoadPattern::Diurnal { .. } => DAY_SECONDS,
             LoadPattern::Bursty { period, .. } => period.max(1.0),
-            LoadPattern::OnOff { on_secs, off_secs, .. } => (on_secs + off_secs).max(1.0),
+            LoadPattern::OnOff {
+                on_secs, off_secs, ..
+            } => (on_secs + off_secs).max(1.0),
             LoadPattern::Phased { schedule } => schedule
                 .iter()
                 .map(|(d, _)| d.max(0.0))
@@ -179,7 +181,9 @@ impl LoadPattern {
             LoadPattern::Constant { .. } => 1.0,
             LoadPattern::Diurnal { .. } => DAY_SECONDS,
             LoadPattern::Bursty { period, .. } => period.max(1.0),
-            LoadPattern::OnOff { on_secs, off_secs, .. } => (on_secs + off_secs).max(1.0),
+            LoadPattern::OnOff {
+                on_secs, off_secs, ..
+            } => (on_secs + off_secs).max(1.0),
             LoadPattern::Phased { schedule } => schedule
                 .iter()
                 .map(|(d, _)| d.max(0.0))
@@ -210,7 +214,11 @@ mod tests {
 
     #[test]
     fn diurnal_spans_low_to_high() {
-        let p = LoadPattern::Diurnal { low: 0.2, high: 0.9, phase: 0.0 };
+        let p = LoadPattern::Diurnal {
+            low: 0.2,
+            high: 0.9,
+            phase: 0.0,
+        };
         // Midnight (t=0) should be at the low point, noon at the high point.
         assert!((p.level(0.0) - 0.2).abs() < 1e-9);
         assert!((p.level(DAY_SECONDS / 2.0) - 0.9).abs() < 1e-9);
@@ -223,7 +231,12 @@ mod tests {
 
     #[test]
     fn bursty_alternates() {
-        let p = LoadPattern::Bursty { base: 0.3, peak: 1.0, period: 10.0, burst_len: 2.0 };
+        let p = LoadPattern::Bursty {
+            base: 0.3,
+            peak: 1.0,
+            period: 10.0,
+            burst_len: 2.0,
+        };
         assert_eq!(p.level(0.5), 1.0);
         assert_eq!(p.level(5.0), 0.3);
         assert_eq!(p.level(10.5), 1.0); // next period's burst
@@ -231,7 +244,12 @@ mod tests {
 
     #[test]
     fn onoff_cycles() {
-        let p = LoadPattern::OnOff { on_level: 0.9, off_level: 0.05, on_secs: 4.0, off_secs: 6.0 };
+        let p = LoadPattern::OnOff {
+            on_level: 0.9,
+            off_level: 0.05,
+            on_secs: 4.0,
+            off_secs: 6.0,
+        };
         assert_eq!(p.level(1.0), 0.9);
         assert_eq!(p.level(5.0), 0.05);
         assert_eq!(p.level(11.0), 0.9);
@@ -257,7 +275,11 @@ mod tests {
     fn levels_always_clamped() {
         let p = LoadPattern::Constant { level: 3.0 };
         assert_eq!(p.level(0.0), 1.0);
-        let p = LoadPattern::Diurnal { low: -1.0, high: 2.0, phase: 0.25 };
+        let p = LoadPattern::Diurnal {
+            low: -1.0,
+            high: 2.0,
+            phase: 0.25,
+        };
         for i in 0..50 {
             let l = p.level(i as f64 * 20.0);
             assert!((0.0..=1.0).contains(&l));
@@ -266,13 +288,22 @@ mod tests {
 
     #[test]
     fn negative_time_treated_as_zero() {
-        let p = LoadPattern::Diurnal { low: 0.1, high: 0.9, phase: 0.0 };
+        let p = LoadPattern::Diurnal {
+            low: 0.1,
+            high: 0.9,
+            phase: 0.0,
+        };
         assert_eq!(p.level(-100.0), p.level(0.0));
     }
 
     #[test]
     fn mean_level_between_extremes() {
-        let p = LoadPattern::OnOff { on_level: 1.0, off_level: 0.0, on_secs: 5.0, off_secs: 5.0 };
+        let p = LoadPattern::OnOff {
+            on_level: 1.0,
+            off_level: 0.0,
+            on_secs: 5.0,
+            off_secs: 5.0,
+        };
         let m = p.mean_level();
         assert!((0.4..=0.6).contains(&m), "mean {m}");
     }

@@ -188,10 +188,7 @@ mod tests {
 
     #[test]
     fn targeted_attack_amplifies_tail_dramatically() {
-        let attack = PressureVector::from_pairs(&[
-            (Resource::L1i, 100.0),
-            (Resource::Llc, 100.0),
-        ]);
+        let attack = PressureVector::from_pairs(&[(Resource::L1i, 100.0), (Resource::Llc, 100.0)]);
         let f = tail_latency_factor(&victim(), &attack, 0.5);
         assert!(f > 8.0, "targeted attack should blow up the tail, got {f}");
         assert!(f <= MAX_TAIL_AMPLIFICATION);
@@ -199,14 +196,9 @@ mod tests {
 
     #[test]
     fn untargeted_attack_hurts_less_than_targeted() {
-        let targeted = PressureVector::from_pairs(&[
-            (Resource::L1i, 90.0),
-            (Resource::Llc, 90.0),
-        ]);
-        let untargeted = PressureVector::from_pairs(&[
-            (Resource::DiskBw, 90.0),
-            (Resource::DiskCap, 90.0),
-        ]);
+        let targeted = PressureVector::from_pairs(&[(Resource::L1i, 90.0), (Resource::Llc, 90.0)]);
+        let untargeted =
+            PressureVector::from_pairs(&[(Resource::DiskBw, 90.0), (Resource::DiskCap, 90.0)]);
         let ft = tail_latency_factor(&victim(), &targeted, 0.5);
         let fu = tail_latency_factor(&victim(), &untargeted, 0.5);
         assert!(ft > 3.0 * fu, "targeted {ft} vs untargeted {fu}");
@@ -217,10 +209,8 @@ mod tests {
         let v = victim();
         let mut prev = 0.0;
         for level in [0.0, 25.0, 50.0, 75.0, 100.0] {
-            let attack = PressureVector::from_pairs(&[
-                (Resource::L1i, level),
-                (Resource::Llc, level),
-            ]);
+            let attack =
+                PressureVector::from_pairs(&[(Resource::L1i, level), (Resource::Llc, level)]);
             let f = tail_latency_factor(&v, &attack, 0.5);
             assert!(f >= prev, "amplification should not decrease: {f} < {prev}");
             prev = f;
@@ -240,17 +230,21 @@ mod tests {
         let v = victim();
         let mut prev = 0.0;
         for level in [0.0, 30.0, 60.0, 90.0, 100.0] {
-            let attack = PressureVector::from_pairs(&[
-                (Resource::L1i, level),
-                (Resource::Llc, level),
-            ]);
+            let attack =
+                PressureVector::from_pairs(&[(Resource::L1i, level), (Resource::Llc, level)]);
             let s = batch_slowdown_factor(&v, &attack);
-            assert!(s >= 1.0 && s < 15.0, "slowdown {s} out of plausible range");
+            assert!(
+                (1.0..15.0).contains(&s),
+                "slowdown {s} out of plausible range"
+            );
             assert!(s >= prev);
             prev = s;
         }
         // Full pressure on critical resources yields a multi-x slowdown.
-        assert!(prev > 2.0, "saturated critical resource should slow >2x, got {prev}");
+        assert!(
+            prev > 2.0,
+            "saturated critical resource should slow >2x, got {prev}"
+        );
     }
 
     #[test]
@@ -265,10 +259,7 @@ mod tests {
     fn qps_loss_in_range_and_monotone() {
         let quiet = qps_loss(&victim(), &PressureVector::zero(), 0.5);
         assert!(quiet < 0.05);
-        let attack = PressureVector::from_pairs(&[
-            (Resource::L1i, 100.0),
-            (Resource::Llc, 100.0),
-        ]);
+        let attack = PressureVector::from_pairs(&[(Resource::L1i, 100.0), (Resource::Llc, 100.0)]);
         let loud = qps_loss(&victim(), &attack, 0.5);
         assert!(loud > 0.5 && loud <= 0.95);
     }
@@ -278,15 +269,16 @@ mod tests {
         let v = victim();
         let disk_attack = PressureVector::from_pairs(&[(Resource::DiskBw, 100.0)]);
         let cache_attack = PressureVector::from_pairs(&[(Resource::L1i, 100.0)]);
-        assert!(
-            weighted_contention(&v, &cache_attack) > weighted_contention(&v, &disk_attack)
-        );
+        assert!(weighted_contention(&v, &cache_attack) > weighted_contention(&v, &disk_attack));
     }
 
     #[test]
     fn max_amplification_reachable_under_total_saturation() {
         let attack = PressureVector::from_raw([100.0; 10]);
         let f = tail_latency_factor(&victim(), &attack, 1.0);
-        assert!(f > 100.0, "total saturation at peak load should approach the cap, got {f}");
+        assert!(
+            f > 100.0,
+            "total saturation at peak load should approach the cap, got {f}"
+        );
     }
 }

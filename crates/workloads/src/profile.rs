@@ -100,7 +100,9 @@ impl WorkloadProfile {
     /// load-scaled training instance) the original base pressure, otherwise
     /// [`WorkloadProfile::base_pressure`] itself.
     pub fn reference_pressure(&self) -> &PressureVector {
-        self.reference_pressure.as_ref().unwrap_or(&self.base_pressure)
+        self.reference_pressure
+            .as_ref()
+            .unwrap_or(&self.base_pressure)
     }
 
     /// The application label.
@@ -288,10 +290,7 @@ mod tests {
 
     #[test]
     fn pressure_scales_with_load_except_capacity() {
-        let base = PressureVector::from_pairs(&[
-            (Resource::Cpu, 60.0),
-            (Resource::MemCap, 50.0),
-        ]);
+        let base = PressureVector::from_pairs(&[(Resource::Cpu, 60.0), (Resource::MemCap, 50.0)]);
         let p = WorkloadProfile::new(
             AppLabel::new("x", "y", DatasetScale::Small),
             WorkloadKind::Interactive,
@@ -351,10 +350,10 @@ mod tests {
             base,
             base,
             LoadPattern::steady(),
-            9.0,   // noise too high -> clamped to 0.5
-            -1.0,  // latency floor
-            0.0,   // runtime floor
-            0,     // vcpus floor
+            9.0,  // noise too high -> clamped to 0.5
+            -1.0, // latency floor
+            0.0,  // runtime floor
+            0,    // vcpus floor
         );
         assert_eq!(p.noise(), 0.5);
         assert!(p.base_latency_ms() > 0.0);

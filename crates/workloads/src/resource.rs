@@ -57,12 +57,7 @@ impl Resource {
 
     /// The *core* resources: private to a physical core and contended only
     /// between hyperthreads scheduled on that core.
-    pub const CORE: [Resource; 4] = [
-        Resource::L1i,
-        Resource::L1d,
-        Resource::L2,
-        Resource::Cpu,
-    ];
+    pub const CORE: [Resource; 4] = [Resource::L1i, Resource::L1d, Resource::L2, Resource::Cpu];
 
     /// The *uncore* resources: shared host-wide (socket caches, memory,
     /// network and storage subsystems).
@@ -317,7 +312,10 @@ mod tests {
         for &r in &Resource::ALL {
             assert!(r.is_core() ^ r.is_uncore());
         }
-        assert_eq!(Resource::CORE.len() + Resource::UNCORE.len(), RESOURCE_COUNT);
+        assert_eq!(
+            Resource::CORE.len() + Resource::UNCORE.len(),
+            RESOURCE_COUNT
+        );
     }
 
     #[test]
@@ -337,7 +335,8 @@ mod tests {
 
     #[test]
     fn from_raw_clamps_and_cleans() {
-        let p = PressureVector::from_raw([-5.0, 150.0, f64::NAN, 50.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let p =
+            PressureVector::from_raw([-5.0, 150.0, f64::NAN, 50.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
         assert_eq!(p[Resource::L1i], 0.0);
         assert_eq!(p[Resource::L1d], 100.0);
         assert_eq!(p[Resource::L2], 0.0);

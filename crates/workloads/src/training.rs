@@ -137,13 +137,17 @@ mod tests {
     #[test]
     fn training_set_spans_many_families() {
         let set = training_set(42);
-        let families: HashSet<String> = set
-            .iter()
-            .map(|p| p.label().family().to_string())
-            .collect();
+        let families: HashSet<String> =
+            set.iter().map(|p| p.label().family().to_string()).collect();
         for f in [
-            "hadoop", "spark", "memcached", "cassandra", "mysql", "mongodb",
-            "webserver", "speccpu2006",
+            "hadoop",
+            "spark",
+            "memcached",
+            "cassandra",
+            "mysql",
+            "mongodb",
+            "webserver",
+            "speccpu2006",
         ] {
             assert!(families.contains(f), "missing family {f}");
         }
@@ -158,7 +162,10 @@ mod tests {
         let cpu_mem = coverage(&set, Resource::Cpu, Resource::MemBw, 4);
         let net_disk = coverage(&set, Resource::NetBw, Resource::DiskBw, 4);
         assert!(cpu_mem >= 0.5, "CPU x MemBw coverage too low: {cpu_mem}");
-        assert!(net_disk >= 0.4, "NetBw x DiskBw coverage too low: {net_disk}");
+        assert!(
+            net_disk >= 0.4,
+            "NetBw x DiskBw coverage too low: {net_disk}"
+        );
     }
 
     #[test]

@@ -57,7 +57,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_vms = 0;
     let mut total_time = 0.0;
     for round in 1..=8 {
-        let outcome = hunt(&mut cluster, &detector, victim, "mysql", &config, round as f64 * 120.0, &mut rng)?;
+        let outcome = hunt(
+            &mut cluster,
+            &detector,
+            victim,
+            "mysql",
+            &config,
+            round as f64 * 120.0,
+            &mut rng,
+        )?;
         total_vms += outcome.vms_used;
         total_time += outcome.elapsed_s;
         println!(

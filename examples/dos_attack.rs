@@ -3,10 +3,14 @@
 //! live-migration defense (Fig. 13).
 //!
 //! Run with: `cargo run --example dos_attack`
+//!
+//! Pass `--telemetry <path>` to capture a JSONL trace: the detection
+//! pipeline plus both attack executions (unit 1 = Bolt, unit 2 = naive).
 
-use bolt::attacks::dos::{craft_attack, naive_attack, run_dos, DosRunConfig};
+use bolt::attacks::dos::{craft_attack, naive_attack, run_dos_telemetry, DosRunConfig};
 use bolt::detector::{Detector, DetectorConfig};
 use bolt::experiment::observed_training;
+use bolt::telemetry::{telemetry_path_from_args, Telemetry, TelemetryLog};
 use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
 use bolt_sim::vm::VmRole;
 use bolt_sim::{Cluster, IsolationConfig, ServerSpec, VmId};
@@ -33,6 +37,14 @@ fn scene(rng: &mut StdRng) -> Result<(Cluster, VmId, VmId, f64), Box<dyn std::er
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry_path = telemetry_path_from_args(std::env::args().skip(1));
+    let unit = |u: usize| {
+        if telemetry_path.is_some() {
+            Telemetry::for_unit(u)
+        } else {
+            Telemetry::disabled()
+        }
+    };
     let mut rng = StdRng::seed_from_u64(7);
     let isolation = IsolationConfig::cloud_default();
     let data = TrainingData::from_examples(observed_training(&training_set(7), &isolation))?;
@@ -42,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Bolt's attack: detect first, then stress what the victim needs.
     let (mut cluster, attacker, victim, baseline) = scene(&mut rng)?;
-    let detection = detector.detect(&cluster, attacker, 10.0, &mut rng)?;
+    let mut bolt_telemetry = unit(1);
+    let detection =
+        detector.detect_telemetry(&cluster, attacker, 10.0, &mut rng, &mut bolt_telemetry)?;
     println!(
         "detected co-resident: {:?} ({:?})",
         detection.label().map(ToString::to_string),
@@ -51,14 +65,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let primary = detection.primary().expect("a co-resident was detected");
     let attack = craft_attack(primary);
     println!("crafted contention:   {attack}");
-    let bolt = run_dos(&mut cluster, attacker, victim, attack, &defense, &mut rng)?;
+    let bolt = run_dos_telemetry(
+        &mut cluster,
+        attacker,
+        victim,
+        attack,
+        &defense,
+        &mut rng,
+        &mut bolt_telemetry,
+    )?;
 
     // --- The naive baseline: saturate compute, get migrated away.
     let (mut cluster2, attacker2, victim2, _) = scene(&mut rng)?;
-    let naive = run_dos(&mut cluster2, attacker2, victim2, naive_attack(), &defense, &mut rng)?;
+    let mut naive_telemetry = unit(2);
+    let naive = run_dos_telemetry(
+        &mut cluster2,
+        attacker2,
+        victim2,
+        naive_attack(),
+        &defense,
+        &mut rng,
+        &mut naive_telemetry,
+    )?;
 
     println!("\n{:^8}|{:^26}|{:^26}", "t (s)", "Bolt attack", "naive DoS");
-    println!("{:^8}|{:^12}{:^14}|{:^12}{:^14}", "", "p99 (ms)", "host util %", "p99 (ms)", "host util %");
+    println!(
+        "{:^8}|{:^12}{:^14}|{:^12}{:^14}",
+        "", "p99 (ms)", "host util %", "p99 (ms)", "host util %"
+    );
     for i in (0..bolt.samples.len()).step_by(10) {
         let b = &bolt.samples[i];
         let n = &naive.samples[i];
@@ -86,5 +120,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\nThe naive attack trips the 70% utilization monitor and loses its victim;");
     println!("Bolt stays quiet on CPU and keeps degrading the victim indefinitely.");
+    if let Some(path) = telemetry_path {
+        let mut log = TelemetryLog::new();
+        log.merge(bolt_telemetry);
+        log.merge(naive_telemetry);
+        log.write_jsonl(&path)?;
+        eprintln!("telemetry: {} events -> {}", log.len(), path.display());
+    }
     Ok(())
 }

@@ -42,7 +42,11 @@ fn main() {
     println!(
         "\nMRC distance: {:.2} — the curves separate what pressure alone cannot: {}",
         mcf_mrc.distance(&lbm_mrc, 8),
-        if mrc_separates(&mcf, &lbm, 25.0, 0.05) { "yes" } else { "no" }
+        if mrc_separates(&mcf, &lbm, 25.0, 0.05) {
+            "yes"
+        } else {
+            "no"
+        }
     );
 
     // And the physical basis on this machine: the pointer-chase latency

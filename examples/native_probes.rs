@@ -4,16 +4,21 @@
 //!
 //! Run with: `cargo run --release --example native_probes`
 
-use bolt_probes::native::{alu_burn, cache_chase, disk_stream, intensity_to_working_set, memory_stream};
+use bolt_probes::native::{
+    alu_burn, cache_chase, disk_stream, intensity_to_working_set, memory_stream,
+};
 
 fn main() {
     println!("pointer-chase latency across working-set sizes (defeats prefetching):");
-    println!("{:>12} {:>16} {:>12}", "working set", "accesses/sec", "ns/access");
+    println!(
+        "{:>12} {:>16} {:>12}",
+        "working set", "accesses/sec", "ns/access"
+    );
     for (name, bytes) in [
-        ("16 KiB", 16 * 1024),            // L1d resident
-        ("128 KiB", 128 * 1024),          // L2 resident
-        ("2 MiB", 2 * 1024 * 1024),       // LLC resident
-        ("64 MiB", 64 * 1024 * 1024),     // memory latency
+        ("16 KiB", 16 * 1024),        // L1d resident
+        ("128 KiB", 128 * 1024),      // L2 resident
+        ("2 MiB", 2 * 1024 * 1024),   // LLC resident
+        ("64 MiB", 64 * 1024 * 1024), // memory latency
     ] {
         let run = cache_chase(bytes, 3_000_000);
         println!(
@@ -40,6 +45,9 @@ fn main() {
     println!("\nintensity mapping for a tunable LLC probe (8 MiB cache):");
     for intensity in [10.0, 50.0, 100.0] {
         let ws = intensity_to_working_set(8 * 1024 * 1024, intensity);
-        println!("  intensity {intensity:>4}% -> working set {:>8} KiB", ws / 1024);
+        println!(
+            "  intensity {intensity:>4}% -> working set {:>8} KiB",
+            ws / 1024
+        );
     }
 }

@@ -4,9 +4,14 @@
 //! the phase changes.
 //!
 //! Run with: `cargo run --example phase_tracking`
+//!
+//! Pass `--telemetry <path>` to capture a JSONL trace of every probe
+//! sweep, shutter capture, and matrix-completion pass the detector runs
+//! while following the phases.
 
 use bolt::detector::{Detector, DetectorConfig};
 use bolt::experiment::observed_training;
+use bolt::telemetry::{telemetry_path_from_args, Phase, Telemetry, TelemetryLog};
 use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
 use bolt_sim::vm::VmRole;
 use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
@@ -15,6 +20,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry_path = telemetry_path_from_args(std::env::args().skip(1));
+    let mut telemetry = if telemetry_path.is_some() {
+        Telemetry::for_unit(0)
+    } else {
+        Telemetry::disabled()
+    };
     let mut rng = StdRng::seed_from_u64(0xF18);
     let isolation = IsolationConfig::cloud_default();
     let mut cluster = Cluster::new(1, ServerSpec::xeon(), isolation)?;
@@ -30,8 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The victim's job schedule (the Fig. 8 sequence), each phase ~90 s.
     let jobs = [
         catalog::speccpu::profile(&catalog::speccpu::Benchmark::Mcf, &mut rng).with_vcpus(8),
-        catalog::hadoop::profile(&catalog::hadoop::Algorithm::Svm, DatasetScale::Medium, &mut rng)
-            .with_vcpus(8),
+        catalog::hadoop::profile(
+            &catalog::hadoop::Algorithm::Svm,
+            DatasetScale::Medium,
+            &mut rng,
+        )
+        .with_vcpus(8),
         catalog::spark::profile(
             &catalog::spark::Algorithm::DataMining,
             DatasetScale::Medium,
@@ -49,14 +64,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let recommender = HybridRecommender::fit(data, RecommenderConfig::default())?;
     let detector = Detector::new(recommender, DetectorConfig::default());
 
-    println!("{:>7}  {:<28} {:<32}", "t (s)", "actually running", "Bolt's detection");
+    println!(
+        "{:>7}  {:<28} {:<32}",
+        "t (s)", "actually running", "Bolt's detection"
+    );
     println!("{}", "-".repeat(72));
     let horizon = phase_s * jobs.len() as f64;
     let mut t = 0.0;
     while t < horizon {
         let phase = ((t / phase_s) as usize).min(jobs.len() - 1);
         cluster.swap_profile(victim, jobs[phase].clone())?;
-        let d = detector.detect(&cluster, adversary, t, &mut rng)?;
+        let clock = telemetry.begin();
+        let d = detector.detect_telemetry(&cluster, adversary, t, &mut rng, &mut telemetry)?;
+        telemetry.span(Phase::DetectionIteration, t, d.duration_s, clock);
         let detected = d
             .label()
             .map(ToString::to_string)
@@ -73,6 +93,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if hit { "" } else { "  <- stale/miss" }
         );
         t += 20.0;
+    }
+    if let Some(path) = telemetry_path {
+        telemetry.cluster_events(cluster.take_events());
+        let mut log = TelemetryLog::new();
+        log.merge(telemetry);
+        log.write_jsonl(&path)?;
+        eprintln!("telemetry: {} events -> {}", log.len(), path.display());
     }
     Ok(())
 }

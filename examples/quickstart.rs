@@ -1,9 +1,13 @@
 //! Quickstart: land an adversarial VM next to a victim and identify it.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--telemetry <path>` to capture the detection pipeline's JSONL
+//! telemetry trace.
 
 use bolt::detector::{Detector, DetectorConfig};
 use bolt::experiment::observed_training;
+use bolt::telemetry::{telemetry_path_from_args, Telemetry, TelemetryLog};
 use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
 use bolt_sim::vm::VmRole;
 use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
@@ -11,6 +15,12 @@ use bolt_workloads::{catalog, training::training_set, PressureVector};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry_path = telemetry_path_from_args(std::env::args().skip(1));
+    let mut telemetry = if telemetry_path.is_some() {
+        Telemetry::for_unit(0)
+    } else {
+        Telemetry::disabled()
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 
     // One Xeon-class host in a default public-cloud configuration (VMs, no
@@ -43,8 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One detection iteration: probing + data mining. Bolt emits one
     // verdict per co-resident it believes it disentangled.
-    let detection = detector.detect(&cluster, adversary, 20.0, &mut rng)?;
-    println!("\nprofiling cost: {:.1} simulated seconds", detection.duration_s);
+    let detection =
+        detector.detect_telemetry(&cluster, adversary, 20.0, &mut rng, &mut telemetry)?;
+    println!(
+        "\nprofiling cost: {:.1} simulated seconds",
+        detection.duration_s
+    );
     let primary = detection.primary().expect("a co-resident was detected");
     println!("similarity distribution of the primary verdict (top 5):");
     for score in primary.scores.iter().take(5) {
@@ -62,6 +76,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("  #{i}: never seen anything like this"),
         }
     }
-    println!("primary resource characteristics: {}", primary.characteristics);
+    println!(
+        "primary resource characteristics: {}",
+        primary.characteristics
+    );
+    if let Some(path) = telemetry_path {
+        let mut log = TelemetryLog::new();
+        log.merge(telemetry);
+        log.write_jsonl(&path)?;
+        eprintln!("telemetry: {} events -> {}", log.len(), path.display());
+    }
     Ok(())
 }

@@ -13,17 +13,27 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(0x2FA);
 
-    println!("{:<22} {:>14} {:>16} {:>14}", "victim", "victim perf", "beneficiary", "target");
+    println!(
+        "{:<22} {:>14} {:>16} {:>14}",
+        "victim", "victim perf", "beneficiary", "target"
+    );
     println!("{}", "-".repeat(70));
 
     // The three Table 2 victims, each hunted on a fresh host.
     let victims = vec![
-        catalog::webserver::profile(&catalog::webserver::Variant::Dynamic, &mut rng)
-            .with_vcpus(8),
-        catalog::hadoop::profile(&catalog::hadoop::Algorithm::Svm, DatasetScale::Large, &mut rng)
-            .with_vcpus(8),
-        catalog::spark::profile(&catalog::spark::Algorithm::KMeans, DatasetScale::Large, &mut rng)
-            .with_vcpus(8),
+        catalog::webserver::profile(&catalog::webserver::Variant::Dynamic, &mut rng).with_vcpus(8),
+        catalog::hadoop::profile(
+            &catalog::hadoop::Algorithm::Svm,
+            DatasetScale::Large,
+            &mut rng,
+        )
+        .with_vcpus(8),
+        catalog::spark::profile(
+            &catalog::spark::Algorithm::KMeans,
+            DatasetScale::Large,
+            &mut rng,
+        )
+        .with_vcpus(8),
     ];
 
     for victim in victims {

@@ -14,15 +14,19 @@
 //! Dependencies are deliberately std-only: arguments are parsed by hand.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bolt::attacks::coresidency::{hunt, placement_probability, CoResidencyConfig};
-use bolt::attacks::dos::{craft_attack_from_profile, naive_attack, run_dos, DosRunConfig};
-use bolt::attacks::rfa::run_rfa;
-use bolt::experiment::{run_experiment, ExperimentConfig};
-use bolt::isolation_study::run_isolation_study;
+use bolt::attacks::coresidency::{hunt_telemetry, placement_probability, CoResidencyConfig};
+use bolt::attacks::dos::{
+    craft_attack_from_profile, naive_attack, run_dos_telemetry, DosRunConfig,
+};
+use bolt::attacks::rfa::run_rfa_telemetry;
+use bolt::experiment::{run_experiment, run_experiment_telemetry, ExperimentConfig};
+use bolt::isolation_study::{run_isolation_study, run_isolation_study_telemetry};
 use bolt::report::{pct, Table};
-use bolt::user_study::{run_user_study, UserStudyConfig};
+use bolt::telemetry::{Telemetry, TelemetryLog};
+use bolt::user_study::{run_user_study, run_user_study_telemetry, UserStudyConfig};
 use bolt_sim::{LeastLoaded, OsSetting, Quasar};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,52 +84,102 @@ COMMANDS:
     coresidency   locate a SQL victim in the cluster (Sec. 5.3)
 
 FLAGS (all optional):
-    --servers N    cluster size            (default 20)
-    --victims N    victim workloads        (default 48)
-    --instances N  user-study instances    (default 40)
-    --jobs N       user-study jobs         (default 120)
-    --seed S       RNG seed                (default experiment-specific)";
+    --servers N       cluster size            (default 20)
+    --victims N       victim workloads        (default 48)
+    --instances N     user-study instances    (default 40)
+    --jobs N          user-study jobs         (default 120)
+    --seed S          RNG seed                (default experiment-specific)
+    --telemetry PATH  write a JSONL telemetry trace of the run to PATH";
 
-fn parse_flags(
-    args: impl Iterator<Item = String>,
-) -> Result<HashMap<String, u64>, String> {
+/// Parsed `--flag value` pairs (also accepts `--flag=value`). Values stay
+/// strings until a command asks for them, so path-valued flags like
+/// `--telemetry` coexist with the numeric ones.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    /// The flag as an integer, if present.
+    fn u64(&self, name: &str) -> Result<Option<u64>, String> {
+        self.0
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} needs an integer, got `{v}`"))
+            })
+            .transpose()
+    }
+
+    /// The flag as a count, with a default.
+    fn usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        Ok(self.u64(name)?.map(|v| v as usize).unwrap_or(default))
+    }
+
+    /// The `--telemetry` output path, if requested.
+    fn telemetry(&self) -> Option<PathBuf> {
+        self.0.get("telemetry").map(PathBuf::from)
+    }
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
     let mut flags = HashMap::new();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
-        let Some(value) = args.next() else {
-            return Err(format!("--{name} needs a value"));
+        let (name, value) = match name.split_once('=') {
+            Some((name, value)) => (name.to_string(), value.to_string()),
+            None => {
+                let Some(value) = args.next() else {
+                    return Err(format!("--{name} needs a value"));
+                };
+                (name.to_string(), value)
+            }
         };
-        let value: u64 = value
-            .parse()
-            .map_err(|_| format!("--{name} needs an integer, got `{value}`"))?;
-        flags.insert(name.to_string(), value);
+        flags.insert(name, value);
     }
-    Ok(flags)
+    Ok(Flags(flags))
 }
 
-fn experiment_config(flags: &HashMap<String, u64>) -> ExperimentConfig {
+/// Writes the run's telemetry trace when `--telemetry` was given, with a
+/// per-metric summary on stderr.
+fn write_telemetry(flags: &Flags, log: &TelemetryLog) -> Result<(), String> {
+    let Some(path) = flags.telemetry() else {
+        return Ok(());
+    };
+    log.write_jsonl(&path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("telemetry: {} events -> {}", log.len(), path.display());
+    eprintln!("{}", log.summary_table().render());
+    Ok(())
+}
+
+fn experiment_config(flags: &Flags) -> Result<ExperimentConfig, String> {
     let mut config = ExperimentConfig {
-        servers: flags.get("servers").copied().unwrap_or(20) as usize,
-        victims: flags.get("victims").copied().unwrap_or(48) as usize,
+        servers: flags.usize("servers", 20)?,
+        victims: flags.usize("victims", 48)?,
         ..ExperimentConfig::default()
     };
-    if let Some(&seed) = flags.get("seed") {
+    if let Some(seed) = flags.u64("seed")? {
         config.seed = seed;
     }
-    config
+    Ok(config)
 }
 
-fn cmd_detect(flags: &HashMap<String, u64>) -> Result<(), String> {
-    let config = experiment_config(flags);
+fn cmd_detect(flags: &Flags) -> Result<(), String> {
+    let config = experiment_config(flags)?;
     eprintln!(
         "running the controlled experiment: {} victims on {} servers...",
         config.victims, config.servers
     );
-    let results = run_experiment(&config, &LeastLoaded).map_err(|e| e.to_string())?;
-    let mut table = Table::new(vec!["victim", "detected", "iters", "co-res", "label", "chars"]);
+    let (results, log) = if flags.telemetry().is_some() {
+        run_experiment_telemetry(&config, &LeastLoaded).map_err(|e| e.to_string())?
+    } else {
+        let results = run_experiment(&config, &LeastLoaded).map_err(|e| e.to_string())?;
+        (results, TelemetryLog::new())
+    };
+    let mut table = Table::new(vec![
+        "victim", "detected", "iters", "co-res", "label", "chars",
+    ]);
     for r in &results.records {
         table.row(vec![
             r.truth.to_string(),
@@ -145,14 +199,25 @@ fn cmd_detect(flags: &HashMap<String, u64>) -> Result<(), String> {
         pct(results.label_accuracy()),
         pct(results.characteristics_accuracy())
     );
+    write_telemetry(flags, &log)?;
     Ok(())
 }
 
-fn cmd_table1(flags: &HashMap<String, u64>) -> Result<(), String> {
-    let config = experiment_config(flags);
+fn cmd_table1(flags: &Flags) -> Result<(), String> {
+    let config = experiment_config(flags)?;
     eprintln!("running the controlled experiment twice (LL, Quasar)...");
-    let ll = run_experiment(&config, &LeastLoaded).map_err(|e| e.to_string())?;
-    let quasar = run_experiment(&config, &Quasar).map_err(|e| e.to_string())?;
+    let (ll, quasar, log) = if flags.telemetry().is_some() {
+        let (ll, mut log) =
+            run_experiment_telemetry(&config, &LeastLoaded).map_err(|e| e.to_string())?;
+        let (quasar, quasar_log) =
+            run_experiment_telemetry(&config, &Quasar).map_err(|e| e.to_string())?;
+        log.extend(quasar_log.into_events());
+        (ll, quasar, log)
+    } else {
+        let ll = run_experiment(&config, &LeastLoaded).map_err(|e| e.to_string())?;
+        let quasar = run_experiment(&config, &Quasar).map_err(|e| e.to_string())?;
+        (ll, quasar, TelemetryLog::new())
+    };
     let mut table = Table::new(vec!["class", "LL", "Quasar"]);
     table.row(vec![
         "aggregate".into(),
@@ -162,7 +227,9 @@ fn cmd_table1(flags: &HashMap<String, u64>) -> Result<(), String> {
     for family in ["memcached", "hadoop", "spark", "cassandra", "speccpu2006"] {
         table.row(vec![
             family.into(),
-            ll.family_accuracy(family).map(pct).unwrap_or_else(|| "-".into()),
+            ll.family_accuracy(family)
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
             quasar
                 .family_accuracy(family)
                 .map(pct)
@@ -170,24 +237,30 @@ fn cmd_table1(flags: &HashMap<String, u64>) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
+    write_telemetry(flags, &log)?;
     Ok(())
 }
 
-fn cmd_study(flags: &HashMap<String, u64>) -> Result<(), String> {
+fn cmd_study(flags: &Flags) -> Result<(), String> {
     let mut config = UserStudyConfig {
-        instances: flags.get("instances").copied().unwrap_or(40) as usize,
-        jobs: flags.get("jobs").copied().unwrap_or(120) as usize,
+        instances: flags.usize("instances", 40)?,
+        jobs: flags.usize("jobs", 120)?,
         users: 10,
         ..UserStudyConfig::default()
     };
-    if let Some(&seed) = flags.get("seed") {
+    if let Some(seed) = flags.u64("seed")? {
         config.seed = seed;
     }
     eprintln!(
         "running the user study: {} jobs on {} instances...",
         config.jobs, config.instances
     );
-    let results = run_user_study(&config).map_err(|e| e.to_string())?;
+    let (results, log) = if flags.telemetry().is_some() {
+        run_user_study_telemetry(&config).map_err(|e| e.to_string())?
+    } else {
+        let results = run_user_study(&config).map_err(|e| e.to_string())?;
+        (results, TelemetryLog::new())
+    };
     let n = results.records.len();
     println!(
         "named {}/{} ({})  characterized {}/{} ({})  instances used {}/{}",
@@ -200,17 +273,23 @@ fn cmd_study(flags: &HashMap<String, u64>) -> Result<(), String> {
         results.instances_used,
         config.instances
     );
+    write_telemetry(flags, &log)?;
     Ok(())
 }
 
-fn cmd_isolation(flags: &HashMap<String, u64>) -> Result<(), String> {
+fn cmd_isolation(flags: &Flags) -> Result<(), String> {
     let config = ExperimentConfig {
-        servers: flags.get("servers").copied().unwrap_or(10) as usize,
-        victims: flags.get("victims").copied().unwrap_or(24) as usize,
+        servers: flags.usize("servers", 10)?,
+        victims: flags.usize("victims", 24)?,
         ..ExperimentConfig::default()
     };
     eprintln!("running 21 detection experiments (3 settings x 7 stacks)...");
-    let study = run_isolation_study(&config).map_err(|e| e.to_string())?;
+    let (study, log) = if flags.telemetry().is_some() {
+        run_isolation_study_telemetry(&config).map_err(|e| e.to_string())?
+    } else {
+        let study = run_isolation_study(&config).map_err(|e| e.to_string())?;
+        (study, TelemetryLog::new())
+    };
     let mut table = Table::new(vec!["stack", "baremetal", "containers", "VMs"]);
     let stacks = [
         "none",
@@ -223,20 +302,26 @@ fn cmd_isolation(flags: &HashMap<String, u64>) -> Result<(), String> {
     for (i, stack) in stacks.iter().enumerate() {
         let mut row = vec![stack.to_string()];
         for setting in OsSetting::ALL {
-            row.push(study.accuracy(setting, i).map(pct).unwrap_or_else(|| "-".into()));
+            row.push(
+                study
+                    .accuracy(setting, i)
+                    .map(pct)
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         table.row(row);
     }
     println!("{}", table.render());
+    write_telemetry(flags, &log)?;
     Ok(())
 }
 
-fn cmd_dos(flags: &HashMap<String, u64>) -> Result<(), String> {
+fn cmd_dos(flags: &Flags) -> Result<(), String> {
     use bolt_sim::vm::VmRole;
     use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
     use bolt_workloads::{catalog, LoadPattern, PressureVector};
 
-    let seed = flags.get("seed").copied().unwrap_or(0xD05);
+    let seed = flags.u64("seed")?.unwrap_or(0xD05);
     let mut rng = StdRng::seed_from_u64(seed);
     let scene = |rng: &mut StdRng| -> Result<_, String> {
         let mut cluster = Cluster::new(4, ServerSpec::xeon(), IsolationConfig::cloud_default())
@@ -252,8 +337,7 @@ fn cmd_dos(flags: &HashMap<String, u64>) -> Result<(), String> {
         let attacker = cluster
             .launch_on(
                 0,
-                catalog::memcached::profile(&catalog::memcached::Variant::Mixed, rng)
-                    .with_vcpus(4),
+                catalog::memcached::profile(&catalog::memcached::Variant::Mixed, rng).with_vcpus(4),
                 VmRole::Adversarial,
                 0.0,
             )
@@ -264,6 +348,15 @@ fn cmd_dos(flags: &HashMap<String, u64>) -> Result<(), String> {
         Ok((cluster, attacker, victim, baseline))
     };
 
+    // Unit 1 traces the Bolt-crafted run, unit 2 the naive baseline.
+    let enabled = flags.telemetry().is_some();
+    let unit = |u: usize| {
+        if enabled {
+            Telemetry::for_unit(u)
+        } else {
+            Telemetry::disabled()
+        }
+    };
     let defense = DosRunConfig::default();
     let (mut c1, a1, v1, baseline) = scene(&mut rng)?;
     let pressure = *c1
@@ -271,18 +364,32 @@ fn cmd_dos(flags: &HashMap<String, u64>) -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .profile
         .base_pressure();
-    let bolt = run_dos(
+    let mut bolt_telemetry = unit(1);
+    let bolt = run_dos_telemetry(
         &mut c1,
         a1,
         v1,
         craft_attack_from_profile(&pressure),
         &defense,
         &mut rng,
+        &mut bolt_telemetry,
     )
     .map_err(|e| e.to_string())?;
     let (mut c2, a2, v2, _) = scene(&mut rng)?;
-    let naive = run_dos(&mut c2, a2, v2, naive_attack(), &defense, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let mut naive_telemetry = unit(2);
+    let naive = run_dos_telemetry(
+        &mut c2,
+        a2,
+        v2,
+        naive_attack(),
+        &defense,
+        &mut rng,
+        &mut naive_telemetry,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut log = TelemetryLog::new();
+    log.merge(bolt_telemetry);
+    log.merge(naive_telemetry);
     println!(
         "bolt:  {:>5.0}x steady-state amplification, migration: {:?}",
         bolt.final_amplification(baseline),
@@ -293,31 +400,48 @@ fn cmd_dos(flags: &HashMap<String, u64>) -> Result<(), String> {
         naive.final_amplification(baseline),
         naive.migration_at
     );
+    write_telemetry(flags, &log)?;
     Ok(())
 }
 
-fn cmd_rfa(flags: &HashMap<String, u64>) -> Result<(), String> {
+fn cmd_rfa(flags: &Flags) -> Result<(), String> {
     use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
     use bolt_workloads::{catalog, DatasetScale};
 
-    let seed = flags.get("seed").copied().unwrap_or(0x2FA);
+    let seed = flags.u64("seed")?.unwrap_or(0x2FA);
     let mut rng = StdRng::seed_from_u64(seed);
     let victims = vec![
-        catalog::webserver::profile(&catalog::webserver::Variant::Dynamic, &mut rng)
-            .with_vcpus(8),
-        catalog::hadoop::profile(&catalog::hadoop::Algorithm::Svm, DatasetScale::Large, &mut rng)
-            .with_vcpus(8),
-        catalog::spark::profile(&catalog::spark::Algorithm::KMeans, DatasetScale::Large, &mut rng)
-            .with_vcpus(8),
+        catalog::webserver::profile(&catalog::webserver::Variant::Dynamic, &mut rng).with_vcpus(8),
+        catalog::hadoop::profile(
+            &catalog::hadoop::Algorithm::Svm,
+            DatasetScale::Large,
+            &mut rng,
+        )
+        .with_vcpus(8),
+        catalog::spark::profile(
+            &catalog::spark::Algorithm::KMeans,
+            DatasetScale::Large,
+            &mut rng,
+        )
+        .with_vcpus(8),
     ];
+    let enabled = flags.telemetry().is_some();
+    let mut log = TelemetryLog::new();
     let mut table = Table::new(vec!["victim", "victim perf", "mcf", "target"]);
-    for victim in victims {
+    for (idx, victim) in victims.into_iter().enumerate() {
         let name = victim.label().to_string();
         let mut cluster = Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default())
             .map_err(|e| e.to_string())?;
         let mcf = catalog::speccpu::profile(&catalog::speccpu::Benchmark::Mcf, &mut rng);
-        let outcome = run_rfa(&mut cluster, 0, victim, mcf, &mut rng)
+        // One telemetry unit per Table 2 row.
+        let mut telemetry = if enabled {
+            Telemetry::for_unit(idx + 1)
+        } else {
+            Telemetry::disabled()
+        };
+        let outcome = run_rfa_telemetry(&mut cluster, 0, victim, mcf, &mut rng, &mut telemetry)
             .map_err(|e| e.to_string())?;
+        log.merge(telemetry);
         table.row(vec![
             name,
             format!("{:+.0}%", outcome.victim_delta * 100.0),
@@ -326,10 +450,11 @@ fn cmd_rfa(flags: &HashMap<String, u64>) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
+    write_telemetry(flags, &log)?;
     Ok(())
 }
 
-fn cmd_coresidency(flags: &HashMap<String, u64>) -> Result<(), String> {
+fn cmd_coresidency(flags: &Flags) -> Result<(), String> {
     use bolt::detector::{Detector, DetectorConfig};
     use bolt::experiment::observed_training;
     use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
@@ -337,8 +462,8 @@ fn cmd_coresidency(flags: &HashMap<String, u64>) -> Result<(), String> {
     use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
     use bolt_workloads::{catalog, training::training_set, DatasetScale};
 
-    let servers = flags.get("servers").copied().unwrap_or(40) as usize;
-    let seed = flags.get("seed").copied().unwrap_or(0xC0DE);
+    let servers = flags.usize("servers", 40)?;
+    let seed = flags.u64("seed")?.unwrap_or(0xC0DE);
     let mut rng = StdRng::seed_from_u64(seed);
     let isolation = IsolationConfig::cloud_default();
     let mut cluster =
@@ -378,16 +503,24 @@ fn cmd_coresidency(flags: &HashMap<String, u64>) -> Result<(), String> {
 
     let data = TrainingData::from_examples(observed_training(&training_set(7), &isolation))
         .map_err(|e| e.to_string())?;
-    let rec = HybridRecommender::fit(data, RecommenderConfig::default())
-        .map_err(|e| e.to_string())?;
+    let rec =
+        HybridRecommender::fit(data, RecommenderConfig::default()).map_err(|e| e.to_string())?;
     let detector = Detector::new(rec, DetectorConfig::default());
     let config = CoResidencyConfig::default();
     println!(
         "hunting a SQL victim across {servers} servers; P(per fleet) = {:.2}",
         placement_probability(servers, 1, config.probes)
     );
+    let enabled = flags.telemetry().is_some();
+    let mut log = TelemetryLog::new();
     for round in 0..10 {
-        let outcome = hunt(
+        // One telemetry unit per probe fleet.
+        let mut telemetry = if enabled {
+            Telemetry::for_unit(round + 1)
+        } else {
+            Telemetry::disabled()
+        };
+        let outcome = hunt_telemetry(
             &mut cluster,
             &detector,
             victim,
@@ -395,8 +528,10 @@ fn cmd_coresidency(flags: &HashMap<String, u64>) -> Result<(), String> {
             &config,
             round as f64 * 120.0,
             &mut rng,
+            &mut telemetry,
         )
         .map_err(|e| e.to_string())?;
+        log.merge(telemetry);
         println!(
             "fleet {round}: probed {:?}, SQL candidates {:?}",
             outcome.probed_servers, outcome.candidate_servers
@@ -406,33 +541,46 @@ fn cmd_coresidency(flags: &HashMap<String, u64>) -> Result<(), String> {
                 "confirmed on server {server} (truth: {victim_host}) with a {:.1}x latency jump",
                 outcome.latency_ratio()
             );
+            write_telemetry(flags, &log)?;
             return Ok(());
         }
     }
     println!("not located within the fleet budget — relaunch with another --seed");
+    write_telemetry(flags, &log)?;
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::parse_flags;
+    use std::path::PathBuf;
 
     #[test]
     fn parse_flags_accepts_pairs() {
         let flags = parse_flags(
-            ["--servers", "12", "--victims", "30"].iter().map(|s| s.to_string()),
+            [
+                "--servers",
+                "12",
+                "--victims",
+                "30",
+                "--telemetry=out.jsonl",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .expect("valid flags");
-        assert_eq!(flags.get("servers"), Some(&12));
-        assert_eq!(flags.get("victims"), Some(&30));
+        assert_eq!(flags.u64("servers").unwrap(), Some(12));
+        assert_eq!(flags.usize("victims", 0).unwrap(), 30);
+        assert_eq!(flags.telemetry(), Some(PathBuf::from("out.jsonl")));
     }
 
     #[test]
     fn parse_flags_rejects_bare_values_and_missing_values() {
         assert!(parse_flags(["12".to_string()].into_iter()).is_err());
         assert!(parse_flags(["--seed".to_string()].into_iter()).is_err());
-        assert!(
-            parse_flags(["--seed".to_string(), "abc".to_string()].into_iter()).is_err()
-        );
+        // Non-numeric values parse as flags but fail the typed accessor.
+        let flags =
+            parse_flags(["--seed".to_string(), "abc".to_string()].into_iter()).expect("parses");
+        assert!(flags.u64("seed").is_err());
     }
 }

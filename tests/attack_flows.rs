@@ -51,7 +51,9 @@ fn detect_then_dos_end_to_end() {
         .set_pressure_override(attacker, Some(PressureVector::zero()))
         .expect("quiet attacker");
 
-    let detection = det.detect(&cluster, attacker, 15.0, &mut rng).expect("detect");
+    let detection = det
+        .detect(&cluster, attacker, 15.0, &mut rng)
+        .expect("detect");
     let primary = detection.primary().expect("victim detected");
     let attack = craft_attack(primary);
 
@@ -106,7 +108,10 @@ fn naive_dos_is_defeated_by_migration() {
         &mut rng,
     )
     .expect("dos runs");
-    assert!(timeline.migration_at.is_some(), "naive DoS must trip the monitor");
+    assert!(
+        timeline.migration_at.is_some(),
+        "naive DoS must trip the monitor"
+    );
     assert!(
         timeline.final_amplification(baseline) < 2.0,
         "the migrated victim must recover"
@@ -117,8 +122,7 @@ fn naive_dos_is_defeated_by_migration() {
 fn rfa_all_three_paper_victims() {
     let mut rng = StdRng::seed_from_u64(0xC77C);
     let victims = vec![
-        catalog::webserver::profile(&catalog::webserver::Variant::Dynamic, &mut rng)
-            .with_vcpus(8),
+        catalog::webserver::profile(&catalog::webserver::Variant::Dynamic, &mut rng).with_vcpus(8),
         catalog::hadoop::profile(
             &catalog::hadoop::Algorithm::Svm,
             bolt_workloads::DatasetScale::Large,
@@ -135,8 +139,7 @@ fn rfa_all_three_paper_victims() {
     for victim in victims {
         let name = victim.label().to_string();
         let mut cluster =
-            Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default())
-                .expect("cluster");
+            Cluster::new(1, ServerSpec::xeon(), IsolationConfig::cloud_default()).expect("cluster");
         let beneficiary = catalog::speccpu::profile(&catalog::speccpu::Benchmark::Mcf, &mut rng);
         let outcome = run_rfa(&mut cluster, 0, victim, beneficiary, &mut rng).expect("rfa");
         assert!(
@@ -169,7 +172,9 @@ fn coresidency_hunt_eventually_confirms() {
     for s in [1, 8] {
         let decoy = catalog::database::profile(&catalog::database::Variant::SqlOltp, &mut rng)
             .with_vcpus(8);
-        cluster.launch_on(s, decoy, VmRole::Friendly, 0.0).expect("decoy placed");
+        cluster
+            .launch_on(s, decoy, VmRole::Friendly, 0.0)
+            .expect("decoy placed");
     }
     let det = detector(&isolation);
     let config = CoResidencyConfig {
@@ -193,5 +198,9 @@ fn coresidency_hunt_eventually_confirms() {
             break;
         }
     }
-    assert_eq!(confirmed, Some(5), "the hunt must pinpoint the victim's host");
+    assert_eq!(
+        confirmed,
+        Some(5),
+        "the hunt must pinpoint the victim's host"
+    );
 }

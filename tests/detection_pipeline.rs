@@ -32,7 +32,9 @@ fn host_with(victims: Vec<WorkloadProfile>, rng: &mut StdRng) -> (Cluster, VmId)
         .set_pressure_override(adv, Some(PressureVector::zero()))
         .expect("quiet adversary");
     for v in victims {
-        cluster.launch_on(0, v, VmRole::Friendly, 0.0).expect("victim placed");
+        cluster
+            .launch_on(0, v, VmRole::Friendly, 0.0)
+            .expect("victim placed");
     }
     (cluster, adv)
 }
@@ -103,7 +105,13 @@ fn end_to_end_two_victims_both_usually_found() {
     let mut baseline: Option<Vec<(bolt_workloads::Resource, f64)>> = None;
     for i in 0..6 {
         let d = det
-            .detect_with_baseline(&cluster, adv, i as f64 * 20.0, baseline.as_deref(), &mut rng)
+            .detect_with_baseline(
+                &cluster,
+                adv,
+                i as f64 * 20.0,
+                baseline.as_deref(),
+                &mut rng,
+            )
             .expect("detect");
         found_a |= d.matches_family(&truth_a);
         found_b |= d.matches_family(&truth_b);
@@ -139,7 +147,10 @@ fn characteristics_survive_unseen_applications() {
         characterized |= d.matches_characteristics(&truth_chars);
         named |= d.matches_family(&truth_label);
     }
-    assert!(!named, "mlpython is not in the training set and cannot be named");
+    assert!(
+        !named,
+        "mlpython is not in the training set and cannot be named"
+    );
     assert!(characterized, "characteristics should still be recovered");
 }
 
@@ -160,8 +171,7 @@ fn isolation_reduces_what_the_probes_see() {
         let adv = cluster
             .launch_on(
                 0,
-                catalog::memcached::profile(&catalog::memcached::Variant::Mixed, rng)
-                    .with_vcpus(4),
+                catalog::memcached::profile(&catalog::memcached::Variant::Mixed, rng).with_vcpus(4),
                 VmRole::Adversarial,
                 0.0,
             )
@@ -205,8 +215,14 @@ fn isolation_reduces_what_the_probes_see() {
         },
         &mut rng,
     );
-    assert!(full < none, "the mechanism stack must hide pressure: {none} -> {full}");
-    assert!(core <= full, "core isolation must hide still more: {full} -> {core}");
+    assert!(
+        full < none,
+        "the mechanism stack must hide pressure: {none} -> {full}"
+    );
+    assert!(
+        core <= full,
+        "core isolation must hide still more: {full} -> {core}"
+    );
 }
 
 #[test]
@@ -215,9 +231,8 @@ fn detection_is_deterministic_for_fixed_seeds() {
     let det = detector(&isolation);
     let run = || {
         let mut rng = StdRng::seed_from_u64(0x5775);
-        let victim =
-            catalog::cassandra::profile(&catalog::cassandra::Variant::Mixed, &mut rng)
-                .with_vcpus(8);
+        let victim = catalog::cassandra::profile(&catalog::cassandra::Variant::Mixed, &mut rng)
+            .with_vcpus(8);
         let (cluster, adv) = host_with(vec![victim], &mut rng);
         let d = det.detect(&cluster, adv, 42.0, &mut rng).expect("detect");
         d.labels().map(ToString::to_string).collect::<Vec<_>>()

@@ -28,11 +28,11 @@ fn parsec_jobs_are_characterized_but_never_named() {
     for bench in parsec::Benchmark::ALL {
         let victim = parsec::profile(&bench, &mut rng).with_vcpus(8);
         let truth_label = victim.label().clone();
-        let truth_chars = bolt_workloads::ResourceCharacteristics::from_pressure(
-            &observe_through(victim.base_pressure(), &isolation),
-        );
-        let mut cluster =
-            Cluster::new(1, ServerSpec::xeon(), isolation).expect("cluster");
+        let truth_chars = bolt_workloads::ResourceCharacteristics::from_pressure(&observe_through(
+            victim.base_pressure(),
+            &isolation,
+        ));
+        let mut cluster = Cluster::new(1, ServerSpec::xeon(), isolation).expect("cluster");
         let adv = cluster
             .launch_on(
                 0,
@@ -88,8 +88,8 @@ fn mrc_separates_what_average_pressure_cannot() {
 #[test]
 fn trace_reconstructs_an_experiment_timeline() {
     let mut rng = StdRng::seed_from_u64(0x7A);
-    let mut cluster = Cluster::new(2, ServerSpec::xeon(), IsolationConfig::cloud_default())
-        .expect("cluster");
+    let mut cluster =
+        Cluster::new(2, ServerSpec::xeon(), IsolationConfig::cloud_default()).expect("cluster");
     let a = cluster
         .launch_on(
             0,
@@ -122,7 +122,10 @@ fn trace_reconstructs_an_experiment_timeline() {
     assert_eq!(events.len(), 4);
     assert!(matches!(events[0], TraceEvent::Launch { server: 0, .. }));
     assert!(matches!(events[1], TraceEvent::Launch { server: 1, at, .. } if at == 10.0));
-    assert!(matches!(events[2], TraceEvent::Migrate { from: 0, to: 1, .. }));
+    assert!(matches!(
+        events[2],
+        TraceEvent::Migrate { from: 0, to: 1, .. }
+    ));
     assert!(matches!(events[3], TraceEvent::Terminate { server: 1, .. }));
     // The rendered timeline mentions every VM.
     let text: String = events.iter().map(|e| e.describe() + "\n").collect();
