@@ -4,18 +4,28 @@
 //! Paper: very high L1-i plus high LLC pressure → memcached with high
 //! probability; any disk traffic rules it out.
 
-use bolt::fingerprint::{family_heatmap, population, FIG2_PAIRS};
+use bolt::fingerprint::{family_heatmap, family_heatmap_telemetry, population, FIG2_PAIRS};
 use bolt::report::Table;
+use bolt::telemetry::{telemetry_path_from_args, Telemetry, TelemetryLog};
 use bolt_bench::{emit, full_scale};
 
 fn main() {
+    let telemetry_path = telemetry_path_from_args(std::env::args().skip(1));
+    let mut log = TelemetryLog::new();
     let n = if full_scale() { 2000 } else { 600 };
     eprintln!("building a {n}-instance population...");
     let pop = population(n, 0xF162);
     let grid = 5;
 
-    for (x, y) in FIG2_PAIRS {
-        let map = family_heatmap(&pop, "memcached", x, y, grid);
+    for (unit, (x, y)) in FIG2_PAIRS.into_iter().enumerate() {
+        let map = if telemetry_path.is_some() {
+            let mut telemetry = Telemetry::for_unit(unit);
+            let map = family_heatmap_telemetry(&pop, "memcached", x, y, grid, &mut telemetry);
+            log.merge(telemetry);
+            map
+        } else {
+            family_heatmap(&pop, "memcached", x, y, grid)
+        };
         let mut table = Table::new(vec![
             format!("{y} \\ {x}"),
             format!("{:.0}", map.center(0)),
@@ -84,4 +94,11 @@ fn main() {
             "MISMATCH"
         }
     );
+
+    if let Some(path) = telemetry_path {
+        match log.write_jsonl(&path) {
+            Ok(()) => println!("telemetry: {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }

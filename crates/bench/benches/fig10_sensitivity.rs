@@ -10,10 +10,16 @@
 use bolt::experiment::ExperimentConfig;
 use bolt::parallel::Parallelism;
 use bolt::report::{pct, Table};
-use bolt::sensitivity::{adversary_size_sweep, benchmark_count_sweep, profiling_interval_sweep};
+use bolt::sensitivity::{
+    adversary_size_sweep_telemetry, benchmark_count_sweep_telemetry,
+    profiling_interval_sweep_telemetry,
+};
+use bolt::telemetry::{telemetry_path_from_args, TelemetryLog};
 use bolt_bench::{emit, full_scale};
 
 fn main() {
+    let telemetry_path = telemetry_path_from_args(std::env::args().skip(1));
+    let mut log = TelemetryLog::new();
     let base = if full_scale() {
         ExperimentConfig {
             servers: 24,
@@ -31,8 +37,10 @@ fn main() {
     // (a) profiling interval, against a victim switching jobs (~60 s).
     eprintln!("sweeping profiling intervals...");
     let intervals = [5.0, 20.0, 60.0, 120.0, 300.0];
-    let points = profiling_interval_sweep(&intervals, 60.0, 900.0, 0xF16A, Parallelism::Auto)
-        .expect("interval sweep runs");
+    let (points, interval_log) =
+        profiling_interval_sweep_telemetry(&intervals, 60.0, 900.0, 0xF16A, Parallelism::Auto)
+            .expect("interval sweep runs");
+    log.extend(interval_log.into_events());
     let mut a = Table::new(vec!["interval (s)", "paper", "measured accuracy"]);
     let paper_a = ["~90%", "~88%", "~75%", "~65%", "~50%"];
     for (i, p) in points.iter().enumerate() {
@@ -65,7 +73,9 @@ fn main() {
     // (b) adversarial VM size.
     eprintln!("sweeping adversarial VM sizes...");
     let sizes = [1u32, 2, 4, 8];
-    let points = adversary_size_sweep(&base, &sizes).expect("size sweep runs");
+    let (points, size_log) =
+        adversary_size_sweep_telemetry(&base, &sizes).expect("size sweep runs");
+    log.extend(size_log.into_events());
     let mut b = Table::new(vec!["adversary vCPUs", "paper", "measured accuracy"]);
     let paper_b = ["~35%", "~60%", "~87%", "~90%"];
     for (i, p) in points.iter().enumerate() {
@@ -84,7 +94,9 @@ fn main() {
     // (c) number of profiling benchmarks.
     eprintln!("sweeping benchmark counts...");
     let counts = [1usize, 2, 3, 5, 8];
-    let points = benchmark_count_sweep(&base, &counts).expect("count sweep runs");
+    let (points, count_log) =
+        benchmark_count_sweep_telemetry(&base, &counts).expect("count sweep runs");
+    log.extend(count_log.into_events());
     let mut c = Table::new(vec!["benchmarks", "paper", "measured accuracy"]);
     let paper_c = ["~55%", "~87%", "~89%", "~90%", "~90%"];
     for (i, p) in points.iter().enumerate() {
@@ -99,4 +111,11 @@ fn main() {
         "one benchmark is insufficient; beyond 3 the returns diminish",
         &c,
     );
+
+    if let Some(path) = telemetry_path {
+        match log.write_jsonl(&path) {
+            Ok(()) => println!("telemetry: {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }

@@ -78,6 +78,13 @@ pub struct CoResidencyConfig {
     pub confirm_ratio: f64,
     /// vCPUs per probe VM.
     pub probe_vcpus: u32,
+    /// Minimum detection confidence for a probe's verdict to become a
+    /// confirmation candidate. Zero (the default) disables the gate;
+    /// under churn, a positive floor drops degraded or shaky verdicts so
+    /// the sender/receiver rounds — a full round trip each — are not
+    /// wasted confirming phantoms. Skipped hosts get re-probed by the
+    /// next fleet.
+    pub min_confidence: f64,
 }
 
 impl Default for CoResidencyConfig {
@@ -86,6 +93,7 @@ impl Default for CoResidencyConfig {
             probes: 10,
             confirm_ratio: 2.0,
             probe_vcpus: 4,
+            min_confidence: 0.0,
         }
     }
 }
@@ -181,6 +189,13 @@ pub fn hunt_telemetry<R: Rng>(
     for &(server, probe) in &probes {
         let detection = detector.detect_telemetry(cluster, probe, elapsed, rng, telemetry)?;
         slowest = slowest.max(detection.duration_s);
+        // Degraded or shaky fingerprints are not worth a confirmation
+        // round; the host stays unconfirmed and a later fleet retries it.
+        if config.min_confidence > 0.0
+            && (detection.degraded.is_some() || detection.confidence < config.min_confidence)
+        {
+            continue;
+        }
         // The verdict matching the target's type carries the co-resident's
         // estimated profile, which the confirmation sender will stress.
         let matching = detection.verdicts.iter().find(|v| {
@@ -344,6 +359,22 @@ mod tests {
             }
         }
         assert_eq!(confirmed, Some(0), "the hunt must locate the victim's host");
+    }
+
+    #[test]
+    fn unreachable_confidence_floor_drops_every_candidate() {
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        let (mut cluster, victim) = scene(&mut rng);
+        let det = detector();
+        let config = CoResidencyConfig {
+            probes: 12,
+            min_confidence: 1.1, // confidence is clamped to [0, 1]
+            ..CoResidencyConfig::default()
+        };
+        let outcome = hunt(&mut cluster, &det, victim, "mysql", &config, 0.0, &mut rng).unwrap();
+        assert!(outcome.candidate_servers.is_empty());
+        assert!(outcome.confirmed_server.is_none());
+        assert_eq!(outcome.latency_ratio(), 1.0);
     }
 
     #[test]

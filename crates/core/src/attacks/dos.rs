@@ -15,6 +15,7 @@ use bolt_recommender::Recommendation;
 use bolt_sim::{Cluster, VmId};
 use bolt_workloads::{PressureVector, Resource};
 
+use crate::detector::Detection;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::BoltError;
 
@@ -40,6 +41,43 @@ const MIN_TARGET_INTENSITY: f64 = 85.0;
 /// idle, CPU capped at the stealth budget.
 pub fn craft_attack(recommendation: &Recommendation) -> PressureVector {
     craft_attack_from_profile(&recommendation.completed)
+}
+
+/// [`craft_attack`] gated on detection quality: a DoS aimed at a
+/// misidentified victim wastes the attacker's stealth budget on the wrong
+/// resources (and may light up a monitor for nothing), so the attack is
+/// refused outright when the detection is degraded — churn contaminated
+/// the window, the probe budget ran out — or its confidence sits below
+/// `min_confidence`. The caller's recourse is to re-fingerprint, exactly
+/// as the paper's attacker re-probes before striking.
+///
+/// # Errors
+///
+/// Returns [`BoltError::DetectionAborted`] when the detection is degraded,
+/// under-confident, or carries no verdict at all.
+pub fn craft_attack_guarded(
+    detection: &Detection,
+    min_confidence: f64,
+) -> Result<PressureVector, BoltError> {
+    if let Some(reason) = detection.degraded {
+        return Err(BoltError::DetectionAborted {
+            reason: format!("refusing to craft DoS from a degraded detection: {reason}"),
+        });
+    }
+    if detection.confidence < min_confidence {
+        return Err(BoltError::DetectionAborted {
+            reason: format!(
+                "detection confidence {:.2} below the attack floor {:.2}",
+                detection.confidence, min_confidence
+            ),
+        });
+    }
+    match detection.primary() {
+        Some(verdict) => Ok(craft_attack(verdict)),
+        None => Err(BoltError::DetectionAborted {
+            reason: "no co-resident verdict to target".to_string(),
+        }),
+    }
 }
 
 /// Same as [`craft_attack`] but from a raw pressure estimate.
@@ -314,6 +352,57 @@ mod tests {
         assert!(attack[Resource::Llc] > 90.0);
         assert!(attack[Resource::Cpu] <= 20.0, "attack must stay CPU-quiet");
         assert_eq!(attack[Resource::DiskBw], 0.0);
+    }
+
+    #[test]
+    fn guarded_crafting_refuses_degraded_or_shaky_detections() {
+        use crate::detector::DegradedReason;
+        let fake = |confidence: f64, degraded: Option<DegradedReason>| {
+            let completed = PressureVector::from_pairs(&[
+                (Resource::Llc, 80.0),
+                (Resource::MemBw, 70.0),
+                (Resource::NetBw, 45.0),
+            ]);
+            Detection {
+                verdicts: vec![bolt_recommender::Recommendation {
+                    scores: vec![],
+                    completed,
+                    characteristics: bolt_workloads::ResourceCharacteristics::from_pressure(
+                        &completed,
+                    ),
+                }],
+                sweep: vec![],
+                snapshot: bolt_probes::Snapshot {
+                    readings: vec![],
+                    duration_s: 10.0,
+                },
+                duration_s: 10.0,
+                used_shutter: false,
+                confidence,
+                degraded,
+            }
+        };
+
+        let clean = fake(0.9, None);
+        let attack = craft_attack_guarded(&clean, 0.6).unwrap();
+        assert!(attack[Resource::Llc] > 90.0);
+        assert!(attack[Resource::Cpu] <= 20.0);
+
+        let shaky = fake(0.3, None);
+        let err = craft_attack_guarded(&shaky, 0.6).unwrap_err();
+        assert!(matches!(err, BoltError::DetectionAborted { .. }));
+        assert!(err.to_string().contains("0.30"));
+
+        let churned = fake(0.9, Some(DegradedReason::ChurnDetected));
+        let err = craft_attack_guarded(&churned, 0.6).unwrap_err();
+        assert!(err.to_string().contains("churn"));
+
+        let mut idle = fake(1.0, None);
+        idle.verdicts.clear();
+        assert!(matches!(
+            craft_attack_guarded(&idle, 0.6),
+            Err(BoltError::DetectionAborted { .. })
+        ));
     }
 
     #[test]

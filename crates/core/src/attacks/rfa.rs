@@ -18,6 +18,7 @@ use bolt_sim::vm::VmRole;
 use bolt_sim::Cluster;
 use bolt_workloads::{perf, PressureVector, Resource, WorkloadKind, WorkloadProfile};
 
+use crate::detector::Detection;
 use crate::telemetry::{Phase, Telemetry};
 use crate::BoltError;
 
@@ -26,6 +27,41 @@ use crate::BoltError;
 /// beneficiary's own critical resources).
 pub fn helper_pressure(victim_dominant: Resource) -> PressureVector {
     PressureVector::from_pairs(&[(victim_dominant, 95.0)])
+}
+
+/// Picks the helper's target resource from a detection, gated on its
+/// quality. An RFA helper saturating the *wrong* resource slows the
+/// beneficiary down instead of speeding it up (it contends with its own
+/// side), so a degraded or under-confident fingerprint aborts the attack
+/// plan — the attacker should re-fingerprint instead.
+///
+/// # Errors
+///
+/// Returns [`BoltError::DetectionAborted`] when the detection is degraded,
+/// its confidence sits below `min_confidence`, or it carries no verdict.
+pub fn plan_helper_target(
+    detection: &Detection,
+    min_confidence: f64,
+) -> Result<Resource, BoltError> {
+    if let Some(reason) = detection.degraded {
+        return Err(BoltError::DetectionAborted {
+            reason: format!("refusing to plan RFA from a degraded detection: {reason}"),
+        });
+    }
+    if detection.confidence < min_confidence {
+        return Err(BoltError::DetectionAborted {
+            reason: format!(
+                "detection confidence {:.2} below the RFA floor {:.2}",
+                detection.confidence, min_confidence
+            ),
+        });
+    }
+    match detection.primary() {
+        Some(verdict) => Ok(verdict.completed.dominant()),
+        None => Err(BoltError::DetectionAborted {
+            reason: "no co-resident verdict to free resources from".to_string(),
+        }),
+    }
 }
 
 /// The measured impact of one RFA run (one Table 2 row).
@@ -205,6 +241,44 @@ mod tests {
         assert_eq!(h[Resource::NetBw], 95.0);
         assert_eq!(h[Resource::Cpu], 0.0);
         assert_eq!(h.top(1), vec![Resource::NetBw]);
+    }
+
+    #[test]
+    fn helper_target_planning_gates_on_detection_quality() {
+        use crate::detector::DegradedReason;
+        let completed =
+            PressureVector::from_pairs(&[(Resource::MemBw, 85.0), (Resource::Llc, 60.0)]);
+        let mut detection = Detection {
+            verdicts: vec![bolt_recommender::Recommendation {
+                scores: vec![],
+                completed,
+                characteristics: bolt_workloads::ResourceCharacteristics::from_pressure(&completed),
+            }],
+            sweep: vec![],
+            snapshot: bolt_probes::Snapshot {
+                readings: vec![],
+                duration_s: 10.0,
+            },
+            duration_s: 10.0,
+            used_shutter: false,
+            confidence: 0.9,
+            degraded: None,
+        };
+        assert_eq!(
+            plan_helper_target(&detection, 0.6).unwrap(),
+            Resource::MemBw
+        );
+
+        detection.confidence = 0.2;
+        assert!(matches!(
+            plan_helper_target(&detection, 0.6),
+            Err(BoltError::DetectionAborted { .. })
+        ));
+
+        detection.confidence = 0.9;
+        detection.degraded = Some(DegradedReason::BudgetExhausted);
+        let err = plan_helper_target(&detection, 0.6).unwrap_err();
+        assert!(err.to_string().contains("budget"));
     }
 
     #[test]

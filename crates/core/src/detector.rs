@@ -20,11 +20,69 @@ use serde::{Deserialize, Serialize};
 
 use bolt_probes::{Profiler, ProfilerConfig, ShutterConfig, Snapshot};
 use bolt_recommender::{HybridRecommender, Recommendation, RecommenderStats};
-use bolt_sim::{Cluster, VmId};
+use bolt_sim::{Cluster, FaultPlan, ProbeFaultKind, TraceEvent, VmId};
 use bolt_workloads::{AppLabel, ResourceCharacteristics};
 
 use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::BoltError;
+
+/// Why a detection's verdict should not be trusted at face value. Graceful
+/// degradation under churn: the detector says *why* it is unsure instead of
+/// returning a confident wrong label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradedReason {
+    /// The sample-validity screen saw a pressure discontinuity between the
+    /// two sweeps of the window: the co-resident set (or a server's
+    /// capacity) shifted mid-measurement.
+    ChurnDetected,
+    /// The retry/backoff probe budget ran out before a clean window was
+    /// found; the verdict is the best effort from contaminated data.
+    BudgetExhausted,
+    /// The window produced too few usable samples (e.g. a measurement
+    /// blackout) to attempt matching at all.
+    InsufficientSamples,
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradedReason::ChurnDetected => "churn detected mid-window",
+            DegradedReason::BudgetExhausted => "probe budget exhausted",
+            DegradedReason::InsufficientSamples => "insufficient usable samples",
+        })
+    }
+}
+
+/// Bounded re-probe policy for churn-robust detection: contaminated or
+/// blacked-out windows are retried after a growing backoff, with all probe
+/// time charged against an explicit budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Extra windows allowed beyond the regular iteration schedule.
+    pub max_retries: usize,
+    /// Wait before the first re-probe (simulated seconds).
+    pub initial_backoff_s: f64,
+    /// Backoff growth factor per retry.
+    pub backoff_mult: f64,
+    /// Total probe-seconds budget across all windows and retries.
+    pub probe_budget_s: f64,
+    /// When true, an exhausted budget aborts with
+    /// [`BoltError::DetectionAborted`] instead of returning a degraded
+    /// best-effort detection.
+    pub abort_on_exhaustion: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            initial_backoff_s: 15.0,
+            backoff_mult: 2.0,
+            probe_budget_s: 1.0e9,
+            abort_on_exhaustion: false,
+        }
+    }
+}
 
 /// Detection-engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,6 +140,13 @@ pub struct Detection {
     pub duration_s: f64,
     /// True if the shutter fallback ran.
     pub used_shutter: bool,
+    /// How much to trust the primary verdict, in `[0, 1]`: the primary
+    /// match correlation, damped when the window was contaminated. A
+    /// confidently idle host reads 1.0.
+    pub confidence: f64,
+    /// Set when the verdict is degraded — the attack drivers treat any
+    /// `Some` as "do not act on this label alone".
+    pub degraded: Option<DegradedReason>,
 }
 
 impl Detection {
@@ -174,6 +239,29 @@ fn orient_difference(
         .collect()
 }
 
+/// The sample-validity screen: a measurement window is contaminated when
+/// the two sweeps disagree sharply on several resources at once. One
+/// resource drifting is an application phase (useful signal, fed to the
+/// differencing verdict); half the fingerprint jumping in a 25-second gap
+/// means the co-resident set itself changed mid-window.
+fn window_contaminated(
+    sweep1: &[(bolt_workloads::Resource, f64)],
+    sweep2: &[(bolt_workloads::Resource, f64)],
+) -> bool {
+    let mut jumps = 0usize;
+    let mut total = 0.0;
+    for &(r, a) in sweep1 {
+        if let Some(&(_, b)) = sweep2.iter().find(|&&(sr, _)| sr == r) {
+            let d = (b - a).abs();
+            total += d;
+            if d > 15.0 {
+                jumps += 1;
+            }
+        }
+    }
+    jumps >= 3 && total > 75.0
+}
+
 /// Minimum core reading (percentage points) for the core channel to carry
 /// a usable signal. Static core sharing produces readings well above this;
 /// scheduler-float leakage under weak visibility (VMs) sits below it and
@@ -185,6 +273,58 @@ fn core_signal_usable(snapshot: &Snapshot) -> bool {
         .readings
         .iter()
         .any(|r| r.resource.is_core() && r.pressure >= CORE_SIGNAL_FLOOR)
+}
+
+/// The cluster a detection window observes. Legacy paths probe a frozen
+/// cluster; churn-aware paths probe a live one that a [`FaultPlan`] evolves
+/// *between* the window's two sweeps — genuine mid-window contamination.
+/// The `Fixed` arm makes every hook a no-op, so chaos-off detection runs
+/// the exact pre-chaos instruction sequence.
+enum ProbeWorld<'a> {
+    /// A frozen cluster (the pre-chaos behavior).
+    Fixed(&'a Cluster),
+    /// A live cluster evolved by a compiled fault plan.
+    Live {
+        cluster: &'a mut Cluster,
+        plan: &'a mut FaultPlan,
+        /// Index of this measurement window within the hunt, for the
+        /// stateless probe-fault draw.
+        window: u64,
+    },
+}
+
+impl ProbeWorld<'_> {
+    fn cluster(&self) -> &Cluster {
+        match self {
+            ProbeWorld::Fixed(c) => c,
+            ProbeWorld::Live { cluster, .. } => cluster,
+        }
+    }
+
+    /// Applies every fault due by simulated time `t`; returns how many
+    /// were injected. No-op (and no RNG use) on a fixed world.
+    fn advance(&mut self, t: f64) -> Result<u64, BoltError> {
+        match self {
+            ProbeWorld::Fixed(_) => Ok(0),
+            ProbeWorld::Live { cluster, plan, .. } => Ok(plan.apply_due(cluster, t)?),
+        }
+    }
+
+    /// The probe-level fault verdict for this window, if any.
+    fn probe_fault(&self) -> Option<ProbeFaultKind> {
+        match self {
+            ProbeWorld::Fixed(_) => None,
+            ProbeWorld::Live { plan, window, .. } => plan.probe_fault(*window),
+        }
+    }
+
+    /// Whether faults can occur at all. The validity screen only runs on
+    /// live worlds: on a frozen cluster an inter-sweep discontinuity *is*
+    /// the victim's load-pattern phase change — exactly the signal temporal
+    /// differencing exists to read, never evidence of churn.
+    fn is_live(&self) -> bool {
+        matches!(self, ProbeWorld::Live { .. })
+    }
 }
 
 /// The detection engine bound to one fitted recommender.
@@ -295,8 +435,73 @@ impl Detector {
         rng: &mut R,
         telemetry: &mut Telemetry,
     ) -> Result<Detection, BoltError> {
+        self.detect_window(
+            &mut ProbeWorld::Fixed(cluster),
+            adversary,
+            t,
+            baseline,
+            rng,
+            telemetry,
+        )
+    }
+
+    /// One detection iteration against a cluster that a [`FaultPlan`] keeps
+    /// evolving: faults due before the window apply up front, faults due
+    /// mid-window apply between the two sweeps (contaminating the very
+    /// measurement), and probe-level faults drop, truncate, or black out
+    /// samples. Injected faults land in `telemetry` as cluster events and
+    /// [`Counter::FaultsInjected`] increments. `window` indexes this
+    /// measurement window within the hunt (for the deterministic
+    /// probe-fault draw).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::detect`], plus simulator errors from
+    /// applying the fault plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn detect_churn_telemetry<R: Rng>(
+        &self,
+        cluster: &mut Cluster,
+        plan: &mut FaultPlan,
+        window: u64,
+        adversary: VmId,
+        t: f64,
+        baseline: Option<&[(bolt_workloads::Resource, f64)]>,
+        rng: &mut R,
+        telemetry: &mut Telemetry,
+    ) -> Result<Detection, BoltError> {
+        self.detect_window(
+            &mut ProbeWorld::Live {
+                cluster,
+                plan,
+                window,
+            },
+            adversary,
+            t,
+            baseline,
+            rng,
+            telemetry,
+        )
+    }
+
+    /// The shared window pipeline behind both `detect*` families. The
+    /// `Fixed` world keeps every chaos hook a no-op so the legacy paths
+    /// stay byte-identical; the `Live` world mutates between sweeps.
+    fn detect_window<R: Rng>(
+        &self,
+        world: &mut ProbeWorld<'_>,
+        adversary: VmId,
+        t: f64,
+        baseline: Option<&[(bolt_workloads::Resource, f64)]>,
+        rng: &mut R,
+        telemetry: &mut Telemetry,
+    ) -> Result<Detection, BoltError> {
+        // Faults scheduled before the window begins are already history.
+        let pre_faults = world.advance(t)?;
+        telemetry.count(Counter::FaultsInjected, pre_faults);
+
         let sweep_clock = telemetry.begin();
-        let mut snapshot = self.profiler.snapshot(cluster, adversary, t, rng)?;
+        let mut snapshot = self.profiler.snapshot(world.cluster(), adversary, t, rng)?;
 
         // An idle host: every probed resource reads (near) zero. Matching
         // a zero signal against anything would be spurious — report "no
@@ -310,6 +515,8 @@ impl Detector {
                 verdicts: Vec::new(),
                 sweep: Vec::new(),
                 snapshot,
+                confidence: 1.0,
+                degraded: None,
             });
         }
 
@@ -326,19 +533,67 @@ impl Detector {
             let probed_cores =
                 |s: &Snapshot| s.readings.iter().filter(|x| x.resource.is_core()).count();
             while probed_cores(&snapshot) < bolt_workloads::Resource::CORE.len() {
-                self.profiler
-                    .extra_core_probe(cluster, adversary, t, &mut snapshot, rng)?;
+                self.profiler.extra_core_probe(
+                    world.cluster(),
+                    adversary,
+                    t,
+                    &mut snapshot,
+                    rng,
+                )?;
             }
         }
-        self.probe_missing_uncore(cluster, adversary, t, &mut snapshot, rng)?;
+        self.probe_missing_uncore(world.cluster(), adversary, t, &mut snapshot, rng)?;
 
-        let sweep1 = usable_observations(&snapshot);
+        let mut sweep1 = usable_observations(&snapshot);
         let gap_s = 25.0;
         let t2 = t + snapshot.duration_s + gap_s;
+
+        // Probe-level fault for this window: lose a sample, cut one short,
+        // or black the whole window out. A blackout leaves nothing to
+        // match — report "insufficient samples" and charge the lost time.
+        if let Some(kind) = world.probe_fault() {
+            telemetry.count(Counter::FaultsInjected, 1);
+            telemetry.cluster_event(TraceEvent::ProbeFault {
+                vm: adversary,
+                kind,
+                at: t + snapshot.duration_s,
+            });
+            match kind {
+                ProbeFaultKind::Blackout => {
+                    telemetry.count(Counter::WindowsDiscarded, 1);
+                    telemetry.count(Counter::ProbeSamples, snapshot.readings.len() as u64);
+                    snapshot.duration_s += gap_s;
+                    telemetry.span(Phase::ProbeSweep, t, snapshot.duration_s, sweep_clock);
+                    return Ok(Detection {
+                        duration_s: snapshot.duration_s,
+                        used_shutter: false,
+                        verdicts: Vec::new(),
+                        sweep: Vec::new(),
+                        snapshot,
+                        confidence: 0.0,
+                        degraded: Some(DegradedReason::InsufficientSamples),
+                    });
+                }
+                ProbeFaultKind::DroppedSample => {
+                    sweep1.pop();
+                }
+                ProbeFaultKind::TruncatedSample => {
+                    if let Some(last) = sweep1.last_mut() {
+                        last.1 *= 0.5;
+                    }
+                }
+            }
+        }
+
+        // Mid-window churn: faults due before the second sweep land *now*,
+        // so sweep2 observes a genuinely different co-resident set.
+        let mid_faults = world.advance(t2)?;
+        telemetry.count(Counter::FaultsInjected, mid_faults);
+
         let mut sweep2: Vec<(bolt_workloads::Resource, f64)> = Vec::with_capacity(sweep1.len());
         for &(r, _) in &sweep1 {
             let reading = bolt_probes::Microbenchmark::new(r).measure(
-                cluster,
+                world.cluster(),
                 adversary,
                 t2,
                 &self.config.profiler.ramp,
@@ -374,6 +629,8 @@ impl Detector {
                 verdicts: Vec::new(),
                 sweep: averaged,
                 snapshot,
+                confidence: 0.0,
+                degraded: None,
             });
         }
 
@@ -444,7 +701,7 @@ impl Detector {
         let mut rec_stats = RecommenderStats::default();
         let decomp_clock = telemetry.begin();
         let components = if core_usable && core_obs.len() >= 2 {
-            let float = cluster.isolation().float_visibility();
+            let float = world.cluster().isolation().float_visibility();
             self.recommender.decompose_with_core_stats(
                 &core_obs,
                 &uncore_obs,
@@ -486,7 +743,7 @@ impl Detector {
             let shutter_t = t + snapshot.duration_s;
             let shutter_clock = telemetry.begin();
             let capture = bolt_probes::shutter_capture(
-                cluster,
+                world.cluster(),
                 adversary,
                 shutter_t,
                 &self.config.shutter,
@@ -557,12 +814,32 @@ impl Detector {
         }
         verdicts.truncate(4);
 
+        // Sample-validity screen + confidence annotation. Pure computation
+        // over the already-collected sweeps: it never alters the verdicts,
+        // the control flow above, or the RNG stream, so legacy behavior is
+        // bit-preserved — callers that ignore the new fields see exactly
+        // the pre-chaos results.
+        let contaminated = world.is_live() && window_contaminated(&sweep1, &sweep2);
+        let mut confidence = verdicts
+            .first()
+            .and_then(|v| v.best())
+            .map(|s| s.correlation.clamp(0.0, 1.0))
+            .unwrap_or(0.0);
+        let degraded = if contaminated {
+            confidence *= 0.4;
+            Some(DegradedReason::ChurnDetected)
+        } else {
+            None
+        };
+
         Ok(Detection {
             duration_s: snapshot.duration_s,
             used_shutter,
             verdicts,
             sweep: averaged,
             snapshot,
+            confidence,
+            degraded,
         })
     }
 
@@ -669,6 +946,164 @@ impl Detector {
             }
         }
         Ok(last.expect("at least one iteration ran"))
+    }
+
+    /// [`Detector::detect_until`] against a churning cluster: the
+    /// [`FaultPlan`] keeps injecting faults while the hunt runs, and
+    /// windows the validity screen flags (churn mid-window, blacked-out
+    /// probes) are discarded and re-probed after a backoff instead of
+    /// being trusted. Retries do not consume Fig. 7 iterations; they are
+    /// bounded by `policy.max_retries` and by `policy.probe_budget_s` of
+    /// total probe-plus-backoff time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BoltError`] from [`Detector::detect`], plus
+    /// [`BoltError::DetectionAborted`] when the retry budget runs out
+    /// with `policy.abort_on_exhaustion` set.
+    #[allow(clippy::too_many_arguments)]
+    pub fn detect_until_churn<R, F>(
+        &self,
+        cluster: &mut Cluster,
+        plan: &mut FaultPlan,
+        policy: &RetryPolicy,
+        adversary: VmId,
+        start_t: f64,
+        accept: F,
+        rng: &mut R,
+    ) -> Result<(Detection, usize), BoltError>
+    where
+        R: Rng,
+        F: FnMut(&Detection) -> bool,
+    {
+        self.detect_until_churn_telemetry(
+            cluster,
+            plan,
+            policy,
+            adversary,
+            start_t,
+            accept,
+            rng,
+            &mut Telemetry::disabled(),
+        )
+    }
+
+    /// [`Detector::detect_until_churn`] with telemetry recording. On top
+    /// of the per-window phase spans, every discarded window increments
+    /// [`Counter::WindowsDiscarded`], every re-probe increments
+    /// [`Counter::DetectionRetries`], and the chaos engine's cluster
+    /// events (arrivals, departures, migrations, degradations) are
+    /// drained into the trace after each window.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::detect_until_churn`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn detect_until_churn_telemetry<R, F>(
+        &self,
+        cluster: &mut Cluster,
+        plan: &mut FaultPlan,
+        policy: &RetryPolicy,
+        adversary: VmId,
+        start_t: f64,
+        mut accept: F,
+        rng: &mut R,
+        telemetry: &mut Telemetry,
+    ) -> Result<(Detection, usize), BoltError>
+    where
+        R: Rng,
+        F: FnMut(&Detection) -> bool,
+    {
+        let mut last: Option<(Detection, usize)> = None;
+        let mut baseline: Option<Vec<(bolt_workloads::Resource, f64)>> = None;
+        let mut window: u64 = 0;
+        let mut retries_left = policy.max_retries;
+        let mut backoff_s = policy.initial_backoff_s.max(0.0);
+        let mut spent_s = 0.0;
+        let mut t = start_t;
+        let mut i = 0;
+        let mut churn_observed = false;
+        let mut accepted = false;
+        while i < self.config.max_iterations.max(1) {
+            let iteration_clock = telemetry.begin();
+            let mut d = self.detect_churn_telemetry(
+                cluster,
+                plan,
+                window,
+                adversary,
+                t,
+                baseline.as_deref(),
+                rng,
+                telemetry,
+            )?;
+            window += 1;
+            for event in cluster.take_events() {
+                telemetry.cluster_event(event);
+            }
+            telemetry.span(Phase::DetectionIteration, t, d.duration_s, iteration_clock);
+            spent_s += d.duration_s;
+
+            let contaminated = matches!(
+                d.degraded,
+                Some(DegradedReason::ChurnDetected) | Some(DegradedReason::InsufficientSamples)
+            );
+            if contaminated {
+                churn_observed = true;
+                if retries_left > 0 && spent_s + backoff_s < policy.probe_budget_s {
+                    // Discard the window and re-probe after backing off;
+                    // the iteration is not consumed and the contaminated
+                    // sweep never becomes a baseline.
+                    retries_left -= 1;
+                    telemetry.count(Counter::DetectionRetries, 1);
+                    if d.degraded == Some(DegradedReason::ChurnDetected) {
+                        // Blackouts already count themselves at the probe.
+                        telemetry.count(Counter::WindowsDiscarded, 1);
+                    }
+                    spent_s += backoff_s;
+                    t += d.duration_s + backoff_s;
+                    backoff_s *= policy.backoff_mult.max(1.0);
+                    continue;
+                }
+                // Out of retries (or probe time): degrade gracefully —
+                // keep whatever verdict this window produced, but mark it
+                // so consumers know not to act on it blindly.
+                let reason = format!(
+                    "retry budget exhausted after {} retries at t={:.0}s \
+                     ({:.0}s probed of {:.0}s allowed)",
+                    policy.max_retries - retries_left,
+                    t,
+                    spent_s,
+                    policy.probe_budget_s
+                );
+                if policy.abort_on_exhaustion {
+                    return Err(BoltError::DetectionAborted { reason });
+                }
+                d.confidence *= 0.5;
+                d.degraded = Some(DegradedReason::BudgetExhausted);
+            }
+
+            let done = accept(&d);
+            if !d.sweep.is_empty() {
+                baseline = Some(d.sweep.clone());
+            }
+            last = Some((d, i + 1));
+            if done {
+                accepted = true;
+                break;
+            }
+            i += 1;
+            t += self.config.interval_s;
+        }
+        let (mut d, iterations) = last.expect("at least one window ran");
+        // A hunt that saw churn and still never converged cannot vouch for
+        // its last verdict: some of the signal it accumulated was measured
+        // against a world that changed under it. Degrade loudly instead of
+        // letting the stale verdict pass as clean.
+        if !accepted && churn_observed && d.degraded.is_none() {
+            d.confidence *= 0.4;
+            d.degraded = Some(DegradedReason::ChurnDetected);
+        }
+        Ok((d, iterations))
     }
 
     /// Tracks the co-resident's label over a time horizon, one detection

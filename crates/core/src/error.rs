@@ -23,6 +23,13 @@ pub enum BoltError {
         /// Human-readable description.
         reason: String,
     },
+    /// A churn-robust detection gave up: the retry/backoff budget was
+    /// exhausted (or confidence stayed below an attack's floor) before a
+    /// clean measurement window was found.
+    DetectionAborted {
+        /// Human-readable description of what ran out.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BoltError {
@@ -36,6 +43,9 @@ impl fmt::Display for BoltError {
             BoltError::Telemetry { reason } => {
                 write!(f, "telemetry error: {reason}")
             }
+            BoltError::DetectionAborted { reason } => {
+                write!(f, "detection aborted: {reason}")
+            }
         }
     }
 }
@@ -45,7 +55,9 @@ impl Error for BoltError {
         match self {
             BoltError::Sim(e) => Some(e),
             BoltError::Linalg(e) => Some(e),
-            BoltError::InvalidExperiment { .. } | BoltError::Telemetry { .. } => None,
+            BoltError::InvalidExperiment { .. }
+            | BoltError::Telemetry { .. }
+            | BoltError::DetectionAborted { .. } => None,
         }
     }
 }
@@ -84,5 +96,12 @@ mod tests {
         };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("zero victims"));
+
+        let e = BoltError::DetectionAborted {
+            reason: "probe budget exhausted after 4 retries".to_string(),
+        };
+        assert!(e.source().is_none());
+        let s = e.to_string();
+        assert!(s.contains("detection aborted") && s.contains("4 retries"));
     }
 }

@@ -12,14 +12,14 @@ use serde::{Deserialize, Serialize};
 
 use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData, TrainingExample};
 use bolt_sim::vm::VmRole;
-use bolt_sim::{Cluster, IsolationConfig, Scheduler, ServerSpec, VmId};
+use bolt_sim::{ChaosConfig, Cluster, FaultPlan, IsolationConfig, Scheduler, ServerSpec, VmId};
 use bolt_workloads::catalog::{cassandra, database, hadoop, memcached, spark, speccpu, webserver};
 use bolt_workloads::training::training_set;
 use bolt_workloads::{
     AppLabel, DatasetScale, PressureVector, Resource, ResourceCharacteristics, WorkloadProfile,
 };
 
-use crate::detector::{Detector, DetectorConfig};
+use crate::detector::{DegradedReason, Detector, DetectorConfig, RetryPolicy};
 use crate::parallel::{split_seed, sweep, Parallelism};
 use crate::telemetry::{Telemetry, TelemetryLog};
 use crate::BoltError;
@@ -48,6 +48,15 @@ pub struct ExperimentConfig {
     /// byte-identical for every setting (see [`crate::parallel`]).
     #[serde(default)]
     pub parallelism: Parallelism,
+    /// Chaos-engine configuration. [`ChaosConfig::none`] (the default)
+    /// keeps every hunt on the legacy fixed-cluster path, byte-identical
+    /// to runs predating the chaos engine.
+    #[serde(default)]
+    pub chaos: ChaosConfig,
+    /// Retry/backoff policy for hunts under churn. Ignored when `chaos`
+    /// is [`ChaosConfig::none`].
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExperimentConfig {
@@ -62,6 +71,8 @@ impl Default for ExperimentConfig {
             recommender: RecommenderConfig::default(),
             training_seed: 7,
             parallelism: Parallelism::default(),
+            chaos: ChaosConfig::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -93,6 +104,11 @@ pub struct ExperimentRecord {
     pub co_residents: usize,
     /// The victim's dominant resource.
     pub dominant: Resource,
+    /// Confidence of the final detection (correlation of the best match,
+    /// scaled down when the window was contaminated or budget ran out).
+    pub confidence: f64,
+    /// Why the final detection was degraded, if it was.
+    pub degraded: Option<DegradedReason>,
 }
 
 /// Aggregate results of one controlled-experiment run.
@@ -113,6 +129,31 @@ impl ExperimentResults {
     /// Fraction of victims whose *characteristics* were detected correctly.
     pub fn characteristics_accuracy(&self) -> f64 {
         fraction(&self.records, |r| r.characteristics_correct)
+    }
+
+    /// Fraction of victims whose final detection was flagged as degraded
+    /// (churn mid-window, insufficient samples, or retry-budget
+    /// exhaustion). Zero for chaos-off runs.
+    pub fn degraded_rate(&self) -> f64 {
+        fraction(&self.records, |r| r.degraded.is_some())
+    }
+
+    /// Fraction of victims that were *silently* mislabeled: a wrong label
+    /// reported with no degradation flag. This is the failure mode
+    /// graceful degradation exists to prevent — under churn it should stay
+    /// below [`ExperimentResults::degraded_rate`].
+    pub fn silent_mislabel_rate(&self) -> f64 {
+        fraction(&self.records, |r| {
+            !r.label_correct && r.detected.is_some() && r.degraded.is_none()
+        })
+    }
+
+    /// Mean confidence of the final detections.
+    pub fn mean_confidence(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.confidence).sum::<f64>() / self.records.len() as f64
     }
 
     /// Label accuracy restricted to one application family (Table 1 rows).
@@ -531,14 +572,42 @@ fn hunt_victim(
 
     // Stagger each victim's hunt so load-pattern phases decorrelate.
     let start_t = rng.gen::<f64>() * 200.0;
-    let (detection, iterations) = detector.detect_until_telemetry(
-        cluster,
-        adversary,
-        start_t,
-        |d| d.matches_label(&truth),
-        &mut rng,
-        telemetry,
-    )?;
+    let (detection, iterations) = if config.chaos.is_none() {
+        detector.detect_until_telemetry(
+            cluster,
+            adversary,
+            start_t,
+            |d| d.matches_label(&truth),
+            &mut rng,
+            telemetry,
+        )?
+    } else {
+        // Each hunt churns its own private copy of the cluster so victims
+        // stay independent (and the sweep stays thread-count invariant);
+        // the fault plan is a pure function of (config, seed, victim index).
+        let mut live = cluster.snapshot();
+        let horizon_s = config.detector.max_iterations.max(1) as f64
+            * (config.detector.interval_s + 120.0)
+            + 600.0;
+        let mut plan = FaultPlan::compile(
+            &config.chaos,
+            config.seed ^ 0xC4A0,
+            idx as u64,
+            start_t,
+            horizon_s,
+        );
+        plan.protect(&[adversary, victim_id]);
+        detector.detect_until_churn_telemetry(
+            &mut live,
+            &mut plan,
+            &config.retry,
+            adversary,
+            start_t,
+            |d| d.matches_label(&truth),
+            &mut rng,
+            telemetry,
+        )?
+    };
 
     let detected = detection.label().cloned();
     let label_correct = detection.matches_label(&truth);
@@ -559,6 +628,8 @@ fn hunt_victim(
         iterations,
         co_residents,
         dominant: truth_pressure.dominant(),
+        confidence: detection.confidence,
+        degraded: detection.degraded,
     })
 }
 

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use bolt_workloads::{Resource, WorkloadProfile};
 
 use crate::experiment::victim_set;
+use crate::telemetry::{Counter, Phase, Telemetry};
 
 /// A `grid × grid` probability map over one resource pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -153,6 +154,30 @@ pub fn family_heatmap(
     }
 }
 
+/// [`family_heatmap`] recording the estimation pass into `telemetry`: a
+/// [`Phase::ContentMatch`] span covering the grid build (heatmap
+/// estimation is content matching against a population rather than a
+/// training set) and one [`Counter::ProbeSamples`] tick per instance
+/// observation dropped into the grid.
+///
+/// # Panics
+///
+/// Same conditions as [`family_heatmap`].
+pub fn family_heatmap_telemetry(
+    profiles: &[WorkloadProfile],
+    family: &str,
+    x: Resource,
+    y: Resource,
+    grid: usize,
+    telemetry: &mut Telemetry,
+) -> Heatmap {
+    let clock = telemetry.begin();
+    let map = family_heatmap(profiles, family, x, y, grid);
+    telemetry.count(Counter::ProbeSamples, profiles.len() as u64);
+    telemetry.span(Phase::ContentMatch, 0.0, 0.0, clock);
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +250,25 @@ mod tests {
         assert!((map.center(0) - 16.666).abs() < 0.01);
         let (_, _, hp) = map.hottest();
         assert!((0.0..=1.0).contains(&hp));
+    }
+
+    #[test]
+    fn heatmap_telemetry_matches_the_plain_map_and_records() {
+        let p = population(100, 7);
+        let plain = family_heatmap(&p, "memcached", Resource::L1i, Resource::Llc, 4);
+        let mut telemetry = Telemetry::for_unit(0);
+        let recorded = family_heatmap_telemetry(
+            &p,
+            "memcached",
+            Resource::L1i,
+            Resource::Llc,
+            4,
+            &mut telemetry,
+        );
+        assert_eq!(plain, recorded);
+        let log = crate::telemetry::TelemetryLog::from_events(telemetry.into_events());
+        assert_eq!(log.counter_total(Counter::ProbeSamples), 100);
+        assert!(log.to_jsonl().contains("content-match"));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   multi-co-resident disentangling (extra core probes, shutter mode).
 //! * [`experiment`] — the §3.4 controlled experiment (40 servers, 108
 //!   victims) behind Table 1 and Figs. 6, 7, 9 and 10.
+//! * [`robustness`] — the same experiment under deterministic churn:
+//!   accuracy and graceful-degradation rates versus chaos intensity.
 //! * [`user_study`] — the §4 EC2 multi-user study behind Figs. 11–12.
 //! * [`attacks`] — the §5 attacks: internal DoS, RFA, co-residency
 //!   detection.
@@ -72,14 +74,16 @@ pub mod fingerprint;
 pub mod isolation_study;
 pub mod parallel;
 pub mod report;
+pub mod robustness;
 pub mod sensitivity;
 pub mod telemetry;
 pub mod user_study;
 
-pub use detector::{Detection, Detector, DetectorConfig};
+pub use detector::{DegradedReason, Detection, Detector, DetectorConfig, RetryPolicy};
 pub use error::BoltError;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentRecord, ExperimentResults};
 pub use isolation_study::{run_isolation_study, IsolationStudy};
 pub use parallel::Parallelism;
+pub use robustness::{churn_sweep, churn_sweep_telemetry, RobustnessPoint};
 pub use telemetry::{Counter, Phase, Telemetry, TelemetryEvent, TelemetryLog};
 pub use user_study::{run_user_study, UserStudyConfig, UserStudyResults};

@@ -19,8 +19,9 @@ use bolt_sim::{Cluster, LeastLoaded, ServerSpec, VmId};
 use bolt_workloads::{AppLabel, PressureVector, WorkloadProfile};
 
 use crate::detector::{Detector, DetectorConfig};
-use crate::experiment::{run_experiment, victim_set, ExperimentConfig};
+use crate::experiment::{run_experiment, run_experiment_telemetry, victim_set, ExperimentConfig};
 use crate::parallel::{sweep, Parallelism};
+use crate::telemetry::{Telemetry, TelemetryLog};
 use crate::BoltError;
 
 /// One sweep point: the swept parameter value and the measured accuracy.
@@ -59,6 +60,33 @@ pub fn adversary_size_sweep(
     .collect()
 }
 
+/// [`adversary_size_sweep`] returning the concatenated telemetry of
+/// every point alongside the rows, in size order.
+///
+/// # Errors
+///
+/// Same conditions as [`adversary_size_sweep`].
+pub fn adversary_size_sweep_telemetry(
+    base: &ExperimentConfig,
+    sizes: &[u32],
+) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
+    let mut points = Vec::with_capacity(sizes.len());
+    let mut log = TelemetryLog::new();
+    for &vcpus in sizes {
+        let config = ExperimentConfig {
+            adversary_vcpus: vcpus,
+            ..*base
+        };
+        let (results, point_log) = run_experiment_telemetry(&config, &LeastLoaded)?;
+        points.push(SweepPoint {
+            parameter: vcpus as f64,
+            accuracy: results.label_accuracy(),
+        });
+        log.extend(point_log.into_events());
+    }
+    Ok((points, log))
+}
+
 /// Fig. 10c: accuracy as a function of the number of profiling
 /// benchmarks in the initial snapshot.
 ///
@@ -90,6 +118,39 @@ pub fn benchmark_count_sweep(
     })
     .into_iter()
     .collect()
+}
+
+/// [`benchmark_count_sweep`] returning the concatenated telemetry of
+/// every point alongside the rows, in count order.
+///
+/// # Errors
+///
+/// Same conditions as [`benchmark_count_sweep`].
+pub fn benchmark_count_sweep_telemetry(
+    base: &ExperimentConfig,
+    counts: &[usize],
+) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
+    let mut points = Vec::with_capacity(counts.len());
+    let mut log = TelemetryLog::new();
+    for &n in counts {
+        let config = ExperimentConfig {
+            detector: DetectorConfig {
+                profiler: ProfilerConfig {
+                    initial_benchmarks: n,
+                    ..base.detector.profiler
+                },
+                ..base.detector
+            },
+            ..*base
+        };
+        let (results, point_log) = run_experiment_telemetry(&config, &LeastLoaded)?;
+        points.push(SweepPoint {
+            parameter: n as f64,
+            accuracy: results.label_accuracy(),
+        });
+        log.extend(point_log.into_events());
+    }
+    Ok((points, log))
 }
 
 /// A victim VM cycling through consecutive jobs, for the staleness study
@@ -156,41 +217,108 @@ pub fn profiling_interval_sweep(
 ) -> Result<Vec<SweepPoint>, BoltError> {
     let base = ExperimentConfig::default();
     sweep(intervals_s, parallelism, |_, &interval| {
-        let mut rng = StdRng::seed_from_u64(seed ^ (interval as u64).wrapping_mul(0x9E37));
-        let (mut cluster, detector, adversary, victim) =
-            phased_scene(&base, job_duration_s, horizon_s, &mut rng)?;
-
-        let mut correct = 0usize;
-        let mut audited = 0usize;
-        let mut belief: Option<AppLabel> = None;
-        let mut next_detection = 0.0;
-        let mut t = 0.0;
-        while t < horizon_s {
-            if t >= next_detection {
-                // Bring the victim VM's workload up to date (it may have
-                // switched jobs since the previous detection), then detect.
-                let idx = victim.active_index(t);
-                cluster.swap_profile(victim.vm, victim.profiles[idx].clone())?;
-                let d = detector.detect(&cluster, adversary, t, &mut rng)?;
-                belief = d.labels().next().cloned().or(belief);
-                next_detection = t + interval;
-            }
-            let truth = victim.active_label(t);
-            if let Some(b) = &belief {
-                if b.matches(truth) {
-                    correct += 1;
-                }
-            }
-            audited += 1;
-            t += 1.0;
-        }
-        Ok(SweepPoint {
-            parameter: interval,
-            accuracy: correct as f64 / audited.max(1) as f64,
-        })
+        let mut telemetry = Telemetry::disabled();
+        interval_point(
+            &base,
+            interval,
+            job_duration_s,
+            horizon_s,
+            seed,
+            &mut telemetry,
+        )
     })
     .into_iter()
     .collect()
+}
+
+/// [`profiling_interval_sweep`] recording per-interval telemetry: the
+/// detection-pipeline spans and probe counts of every re-detection, plus
+/// the victim's job-swap trace events. Each interval records under its
+/// own unit id, and the returned log concatenates the per-interval
+/// streams in interval order, so the log is identical for any
+/// `parallelism`.
+///
+/// # Errors
+///
+/// Same conditions as [`profiling_interval_sweep`].
+pub fn profiling_interval_sweep_telemetry(
+    intervals_s: &[f64],
+    job_duration_s: f64,
+    horizon_s: f64,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
+    let base = ExperimentConfig::default();
+    let per_point: Result<Vec<_>, BoltError> =
+        sweep(intervals_s, parallelism, |unit, &interval| {
+            let mut telemetry = Telemetry::for_unit(unit);
+            let point = interval_point(
+                &base,
+                interval,
+                job_duration_s,
+                horizon_s,
+                seed,
+                &mut telemetry,
+            )?;
+            Ok((point, telemetry.into_events()))
+        })
+        .into_iter()
+        .collect();
+    let mut points = Vec::with_capacity(intervals_s.len());
+    let mut log = TelemetryLog::new();
+    for (point, events) in per_point? {
+        points.push(point);
+        log.extend(events);
+    }
+    Ok((points, log))
+}
+
+/// One interval of the staleness study: build the phased scene, audit at
+/// 1 Hz, re-detect at every interval multiple. Both sweep entry points
+/// funnel through here; the plain one passes [`Telemetry::disabled`], so
+/// the recorded and unrecorded paths cannot drift apart.
+fn interval_point(
+    base: &ExperimentConfig,
+    interval: f64,
+    job_duration_s: f64,
+    horizon_s: f64,
+    seed: u64,
+    telemetry: &mut Telemetry,
+) -> Result<SweepPoint, BoltError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (interval as u64).wrapping_mul(0x9E37));
+    let (mut cluster, detector, adversary, victim) =
+        phased_scene(base, job_duration_s, horizon_s, &mut rng)?;
+    telemetry.cluster_events(cluster.take_events());
+
+    let mut correct = 0usize;
+    let mut audited = 0usize;
+    let mut belief: Option<AppLabel> = None;
+    let mut next_detection = 0.0;
+    let mut t = 0.0;
+    while t < horizon_s {
+        if t >= next_detection {
+            // Bring the victim VM's workload up to date (it may have
+            // switched jobs since the previous detection), then detect.
+            let idx = victim.active_index(t);
+            cluster.swap_profile(victim.vm, victim.profiles[idx].clone())?;
+            telemetry.cluster_events(cluster.take_events());
+            let d = detector.detect_telemetry(&cluster, adversary, t, &mut rng, telemetry)?;
+            belief = d.labels().next().cloned().or(belief);
+            next_detection = t + interval;
+        }
+        let truth = victim.active_label(t);
+        if let Some(b) = &belief {
+            if b.matches(truth) {
+                correct += 1;
+            }
+        }
+        audited += 1;
+        t += 1.0;
+    }
+    Ok(SweepPoint {
+        parameter: interval,
+        accuracy: correct as f64 / audited.max(1) as f64,
+    })
 }
 
 /// Builds the phased-victim scene: one server, a quiet adversary, one
@@ -291,6 +419,37 @@ mod tests {
             p0 = points[0].accuracy,
             p1 = points[1].accuracy
         );
+    }
+
+    #[test]
+    fn experiment_sweep_telemetry_matches_the_plain_sweeps() {
+        let base = ExperimentConfig {
+            servers: 4,
+            victims: 6,
+            ..ExperimentConfig::default()
+        };
+        let plain = adversary_size_sweep(&base, &[2]).unwrap();
+        let (recorded, log) = adversary_size_sweep_telemetry(&base, &[2]).unwrap();
+        assert_eq!(plain, recorded);
+        assert!(log.counter_total(crate::telemetry::Counter::ProbeSamples) > 0);
+
+        let plain = benchmark_count_sweep(&base, &[2]).unwrap();
+        let (recorded, log) = benchmark_count_sweep_telemetry(&base, &[2]).unwrap();
+        assert_eq!(plain, recorded);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn interval_sweep_telemetry_matches_and_records_swaps() {
+        let plain =
+            profiling_interval_sweep(&[60.0], 60.0, 240.0, 0xF16A, Parallelism::Serial).unwrap();
+        let (recorded, log) =
+            profiling_interval_sweep_telemetry(&[60.0], 60.0, 240.0, 0xF16A, Parallelism::Auto)
+                .unwrap();
+        assert_eq!(plain, recorded);
+        assert!(log.counter_total(crate::telemetry::Counter::ProbeSamples) > 0);
+        // The victim's job swaps land in the log as cluster trace events.
+        assert!(log.to_jsonl().contains("\"kind\":\"swap-profile\""));
     }
 
     #[test]

@@ -40,7 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use bolt_sim::telemetry::EventSink;
 use bolt_sim::vm::VmRole;
-use bolt_sim::{TraceEvent, VmId};
+use bolt_sim::{ProbeFaultKind, TraceEvent, VmId};
 use bolt_workloads::Resource;
 
 use crate::error::BoltError;
@@ -110,16 +110,27 @@ pub enum Counter {
     ProbeSamples,
     /// Migrations triggered by the DoS migration defense.
     MigrationsTriggered,
+    /// Chaos faults actually injected into the cluster (arrivals,
+    /// departures, swaps, defensive migrations, degradations, probe
+    /// faults).
+    FaultsInjected,
+    /// Measurement windows discarded as contaminated or blacked out.
+    WindowsDiscarded,
+    /// Detection re-probes issued by the retry-with-backoff policy.
+    DetectionRetries,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 5] = [
+    pub const ALL: [Counter; 8] = [
         Counter::SgdIterations,
         Counter::ShortlistPairHits,
         Counter::ExactPairSearches,
         Counter::ProbeSamples,
         Counter::MigrationsTriggered,
+        Counter::FaultsInjected,
+        Counter::WindowsDiscarded,
+        Counter::DetectionRetries,
     ];
 
     /// Stable wire name.
@@ -130,6 +141,9 @@ impl Counter {
             Counter::ExactPairSearches => "exact-pair-searches",
             Counter::ProbeSamples => "probe-samples",
             Counter::MigrationsTriggered => "migrations-triggered",
+            Counter::FaultsInjected => "faults-injected",
+            Counter::WindowsDiscarded => "windows-discarded",
+            Counter::DetectionRetries => "detection-retries",
         }
     }
 
@@ -358,6 +372,20 @@ fn trace_event_json(event: &TraceEvent) -> String {
                 json_escape(label)
             );
         }
+        TraceEvent::Degrade { server, factor, at } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"degrade\",\"server\":{server},\"factor\":{factor},\"at\":{at}}}"
+            );
+        }
+        TraceEvent::ProbeFault { vm, kind, at } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"probe-fault\",\"vm\":{},\"fault\":\"{}\",\"at\":{at}}}",
+                vm.raw(),
+                kind.as_str()
+            );
+        }
     }
     out
 }
@@ -431,9 +459,11 @@ fn decode_trace_event(value: &json::Json) -> Result<TraceEvent, BoltError> {
         .field("kind")
         .and_then(json::Json::as_str)
         .ok_or_else(|| bad("cluster event missing \"kind\""))?;
-    let vm = VmId::from_raw(require_u64(value, "vm")?);
+    // Every kind except `degrade` names a VM; read it lazily per arm.
+    let vm = require_u64(value, "vm").map(VmId::from_raw);
     match kind {
         "launch" => {
+            let vm = vm?;
             let role = match value.field("role").and_then(json::Json::as_str) {
                 Some("friendly") => VmRole::Friendly,
                 Some("adversarial") => VmRole::Adversarial,
@@ -456,18 +486,36 @@ fn decode_trace_event(value: &json::Json) -> Result<TraceEvent, BoltError> {
             })
         }
         "terminate" => Ok(TraceEvent::Terminate {
-            vm,
+            vm: vm?,
             server: require_usize(value, "server")?,
         }),
         "migrate" => Ok(TraceEvent::Migrate {
-            vm,
+            vm: vm?,
             from: require_usize(value, "from")?,
             to: require_usize(value, "to")?,
         }),
         "swap-profile" => Ok(TraceEvent::SwapProfile {
-            vm,
+            vm: vm?,
             label: require_str(value, "label")?,
         }),
+        "degrade" => Ok(TraceEvent::Degrade {
+            server: require_usize(value, "server")?,
+            factor: require_f64(value, "factor")?,
+            at: require_f64(value, "at")?,
+        }),
+        "probe-fault" => {
+            let name = value
+                .field("fault")
+                .and_then(json::Json::as_str)
+                .ok_or_else(|| bad("probe-fault missing \"fault\""))?;
+            let kind = ProbeFaultKind::parse(name)
+                .ok_or_else(|| bad(format!("unknown probe fault kind {name:?}")))?;
+            Ok(TraceEvent::ProbeFault {
+                vm: vm?,
+                kind,
+                at: require_f64(value, "at")?,
+            })
+        }
         other => Err(bad(format!("unknown cluster event kind {other:?}"))),
     }
 }
@@ -1256,6 +1304,55 @@ mod tests {
         assert!(summary.contains("9600"));
         assert!(summary.contains("gauge LLC"));
         assert!(summary.contains("cluster events"));
+    }
+
+    #[test]
+    fn chaos_trace_events_round_trip() {
+        // `degrade` carries no "vm" field; the decoder must not demand one.
+        let mut log = TelemetryLog::new();
+        log.extend(vec![
+            TelemetryEvent::Cluster {
+                unit: 1,
+                event: TraceEvent::Degrade {
+                    server: 3,
+                    factor: 0.25,
+                    at: 40.0,
+                },
+            },
+            TelemetryEvent::Cluster {
+                unit: 1,
+                event: TraceEvent::ProbeFault {
+                    vm: VmId::from_raw(6),
+                    kind: ProbeFaultKind::Blackout,
+                    at: 55.5,
+                },
+            },
+            TelemetryEvent::Count {
+                counter: Counter::FaultsInjected,
+                unit: 1,
+                delta: 2,
+            },
+            TelemetryEvent::Count {
+                counter: Counter::WindowsDiscarded,
+                unit: 1,
+                delta: 1,
+            },
+            TelemetryEvent::Count {
+                counter: Counter::DetectionRetries,
+                unit: 1,
+                delta: 1,
+            },
+        ]);
+        let text = log.to_jsonl();
+        assert!(text.contains("\"kind\":\"degrade\""));
+        assert!(text.contains("\"fault\":\"blackout\""));
+        let back = TelemetryLog::from_jsonl(&text).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.to_jsonl(), text);
+        assert_eq!(back.counter_total(Counter::FaultsInjected), 2);
+        let rendered = log.timeline_table().render();
+        assert!(rendered.contains("degrade server 3"));
+        assert!(rendered.contains("blackout"));
     }
 
     #[test]

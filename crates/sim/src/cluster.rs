@@ -48,6 +48,10 @@ pub struct Cluster {
     isolation: IsolationConfig,
     next_id: u64,
     events: Vec<TraceEvent>,
+    /// Per-server capacity degradation in `[0, 1)`; 0 means full capacity.
+    /// Only the chaos engine sets this, so the vector stays all-zero (and
+    /// the physics below stay branch-only, bit-identical) in chaos-off runs.
+    degradation: Vec<f64>,
 }
 
 impl Cluster {
@@ -72,6 +76,7 @@ impl Cluster {
             isolation,
             next_id: 0,
             events: Vec::new(),
+            degradation: vec![0.0; n],
         })
     }
 
@@ -89,6 +94,48 @@ impl Cluster {
     /// mechanism stacks over an already-populated cluster).
     pub fn set_isolation(&mut self, isolation: IsolationConfig) {
         self.isolation = isolation;
+    }
+
+    /// Throttles a server's effective capacity by `factor` in `[0, 1)`
+    /// (chaos injection: thermal capping, noisy maintenance daemons,
+    /// oversubscription). A degraded server amplifies the contention every
+    /// tenant on it experiences; `factor = 0` restores full capacity. The
+    /// change is recorded as a [`TraceEvent::Degrade`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownServer`] for a bad server index.
+    /// * [`SimError::InvalidConfig`] if `factor` is not in `[0, 1)`.
+    pub fn set_degradation(&mut self, server: usize, factor: f64, at: f64) -> Result<(), SimError> {
+        if server >= self.servers.len() {
+            return Err(SimError::UnknownServer {
+                server,
+                cluster_size: self.servers.len(),
+            });
+        }
+        if !(0.0..1.0).contains(&factor) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("degradation factor {factor} outside [0, 1)"),
+            });
+        }
+        self.degradation[server] = factor;
+        self.events.push(TraceEvent::Degrade { server, factor, at });
+        Ok(())
+    }
+
+    /// A server's current capacity degradation factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownServer`] for a bad index.
+    pub fn degradation_of(&self, server: usize) -> Result<f64, SimError> {
+        self.degradation
+            .get(server)
+            .copied()
+            .ok_or(SimError::UnknownServer {
+                server,
+                cluster_size: self.servers.len(),
+            })
     }
 
     /// A server's slot state.
@@ -475,6 +522,12 @@ impl Cluster {
             }
             total = total.saturating_add(&contribution);
         }
+        let d = self.degradation[state.server];
+        if d > 0.0 {
+            for r in Resource::CORE {
+                total[r] = (total[r] * (1.0 + d)).min(100.0);
+            }
+        }
         Ok(total)
     }
 
@@ -572,6 +625,15 @@ impl Cluster {
                 total = total.saturating_add(&leak);
             }
         }
+        // A throttled server has less effective capacity, so the same
+        // co-resident demand fills more of it. The branch keeps the math
+        // bit-identical when no degradation was ever injected.
+        let d = self.degradation[state.server];
+        if d > 0.0 {
+            for r in Resource::ALL {
+                total[r] = (total[r] * (1.0 + d)).min(100.0);
+            }
+        }
         total
     }
 
@@ -608,7 +670,11 @@ impl Cluster {
                 None => state.profile.pressure_at(t, 1.0, rng)[Resource::Cpu],
             };
             let contention = self.raw_interference_on(vm_id, state, t, rng)[Resource::Cpu];
-            let effective = (own * (1.0 + 2.0 * contention / 100.0)).min(100.0);
+            let mut effective = (own * (1.0 + 2.0 * contention / 100.0)).min(100.0);
+            let d = self.degradation[server];
+            if d > 0.0 {
+                effective = (effective * (1.0 + d)).min(100.0);
+            }
             busy += effective * state.vcpus() as f64;
             occupied += state.vcpus();
         }
@@ -674,6 +740,7 @@ impl Cluster {
             isolation: self.isolation,
             next_id: self.next_id,
             events: Vec::new(),
+            degradation: self.degradation.clone(),
         }
     }
 

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 mod error;
 pub mod isolation;
@@ -48,11 +49,12 @@ pub mod telemetry;
 pub mod trace;
 pub mod vm;
 
+pub use chaos::{ChaosConfig, ChaosEvent, FaultPlan, PlannedFault};
 pub use cluster::Cluster;
 pub use error::SimError;
 pub use isolation::{IsolationConfig, Mechanisms, OsSetting};
 pub use scheduler::{LeastLoaded, Quasar, Scheduler};
 pub use server::{Server, ServerSpec};
 pub use telemetry::{EventSink, NullSink, VecSink};
-pub use trace::TraceEvent;
+pub use trace::{ProbeFaultKind, TraceEvent};
 pub use vm::{VmId, VmRole, VmState};

@@ -3,11 +3,47 @@
 //! Experiments that place, migrate, and retire dozens of VMs are hard to
 //! debug from end-state alone; the cluster records every lifecycle action
 //! in order, and drivers can drain the log ([`crate::Cluster::take_events`])
-//! to print or serialize a timeline.
+//! to print or serialize a timeline. The chaos engine ([`crate::chaos`])
+//! emits its injected faults into the same stream, so a churned run's
+//! timeline reads as one ordered history.
 
 use serde::{Deserialize, Serialize};
 
 use crate::vm::{VmId, VmRole};
+
+/// The kind of probe-level fault injected into a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeFaultKind {
+    /// One probe sample was lost (the reading never arrives).
+    DroppedSample,
+    /// One probe sample was cut short (the reading is attenuated).
+    TruncatedSample,
+    /// The whole measurement window is lost (hypervisor preemption,
+    /// steal-time burst): no usable samples at all.
+    Blackout,
+}
+
+impl ProbeFaultKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProbeFaultKind::DroppedSample => "dropped-sample",
+            ProbeFaultKind::TruncatedSample => "truncated-sample",
+            ProbeFaultKind::Blackout => "blackout",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<ProbeFaultKind> {
+        [
+            ProbeFaultKind::DroppedSample,
+            ProbeFaultKind::TruncatedSample,
+            ProbeFaultKind::Blackout,
+        ]
+        .into_iter()
+        .find(|k| k.as_str() == s)
+    }
+}
 
 /// One recorded cluster event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,16 +87,38 @@ pub enum TraceEvent {
         /// The new workload's label.
         label: String,
     },
+    /// A server's effective capacity was throttled (chaos injection:
+    /// thermal capping, a noisy maintenance daemon, oversubscription).
+    Degrade {
+        /// The throttled server.
+        server: usize,
+        /// Degradation factor in `[0, 1)`; 0 restores full capacity.
+        factor: f64,
+        /// Simulated time of the throttle change.
+        at: f64,
+    },
+    /// A probe-level measurement fault was injected against an observer.
+    ProbeFault {
+        /// The observing (probing) VM whose window was faulted.
+        vm: VmId,
+        /// What kind of fault.
+        kind: ProbeFaultKind,
+        /// Simulated time of the fault.
+        at: f64,
+    },
 }
 
 impl TraceEvent {
-    /// The VM this event concerns.
-    pub fn vm(&self) -> VmId {
+    /// The VM this event concerns, if it concerns one ([`TraceEvent::Degrade`]
+    /// is a server-level event).
+    pub fn vm(&self) -> Option<VmId> {
         match self {
             TraceEvent::Launch { vm, .. }
             | TraceEvent::Terminate { vm, .. }
             | TraceEvent::Migrate { vm, .. }
-            | TraceEvent::SwapProfile { vm, .. } => *vm,
+            | TraceEvent::SwapProfile { vm, .. }
+            | TraceEvent::ProbeFault { vm, .. } => Some(*vm),
+            TraceEvent::Degrade { .. } => None,
         }
     }
 
@@ -84,6 +142,12 @@ impl TraceEvent {
             TraceEvent::SwapProfile { vm, label } => {
                 format!("swap {vm} -> {label}")
             }
+            TraceEvent::Degrade { server, factor, at } => {
+                format!("t={at:.0}s degrade server {server} by {factor:.2}")
+            }
+            TraceEvent::ProbeFault { vm, kind, at } => {
+                format!("t={at:.0}s probe fault on {vm}: {}", kind.as_str())
+            }
         }
     }
 }
@@ -101,6 +165,36 @@ mod tests {
         };
         let s = e.describe();
         assert!(s.contains("vm-3") && s.contains('7'));
-        assert_eq!(e.vm().raw(), 3);
+        assert_eq!(e.vm().map(|v| v.raw()), Some(3));
+    }
+
+    #[test]
+    fn degrade_concerns_no_vm() {
+        let e = TraceEvent::Degrade {
+            server: 2,
+            factor: 0.25,
+            at: 40.0,
+        };
+        assert_eq!(e.vm(), None);
+        assert!(e.describe().contains("server 2"));
+    }
+
+    #[test]
+    fn probe_fault_kinds_round_trip() {
+        for kind in [
+            ProbeFaultKind::DroppedSample,
+            ProbeFaultKind::TruncatedSample,
+            ProbeFaultKind::Blackout,
+        ] {
+            assert_eq!(ProbeFaultKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ProbeFaultKind::parse("nope"), None);
+        let e = TraceEvent::ProbeFault {
+            vm: VmId::from_raw_for_tests(5),
+            kind: ProbeFaultKind::Blackout,
+            at: 12.0,
+        };
+        assert_eq!(e.vm().map(|v| v.raw()), Some(5));
+        assert!(e.describe().contains("blackout"));
     }
 }

@@ -2,7 +2,10 @@
 //! invariants.
 
 use bolt_sim::vm::VmRole;
-use bolt_sim::{Cluster, IsolationConfig, Mechanisms, OsSetting, Server, ServerSpec, TraceEvent};
+use bolt_sim::{
+    ChaosConfig, Cluster, FaultPlan, IsolationConfig, Mechanisms, OsSetting, Server, ServerSpec,
+    TraceEvent,
+};
 use bolt_workloads::{catalog, Resource};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -195,7 +198,7 @@ proptest! {
                     prop_assert!(launched.insert(*vm), "VM launched twice");
                 }
                 other => prop_assert!(
-                    launched.contains(&other.vm()),
+                    other.vm().map(|v| launched.contains(&v)).unwrap_or(true),
                     "`{}` refers to a VM the trace never launched",
                     other.describe()
                 ),
@@ -225,5 +228,42 @@ proptest! {
         }
         let u = cluster.cpu_utilization(0, t, &mut rng).expect("utilization");
         prop_assert!((0.0..=100.0).contains(&u), "utilization {u} out of range");
+    }
+
+    #[test]
+    fn chaos_none_is_inert_for_any_seed(
+        seed in any::<u64>(),
+        unit in 0u64..64,
+        start in 0.0f64..500.0,
+        horizon in 0.0f64..2000.0,
+    ) {
+        // `ChaosConfig::none()` must compile to an empty plan whose
+        // application draws no randomness, mutates nothing, and records
+        // no trace events — for every seed, unit, and window.
+        let plan = FaultPlan::compile(&ChaosConfig::none(), seed, unit, start, horizon);
+        prop_assert!(plan.is_empty());
+        prop_assert_eq!(plan.remaining(), 0);
+        for w in 0..16 {
+            prop_assert_eq!(plan.probe_fault(w), None);
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cluster = Cluster::new(
+            2,
+            ServerSpec::xeon(),
+            IsolationConfig::cloud_default(),
+        )
+        .expect("cluster");
+        let p = catalog::memcached::profile(&catalog::memcached::Variant::Mixed, &mut rng);
+        let vm = cluster.launch_on(0, p, VmRole::Friendly, 0.0).expect("fits");
+        let before = cluster.take_events();
+        prop_assert_eq!(before.len(), 1);
+
+        let mut plan = plan;
+        let applied = plan.apply_due(&mut cluster, start + horizon).expect("inert");
+        prop_assert_eq!(applied, 0);
+        prop_assert!(cluster.events().is_empty(), "none() must record nothing");
+        prop_assert_eq!(cluster.vm_ids(), vec![vm]);
+        prop_assert_eq!(cluster.degradation_of(0).expect("server 0"), 0.0);
     }
 }

@@ -30,4 +30,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run (bench harnesses must compile)"
 cargo bench --no-run --workspace
 
+echo "==> chaos-off invariance (empty fault plans must be byte-invisible)"
+cargo test -q -p bolt --test chaos_invariance
+
+echo "==> robustness bench harness compiles"
+cargo bench --no-run -p bolt-bench --bench robustness_churn
+
+echo "==> deterministic replay (same seed -> identical run, telemetry included)"
+REPLAY_DIR=$(mktemp -d)
+trap 'rm -rf "$REPLAY_DIR"' EXIT
+for i in 1 2; do
+  cargo run --release -q -- detect --servers 4 --victims 6 --seed 42 \
+    --telemetry "$REPLAY_DIR/run$i.jsonl" > "$REPLAY_DIR/out$i.txt"
+  # Wall-clock span durations are the one nondeterministic field.
+  sed -E 's/"wall_ns":[0-9]+/"wall_ns":0/g' "$REPLAY_DIR/run$i.jsonl" \
+    > "$REPLAY_DIR/norm$i.jsonl"
+done
+cmp "$REPLAY_DIR/out1.txt" "$REPLAY_DIR/out2.txt"
+cmp "$REPLAY_DIR/norm1.jsonl" "$REPLAY_DIR/norm2.jsonl"
+
 echo "OK: all checks passed"
