@@ -380,6 +380,7 @@ mod tests {
                 used_shutter: false,
                 confidence,
                 degraded,
+                mrc: None,
             }
         };
 

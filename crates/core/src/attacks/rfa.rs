@@ -263,6 +263,7 @@ mod tests {
             used_shutter: false,
             confidence: 0.9,
             degraded: None,
+            mrc: None,
         };
         assert_eq!(
             plan_helper_target(&detection, 0.6).unwrap(),

@@ -23,6 +23,7 @@ use bolt_recommender::{HybridRecommender, Recommendation, RecommenderStats};
 use bolt_sim::{Cluster, FaultPlan, ProbeFaultKind, TraceEvent, VmId};
 use bolt_workloads::{AppLabel, ResourceCharacteristics};
 
+use crate::fingerprint::MrcFingerprint;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::BoltError;
 
@@ -103,6 +104,12 @@ pub struct DetectorConfig {
     pub enable_decomposition: bool,
     /// Enables the temporal-differencing verdict (ablation switch).
     pub enable_differencing: bool,
+    /// Enables the miss-rate-curve channel: a cache-allocation sweep per
+    /// window whose curve breaks near-degenerate decomposition ties.
+    /// Off by default — the pressure-only pipeline is the paper baseline.
+    pub mrc_channel: bool,
+    /// Allocation levels per cache sweep when the channel is on.
+    pub mrc_points: usize,
 }
 
 impl Default for DetectorConfig {
@@ -119,6 +126,8 @@ impl Default for DetectorConfig {
             enable_shutter: true,
             enable_decomposition: true,
             enable_differencing: true,
+            mrc_channel: false,
+            mrc_points: 8,
         }
     }
 }
@@ -147,6 +156,10 @@ pub struct Detection {
     /// Set when the verdict is degraded — the attack drivers treat any
     /// `Some` as "do not act on this label alone".
     pub degraded: Option<DegradedReason>,
+    /// The observed cache-allocation sweep, when the miss-rate-curve
+    /// channel ran this window. `None` whenever the channel is off or
+    /// the window ended before the sweep (idle, blackout, no signal).
+    pub mrc: Option<MrcFingerprint>,
 }
 
 impl Detection {
@@ -517,6 +530,7 @@ impl Detector {
                 snapshot,
                 confidence: 1.0,
                 degraded: None,
+                mrc: None,
             });
         }
 
@@ -572,6 +586,7 @@ impl Detector {
                         snapshot,
                         confidence: 0.0,
                         degraded: Some(DegradedReason::InsufficientSamples),
+                        mrc: None,
                     });
                 }
                 ProbeFaultKind::DroppedSample => {
@@ -631,8 +646,57 @@ impl Detector {
                 snapshot,
                 confidence: 0.0,
                 degraded: None,
+                mrc: None,
             });
         }
+
+        // The miss-rate-curve channel: a cache-allocation sweep taken
+        // after the pressure probes. Its curve rides into the
+        // decomposition as a tie-breaker over near-degenerate candidate
+        // mixtures. With the channel off this block is skipped whole —
+        // no RNG draw, no telemetry — so the baseline stays bit-identical.
+        let mut mrc_fp: Option<MrcFingerprint> = None;
+        if self.config.mrc_channel {
+            let mrc_t = t + snapshot.duration_s;
+            let mrc_clock = telemetry.begin();
+            let mut reading = bolt_probes::measure_mrc_sweep(
+                world.cluster(),
+                adversary,
+                mrc_t,
+                self.config.mrc_points,
+                &self.config.profiler.ramp,
+                rng,
+            )?;
+            // The per-window probe fault is a stateless draw, so the
+            // sweep suffers the same fault the pressure probes did.
+            if let Some(kind) = world.probe_fault() {
+                match kind {
+                    // A blackout window already returned above.
+                    ProbeFaultKind::Blackout => {}
+                    ProbeFaultKind::DroppedSample => {
+                        // The last level is lost; hold the previous one
+                        // so the curve keeps its length.
+                        if reading.response.len() >= 2 {
+                            let held = reading.response[reading.response.len() - 2];
+                            *reading.response.last_mut().expect("non-empty sweep") = held;
+                        }
+                    }
+                    ProbeFaultKind::TruncatedSample => {
+                        if let Some(last) = reading.response.last_mut() {
+                            *last *= 0.5;
+                        }
+                    }
+                }
+            }
+            snapshot.duration_s += reading.duration_s;
+            telemetry.count(Counter::MrcProbePoints, reading.response.len() as u64);
+            telemetry.span(Phase::MrcSweep, mrc_t, reading.duration_s, mrc_clock);
+            mrc_fp = Some(MrcFingerprint {
+                points: reading.response,
+                duration_s: reading.duration_s,
+            });
+        }
+        let mrc_observed = mrc_fp.as_ref().map(|f| f.points.as_slice());
 
         let mut verdicts: Vec<Recommendation> = Vec::new();
         let mut used_shutter = false;
@@ -702,18 +766,20 @@ impl Detector {
         let decomp_clock = telemetry.begin();
         let components = if core_usable && core_obs.len() >= 2 {
             let float = world.cluster().isolation().float_visibility();
-            self.recommender.decompose_with_core_stats(
+            self.recommender.decompose_with_core_mrc(
                 &core_obs,
                 &uncore_obs,
                 float,
                 max_components,
+                mrc_observed,
                 &mut rec_stats,
             )?
         } else if uncore_obs.len() >= 2 {
-            self.recommender.decompose_mixture_with_stats(
+            self.recommender.decompose_mixture_mrc(
                 &uncore_obs,
                 &[],
                 max_components,
+                mrc_observed,
                 &mut rec_stats,
             )?
         } else {
@@ -727,6 +793,7 @@ impl Detector {
         );
         telemetry.count(Counter::ShortlistPairHits, rec_stats.shortlist_hits);
         telemetry.count(Counter::ExactPairSearches, rec_stats.exact_searches);
+        telemetry.count(Counter::MrcTieBreaks, rec_stats.mrc_tie_breaks);
         for &(idx, _, explained) in &components {
             verdicts.push(self.recommender.component_recommendation(idx, explained));
         }
@@ -840,6 +907,7 @@ impl Detector {
             snapshot,
             confidence,
             degraded,
+            mrc: mrc_fp,
         })
     }
 

@@ -57,6 +57,11 @@ pub struct ExperimentConfig {
     /// is [`ChaosConfig::none`].
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Enables the miss-rate-curve detection channel on every hunt
+    /// (equivalent to setting [`DetectorConfig::mrc_channel`]); off by
+    /// default so pre-existing runs stay byte-identical.
+    #[serde(default)]
+    pub mrc_channel: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -73,6 +78,7 @@ impl Default for ExperimentConfig {
             parallelism: Parallelism::default(),
             chaos: ChaosConfig::none(),
             retry: RetryPolicy::default(),
+            mrc_channel: false,
         }
     }
 }
@@ -196,6 +202,22 @@ impl ExperimentResults {
                 }
             })
             .collect()
+    }
+
+    /// Label accuracy restricted to multi-tenant placements (two or more
+    /// victim VMs sharing the hunted server) — the regime where mixture
+    /// decomposition, and thus the miss-rate-curve tie-break, can make a
+    /// difference. `None` when no victim shares its server.
+    pub fn multi_tenant_label_accuracy(&self) -> Option<f64> {
+        let subset: Vec<&ExperimentRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.co_residents >= 2)
+            .collect();
+        if subset.is_empty() {
+            return None;
+        }
+        Some(subset.iter().filter(|r| r.label_correct).count() as f64 / subset.len() as f64)
     }
 
     /// Label accuracy by the victim's dominant resource (Fig. 6b):
@@ -423,7 +445,13 @@ pub fn build_testbed<S: Scheduler>(
     let examples = observed_training(&training_set(config.training_seed), &config.isolation);
     let data = TrainingData::from_examples(examples)?;
     let recommender = HybridRecommender::fit(data, config.recommender)?;
-    let detector = Detector::new(recommender, config.detector);
+    let detector = Detector::new(
+        recommender,
+        DetectorConfig {
+            mrc_channel: config.detector.mrc_channel || config.mrc_channel,
+            ..config.detector
+        },
+    );
 
     Ok(Testbed {
         cluster,

@@ -20,6 +20,35 @@ use bolt_workloads::{Resource, WorkloadProfile};
 use crate::experiment::victim_set;
 use crate::telemetry::{Counter, Phase, Telemetry};
 
+/// The miss-rate-curve channel's contribution to a detection
+/// fingerprint: the observed cache-allocation sweep, one co-resident
+/// response per allocation level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MrcFingerprint {
+    /// Response at level `k`, measured while the probe occupied
+    /// `(k + 1) / points` of the LLC. Each value is in `[0, 100]`.
+    pub points: Vec<f64>,
+    /// Simulated seconds the sweep cost on top of the pressure probes.
+    pub duration_s: f64,
+}
+
+impl MrcFingerprint {
+    /// RMS distance to another sweep of the same length; sweeps of
+    /// different lengths are incomparable and return `f64::INFINITY`.
+    pub fn rms_distance(&self, other: &MrcFingerprint) -> f64 {
+        if self.points.len() != other.points.len() || self.points.is_empty() {
+            return f64::INFINITY;
+        }
+        let sum: f64 = self
+            .points
+            .iter()
+            .zip(&other.points)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (sum / self.points.len() as f64).sqrt()
+    }
+}
+
 /// A `grid × grid` probability map over one resource pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Heatmap {

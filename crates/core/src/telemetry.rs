@@ -59,6 +59,8 @@ pub enum Phase {
     MatrixCompletion,
     /// Weighted-Pearson content matching against the training set.
     ContentMatch,
+    /// The cache-allocation sweep of the miss-rate-curve channel.
+    MrcSweep,
     /// Mixture decomposition (pair pursuit) over averaged observations.
     Decomposition,
     /// One full detect iteration (probe + recommend + verdict).
@@ -69,11 +71,12 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::ProbeSweep,
         Phase::ShutterCapture,
         Phase::MatrixCompletion,
         Phase::ContentMatch,
+        Phase::MrcSweep,
         Phase::Decomposition,
         Phase::DetectionIteration,
         Phase::AttackExecution,
@@ -86,6 +89,7 @@ impl Phase {
             Phase::ShutterCapture => "shutter-capture",
             Phase::MatrixCompletion => "matrix-completion",
             Phase::ContentMatch => "content-match",
+            Phase::MrcSweep => "mrc-sweep",
             Phase::Decomposition => "decomposition",
             Phase::DetectionIteration => "detection-iteration",
             Phase::AttackExecution => "attack-execution",
@@ -118,11 +122,16 @@ pub enum Counter {
     WindowsDiscarded,
     /// Detection re-probes issued by the retry-with-backoff policy.
     DetectionRetries,
+    /// Allocation levels measured by the miss-rate-curve sweep.
+    MrcProbePoints,
+    /// Decompositions where the sweep curve overruled the pressure-only
+    /// candidate selection.
+    MrcTieBreaks,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 10] = [
         Counter::SgdIterations,
         Counter::ShortlistPairHits,
         Counter::ExactPairSearches,
@@ -131,6 +140,8 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::WindowsDiscarded,
         Counter::DetectionRetries,
+        Counter::MrcProbePoints,
+        Counter::MrcTieBreaks,
     ];
 
     /// Stable wire name.
@@ -144,6 +155,8 @@ impl Counter {
             Counter::FaultsInjected => "faults-injected",
             Counter::WindowsDiscarded => "windows-discarded",
             Counter::DetectionRetries => "detection-retries",
+            Counter::MrcProbePoints => "mrc-probe-points",
+            Counter::MrcTieBreaks => "mrc-tie-breaks",
         }
     }
 

@@ -117,6 +117,55 @@ fn chaos_off_experiment_telemetry_carries_no_chaos_artifacts() {
     assert!(!jsonl.contains("faults-injected"));
 }
 
+#[test]
+fn mrc_channel_off_is_byte_invisible() {
+    // With the channel off, varying the sweep resolution must not move a
+    // byte: no extra RNG draw, no telemetry span, no counter.
+    let base = small_config(0xA5FA11);
+    let decorated = ExperimentConfig {
+        detector: DetectorConfig {
+            mrc_points: 31,
+            ..base.detector
+        },
+        ..base
+    };
+    assert!(!base.mrc_channel && !base.detector.mrc_channel);
+    let a = run_experiment_telemetry(&base, &LeastLoaded).unwrap();
+    let b = run_experiment_telemetry(&decorated, &LeastLoaded).unwrap();
+    assert_eq!(a.0.records, b.0.records);
+    assert_eq!(a.1.normalized().to_jsonl(), b.1.normalized().to_jsonl());
+    let jsonl = a.1.to_jsonl();
+    assert_eq!(a.1.counter_total(Counter::MrcProbePoints), 0);
+    assert_eq!(a.1.counter_total(Counter::MrcTieBreaks), 0);
+    assert!(
+        !jsonl.contains("mrc-"),
+        "channel-off telemetry must not mention the mrc channel"
+    );
+}
+
+#[test]
+fn mrc_hunts_are_parallelism_invariant() {
+    // The channel's extra RNG draws are per-hunt, so Serial and Threads(n)
+    // must still produce bit-identical fingerprints.
+    let serial = ExperimentConfig {
+        mrc_channel: true,
+        parallelism: Parallelism::Serial,
+        ..small_config(0x3C5)
+    };
+    let threaded = ExperimentConfig {
+        parallelism: Parallelism::Threads(3),
+        ..serial
+    };
+    let a = run_experiment_telemetry(&serial, &LeastLoaded).unwrap();
+    let b = run_experiment_telemetry(&threaded, &LeastLoaded).unwrap();
+    assert_eq!(a.0.records, b.0.records);
+    assert_eq!(a.1.normalized().to_jsonl(), b.1.normalized().to_jsonl());
+    assert!(
+        a.1.counter_total(Counter::MrcProbePoints) > 0,
+        "channel-on hunts must actually sweep"
+    );
+}
+
 proptest! {
     // Each case runs two full experiments; keep the count small and scale
     // up via PROPTEST_CASES when hunting.

@@ -8,6 +8,10 @@
 //!
 //! * [`Microbenchmark`] + [`RampConfig`] — the per-resource probe and ramp
 //!   protocol, executed against the simulated cluster.
+//! * [`measure_mrc_sweep`] — the cache-allocation sweep (the §3.3
+//!   miss-rate-curve channel): the probe steps its own LLC working set
+//!   through K levels and reads the co-residents' reuse structure from
+//!   the per-level pressure response.
 //! * [`Profiler`] — the 2–3 benchmark selection policy (one core, one
 //!   uncore, plus adaptive extras).
 //! * [`shutter`] — the brief-frame profiling mode that disentangles
@@ -42,10 +46,12 @@
 #![warn(missing_docs)]
 
 mod microbench;
+mod mrc_sweep;
 pub mod native;
 mod profiler;
 pub mod shutter;
 
 pub use microbench::{Microbenchmark, ProbeReading, RampConfig};
+pub use mrc_sweep::{measure_mrc_sweep, MrcSweepReading};
 pub use profiler::{Profiler, ProfilerConfig, Snapshot};
 pub use shutter::{capture as shutter_capture, ShutterCapture, ShutterConfig};

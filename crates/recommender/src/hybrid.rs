@@ -19,6 +19,7 @@ use bolt_linalg::sgd::{PqModel, SgdConfig};
 use bolt_linalg::stats::{pearson, weighted_pearson};
 use bolt_linalg::svd::{energy_rank, Svd};
 use bolt_linalg::LinalgError;
+use bolt_workloads::mrc;
 use bolt_workloads::{AppLabel, PressureVector, Resource, ResourceCharacteristics, RESOURCE_COUNT};
 
 use crate::dataset::TrainingData;
@@ -57,6 +58,14 @@ pub struct RecommenderConfig {
     /// dictionary, so plain mixture decompositions stay exact; only the
     /// 3-hypothesis dictionary of the joint core/uncore search is pruned.
     pub pair_shortlist: usize,
+    /// Near-degeneracy slack for the MRC tie-break, as a fraction of the
+    /// observed signal energy: when an MRC sweep is supplied to the
+    /// decomposition, every candidate mixture whose weighted fit error is
+    /// within `mrc_tie_margin × total_energy` of the best fit is treated
+    /// as near-degenerate, and the winner among them is re-ranked by RMS
+    /// cache-sweep-curve distance instead of fit error alone. `0.0`
+    /// disables re-ranking (the curve never overrides the pressure fit).
+    pub mrc_tie_margin: f64,
     /// SGD hyperparameters for the completion stage.
     pub sgd: SgdConfig,
 }
@@ -69,6 +78,7 @@ impl Default for RecommenderConfig {
             weighted: true,
             noise_floor: 2.0,
             pair_shortlist: 128,
+            mrc_tie_margin: 0.02,
             sgd: SgdConfig {
                 factors: 4,
                 learning_rate: 0.004,
@@ -95,6 +105,9 @@ pub struct RecommenderStats {
     pub shortlist_hits: u64,
     /// Pair searches that ran the exact exhaustive loop.
     pub exact_searches: u64,
+    /// Decompositions where the MRC curve distance overruled the
+    /// pressure-only selection among near-degenerate candidates.
+    pub mrc_tie_breaks: u64,
 }
 
 impl RecommenderStats {
@@ -103,6 +116,7 @@ impl RecommenderStats {
         self.sgd_iterations += other.sgd_iterations;
         self.shortlist_hits += other.shortlist_hits;
         self.exact_searches += other.exact_searches;
+        self.mrc_tie_breaks += other.mrc_tie_breaks;
     }
 }
 
@@ -663,6 +677,29 @@ impl HybridRecommender {
         max_components: usize,
         stats: &mut RecommenderStats,
     ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        self.decompose_mixture_mrc(observations, consistency, max_components, None, stats)
+    }
+
+    /// [`HybridRecommender::decompose_mixture_with_stats`] with an
+    /// optional observed cache-allocation sweep (`mrc_observed`, one
+    /// response per allocation level). When present, near-degenerate
+    /// candidate mixtures — within
+    /// [`RecommenderConfig::mrc_tie_margin`] of the best fit error — are
+    /// re-ranked by RMS distance between their expected sweep-response
+    /// curves and the observation. `None` is byte-identical to the plain
+    /// decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::decompose_mixture`].
+    pub fn decompose_mixture_mrc(
+        &self,
+        observations: &[(Resource, f64)],
+        consistency: &[(Resource, f64)],
+        max_components: usize,
+        mrc_observed: Option<&[f64]>,
+        stats: &mut RecommenderStats,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
         let _ = consistency;
         validate_obs(observations)?;
         let dims: Vec<usize> = observations.iter().map(|&(r, _)| r.index()).collect();
@@ -676,6 +713,7 @@ impl HybridRecommender {
         for i in 0..n {
             values.extend(dims.iter().map(|&j| m[(i, j)]));
         }
+        let mrc = self.mrc_context(mrc_observed);
         Ok(pair_pursuit(
             &weights,
             &target,
@@ -683,6 +721,7 @@ impl HybridRecommender {
             &values,
             self.config.pair_shortlist,
             max_components,
+            mrc.as_ref(),
             stats,
         ))
     }
@@ -733,6 +772,35 @@ impl HybridRecommender {
         max_components: usize,
         stats: &mut RecommenderStats,
     ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        self.decompose_with_core_mrc(
+            core_obs,
+            uncore_obs,
+            float_visibility,
+            max_components,
+            None,
+            stats,
+        )
+    }
+
+    /// [`HybridRecommender::decompose_with_core_stats`] with an optional
+    /// observed cache-allocation sweep, used exactly as in
+    /// [`HybridRecommender::decompose_mixture_mrc`]: near-degenerate
+    /// candidates are re-ranked by curve distance. The visibility
+    /// hypotheses of one example share its curve — the LLC is uncore, so
+    /// core-sharing does not change the sweep response.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::decompose_with_core`].
+    pub fn decompose_with_core_mrc(
+        &self,
+        core_obs: &[(Resource, f64)],
+        uncore_obs: &[(Resource, f64)],
+        float_visibility: f64,
+        max_components: usize,
+        mrc_observed: Option<&[f64]>,
+        stats: &mut RecommenderStats,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
         let all: Vec<(Resource, f64)> = core_obs.iter().chain(uncore_obs).copied().collect();
         validate_obs(&all)?;
         let dims: Vec<usize> = all.iter().map(|&(r, _)| r.index()).collect();
@@ -767,6 +835,7 @@ impl HybridRecommender {
                 }));
             }
         }
+        let mrc = self.mrc_context(mrc_observed);
         Ok(pair_pursuit(
             &weights,
             &target,
@@ -774,8 +843,51 @@ impl HybridRecommender {
             &values,
             self.config.pair_shortlist,
             max_components,
+            mrc.as_ref(),
             stats,
         ))
+    }
+
+    /// Expected cache-allocation-sweep response curve for every training
+    /// example at unit load: example `i` occupies
+    /// `[i * points .. (i + 1) * points]`, entry `k` being the predicted
+    /// co-resident response while the probe holds `(k + 1) / points` of
+    /// the LLC. The prediction runs the same protocol as the simulator
+    /// ([`mrc::sweep_response`] over the derived curve), so observed and
+    /// expected sweeps are directly comparable; linearity in load scale
+    /// lets the pursuit sum per-component curves.
+    fn mrc_atom_curves(&self, points: usize) -> Vec<f64> {
+        let m = self.data.matrix();
+        let n = self.data.len();
+        let mut curves = Vec::with_capacity(n * points);
+        for i in 0..n {
+            let mut raw = [0.0; RESOURCE_COUNT];
+            for (j, r) in raw.iter_mut().enumerate() {
+                *r = m[(i, j)];
+            }
+            let p = PressureVector::from_raw(raw);
+            let curve = mrc::derive_mrc_from_pressure(&p);
+            for k in 0..points {
+                let alloc = (k + 1) as f64 / points as f64;
+                curves.push(mrc::sweep_response(&curve, p[Resource::Llc], alloc));
+            }
+        }
+        curves
+    }
+
+    /// Builds the tie-break context from an observed sweep, or `None`
+    /// when the channel is off (no observation, an empty sweep, or a
+    /// non-positive margin).
+    fn mrc_context(&self, observed: Option<&[f64]>) -> Option<MrcContext> {
+        let observed = observed?;
+        if observed.is_empty() || self.config.mrc_tie_margin <= 0.0 {
+            return None;
+        }
+        Some(MrcContext {
+            curves: self.mrc_atom_curves(observed.len()),
+            observed: observed.to_vec(),
+            margin: self.config.mrc_tie_margin,
+        })
     }
 
     /// Builds a [`Recommendation`] for one decomposed mixture component.
@@ -917,6 +1029,62 @@ fn validate_obs(observations: &[(Resource, f64)]) -> Result<(), LinalgError> {
     Ok(())
 }
 
+/// The miss-rate-curve tie-break context handed to [`pair_pursuit`]: the
+/// observed cache-allocation sweep plus the expected unit-load response
+/// curve of every training example (flat, example-indexed — visibility
+/// hypotheses of the same example share one curve).
+struct MrcContext {
+    /// Observed co-resident response per allocation level.
+    observed: Vec<f64>,
+    /// `curves[i * K + k]`: example `i`'s expected response at level `k`.
+    curves: Vec<f64>,
+    /// Near-degeneracy slack as a fraction of the observed signal energy.
+    margin: f64,
+}
+
+impl MrcContext {
+    /// RMS distance between the *shapes* (mean-normalized curves) of the
+    /// observed sweep and the response the candidate mixture predicts
+    /// (scales sum linearly per level). Shape, not magnitude, carries the
+    /// reuse structure: the observed aggregate includes co-residents the
+    /// candidate mixture may not cover, and per-level magnitude already
+    /// rides in the pressure dimensions — comparing raw responses would
+    /// just bias the tie toward louder curves.
+    fn distance(&self, picks: &[(usize, f64)], indices: &[usize]) -> f64 {
+        let k = self.observed.len();
+        let pred: Vec<f64> = (0..k)
+            .map(|d| {
+                picks
+                    .iter()
+                    .map(|&(a, l)| l * self.curves[indices[a] * k + d])
+                    .sum()
+            })
+            .collect();
+        let om = self.observed.iter().sum::<f64>() / k as f64;
+        let pm = pred.iter().sum::<f64>() / k as f64;
+        if om <= 1e-9 || pm <= 1e-9 {
+            // A silent curve has no shape; fall back to raw magnitudes.
+            let sum: f64 = self
+                .observed
+                .iter()
+                .zip(&pred)
+                .map(|(o, p)| (o - p) * (o - p))
+                .sum();
+            return (sum / k as f64).sqrt();
+        }
+        let sum: f64 = self
+            .observed
+            .iter()
+            .zip(&pred)
+            .map(|(o, p)| {
+                let e = o / om - p / pm;
+                e * e
+            })
+            .sum();
+        (sum / k as f64).sqrt()
+    }
+}
+
 /// Weighted least-squares pursuit over a dictionary of atoms: the best
 /// single explanation, refined by a pair search with jointly optimal
 /// scales in `[0, 1.05]` (a tenant cannot exceed its own full-load
@@ -933,7 +1101,15 @@ fn validate_obs(observations: &[(Resource, f64)]) -> Result<(), LinalgError> {
 /// exactly the exhaustive search (same iteration order, so identical
 /// tie-breaking).
 ///
+/// With an [`MrcContext`], candidate solutions whose fit error lands
+/// within `margin × total_energy` of the best are near-degenerate — the
+/// pressure dimensions cannot tell them apart — and the one whose
+/// expected sweep-response curve sits closest (RMS) to the observed
+/// sweep wins instead. `None` leaves the selection byte-identical to the
+/// pressure-only pursuit.
+///
 /// Returns `(example index, scale, explained fraction)` per component.
+#[allow(clippy::too_many_arguments)]
 fn pair_pursuit(
     weights: &[f64],
     target: &[f64],
@@ -941,6 +1117,7 @@ fn pair_pursuit(
     values: &[f64],
     shortlist: usize,
     max_components: usize,
+    mrc: Option<&MrcContext>,
     stats: &mut RecommenderStats,
 ) -> Vec<(usize, f64, f64)> {
     let total_energy: f64 = (0..target.len())
@@ -1010,6 +1187,36 @@ fn pair_pursuit(
     let Some((s_atom, s_lambda, s_err)) = best_single else {
         return Vec::new();
     };
+    let (mut s_atom, mut s_lambda) = (s_atom, s_lambda);
+    // MRC tie-break over near-degenerate singles: every atom whose fit
+    // error is within the margin of the best is indistinguishable on
+    // pressure alone, so let the sweep curve pick among them.
+    if let Some(m) = mrc {
+        let limit = s_err + m.margin * total_energy;
+        let mut best_d = f64::INFINITY;
+        let mut chosen: Option<(usize, f64)> = None;
+        for &(a, e) in &single_fit {
+            if e > limit {
+                continue;
+            }
+            let l = (with_target[a] / self_sq[a]).clamp(0.0, 1.05);
+            if l < 0.05 {
+                continue;
+            }
+            let d = m.distance(&[(a, l)], indices);
+            if d < best_d {
+                best_d = d;
+                chosen = Some((a, l));
+            }
+        }
+        if let Some((a, l)) = chosen {
+            if indices[a] != indices[s_atom] {
+                stats.mrc_tie_breaks += 1;
+            }
+            s_atom = a;
+            s_lambda = l;
+        }
+    }
     if max_components <= 1 {
         let explained = 1.0 - (s_err / total_energy).clamp(0.0, 1.0);
         return vec![(indices[s_atom], s_lambda, explained)];
@@ -1033,6 +1240,7 @@ fn pair_pursuit(
 
     // Pair search with jointly-optimal clamped scales.
     let mut best_pair: Option<(usize, f64, usize, f64, f64)> = None;
+    let mut pair_candidates: Vec<(usize, f64, usize, f64, f64)> = Vec::new();
     for (pa, &a) in candidates.iter().enumerate() {
         for &b in &candidates[pa + 1..] {
             if indices[a] == indices[b] {
@@ -1061,6 +1269,9 @@ fn pair_pursuit(
                 continue;
             }
             let e = err_of(&[(a, la), (b, lb)]);
+            if mrc.is_some() {
+                pair_candidates.push((a, la, b, lb, e));
+            }
             if best_pair.map(|(_, _, _, _, be)| e < be).unwrap_or(true) {
                 best_pair = Some((a, la, b, lb, e));
             }
@@ -1068,7 +1279,28 @@ fn pair_pursuit(
     }
 
     let mut picks: Vec<(usize, f64)> = match best_pair {
-        Some((a, la, b, lb, e)) if e < s_err * 0.5 => {
+        // The accept/reject decision stays on the pure-error best pair so
+        // the channel only re-ranks *within* ties, never changes whether a
+        // pair beats the single.
+        Some((pa0, pla0, pb0, plb0, e)) if e < s_err * 0.5 => {
+            let (mut a, mut la, mut b, mut lb) = (pa0, pla0, pb0, plb0);
+            if let Some(m) = mrc {
+                let limit = e + m.margin * total_energy;
+                let mut best_d = f64::INFINITY;
+                for &(ca, cla, cb, clb, ce) in &pair_candidates {
+                    if ce > limit {
+                        continue;
+                    }
+                    let d = m.distance(&[(ca, cla), (cb, clb)], indices);
+                    if d < best_d {
+                        best_d = d;
+                        (a, la, b, lb) = (ca, cla, cb, clb);
+                    }
+                }
+                if (indices[a], indices[b]) != (indices[pa0], indices[pb0]) {
+                    stats.mrc_tie_breaks += 1;
+                }
+            }
             let contrib = |x: usize, l: f64| l * self_sq[x].sqrt();
             if contrib(a, la) >= contrib(b, lb) {
                 vec![(a, la), (b, lb)]
@@ -1277,6 +1509,99 @@ mod tests {
         let mut merged = RecommenderStats::default();
         merged.merge(stats);
         assert_eq!(merged, stats);
+    }
+
+    #[test]
+    fn mrc_tie_break_reranks_degenerate_singles() {
+        // Two training examples with byte-identical pressure rows: pure
+        // pressure pursuit cannot tell them apart and keeps the first.
+        let weights = [1.0, 1.0];
+        let target = [40.0, 30.0];
+        let indices = [0usize, 1];
+        let values = [40.0, 30.0, 40.0, 30.0];
+        let mut stats = RecommenderStats::default();
+        let plain = pair_pursuit(
+            &weights, &target, &indices, &values, 16, 1, None, &mut stats,
+        );
+        assert_eq!(plain[0].0, 0, "pressure-only pursuit keeps the first atom");
+        assert_eq!(stats.mrc_tie_breaks, 0);
+        // The observed sweep matches example 1's expected curve exactly.
+        let ctx = MrcContext {
+            observed: vec![30.0, 35.0, 40.0],
+            curves: vec![10.0, 20.0, 30.0, 30.0, 35.0, 40.0],
+            margin: 0.05,
+        };
+        let mut stats = RecommenderStats::default();
+        let broken = pair_pursuit(
+            &weights,
+            &target,
+            &indices,
+            &values,
+            16,
+            1,
+            Some(&ctx),
+            &mut stats,
+        );
+        assert_eq!(broken[0].0, 1, "the sweep should flip the degenerate tie");
+        assert!((broken[0].1 - plain[0].1).abs() < 1e-12, "scale unchanged");
+        assert_eq!(stats.mrc_tie_breaks, 1);
+    }
+
+    #[test]
+    fn mrc_tie_break_reranks_degenerate_pairs() {
+        // Three atoms: 0 and 2 are identical, 1 is the complement. The
+        // true mixture 0+1 and the impostor 2+1 fit the pressure target
+        // equally well; the sweep decides.
+        let weights = [1.0, 1.0];
+        let target = [60.0, 50.0];
+        let indices = [0usize, 1, 2];
+        let values = [40.0, 10.0, 20.0, 40.0, 40.0, 10.0];
+        // The observed sweep equals atom 1's curve plus atom 2's curve;
+        // the margin is tight enough that only the exact-fit pairs (not
+        // the second-best single) count as degenerate.
+        let ctx = MrcContext {
+            observed: vec![45.0, 25.0],
+            curves: vec![0.0, 10.0, 25.0, 5.0, 20.0, 20.0],
+            margin: 0.02,
+        };
+        let mut stats = RecommenderStats::default();
+        let picks = pair_pursuit(
+            &weights,
+            &target,
+            &indices,
+            &values,
+            16,
+            2,
+            Some(&ctx),
+            &mut stats,
+        );
+        let members: Vec<usize> = picks.iter().map(|&(i, _, _)| i).collect();
+        assert!(
+            members.contains(&2),
+            "sweep should promote the matching twin: {members:?}"
+        );
+        assert!(members.contains(&1), "complement stays: {members:?}");
+        assert_eq!(stats.mrc_tie_breaks, 1);
+    }
+
+    #[test]
+    fn empty_sweep_is_channel_off() {
+        let rec = recommender();
+        let obs = [
+            (Resource::L1i, 80.0),
+            (Resource::Llc, 76.0),
+            (Resource::DiskBw, 0.0),
+        ];
+        let mut s1 = RecommenderStats::default();
+        let mut s2 = RecommenderStats::default();
+        let plain = rec
+            .decompose_mixture_with_stats(&obs, &[], 2, &mut s1)
+            .unwrap();
+        let empty = rec
+            .decompose_mixture_mrc(&obs, &[], 2, Some(&[]), &mut s2)
+            .unwrap();
+        assert_eq!(plain, empty);
+        assert_eq!(s2.mrc_tie_breaks, 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use rand::Rng;
 
+use bolt_workloads::mrc;
 use bolt_workloads::{perf, PressureVector, Resource, WorkloadKind, WorkloadProfile};
 
 use crate::error::SimError;
@@ -549,6 +550,66 @@ impl Cluster {
     ) -> Result<PressureVector, SimError> {
         let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
         Ok(self.interference_from_neighbors(id, state, t, rng, true))
+    }
+
+    /// One step of a cache-allocation sweep: the aggregate LLC-pressure
+    /// response `id` observes when its own probe working set occupies
+    /// `probe_alloc` of the LLC (fraction in `[0, 1]`).
+    ///
+    /// The LLC is an uncore resource, so every same-server co-resident
+    /// contributes regardless of core placement — the same sharing-domain
+    /// physics as [`Cluster::interference_on`]. Each co-resident's
+    /// contribution is its emitted LLC pressure at `t` scaled by its
+    /// miss rate in the cache share the probe leaves it
+    /// ([`mrc::sweep_response`]): streaming tenants push back at every
+    /// allocation level, cache-resident tenants only once the probe
+    /// crosses their working-set knee. Override-driven VMs (attack
+    /// programs, quiesced adversaries) have no reuse structure behind
+    /// their synthetic pressure and respond as pure streams. Isolation
+    /// attenuation and server degradation apply exactly as for the
+    /// pressure probes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownVm`] if the VM does not exist, and
+    /// [`SimError::InvalidConfig`] for a `probe_alloc` outside `[0, 1]`.
+    pub fn cache_sweep_response<R: Rng>(
+        &self,
+        id: VmId,
+        probe_alloc: f64,
+        t: f64,
+        rng: &mut R,
+    ) -> Result<f64, SimError> {
+        if !(0.0..=1.0).contains(&probe_alloc) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("probe allocation {probe_alloc} outside [0, 1]"),
+            });
+        }
+        let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        let atten = self.isolation.attenuation(Resource::Llc);
+
+        let mut total = 0.0;
+        for (&other_id, other) in &self.vms {
+            if other.server != state.server || other_id == id {
+                continue;
+            }
+            let response = match other.pressure_override {
+                // Synthetic pressure has no working set: it misses at
+                // every allocation, like a stream.
+                Some(p) => p[Resource::Llc],
+                None => {
+                    let p = other.profile.pressure_at(t, 1.0, rng);
+                    let curve = mrc::derive_mrc(&other.profile);
+                    mrc::sweep_response(&curve, p[Resource::Llc], probe_alloc)
+                }
+            };
+            total += response * atten;
+        }
+        let d = self.degradation[state.server];
+        if d > 0.0 {
+            total = (total * (1.0 + d)).min(100.0);
+        }
+        Ok(total.min(100.0))
     }
 
     fn interference_from_neighbors<R: Rng>(

@@ -19,7 +19,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::profile::WorkloadProfile;
-use crate::resource::Resource;
+use crate::resource::{PressureVector, Resource};
 
 /// A parametric last-level-cache miss-rate curve.
 ///
@@ -76,8 +76,12 @@ impl MissRateCurve {
 
     /// Samples the curve at `points` evenly-spaced allocations in
     /// `(0, 1]` — the feature vector an MRC-aware matcher compares.
+    ///
+    /// `points == 0` is a contract violation: it trips a debug assertion,
+    /// and in release builds returns an empty vector (there is nothing to
+    /// sample).
     pub fn sample(&self, points: usize) -> Vec<f64> {
-        assert!(points > 0, "need at least one sample point");
+        debug_assert!(points > 0, "need at least one sample point");
         (1..=points)
             .map(|i| self.miss_rate(i as f64 / points as f64))
             .collect()
@@ -85,7 +89,15 @@ impl MissRateCurve {
 
     /// Root-mean-square distance between two curves over `points` samples
     /// — the similarity measure for MRC matching.
+    ///
+    /// `points == 0` is a contract violation: it trips a debug assertion,
+    /// and in release builds returns `0.0` (zero samples cannot tell the
+    /// curves apart) rather than dividing by zero.
     pub fn distance(&self, other: &MissRateCurve, points: usize) -> f64 {
+        debug_assert!(points > 0, "need at least one sample point");
+        if points == 0 {
+            return 0.0;
+        }
         let a = self.sample(points);
         let b = other.sample(points);
         let sq: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
@@ -103,17 +115,45 @@ impl MissRateCurve {
 /// * the shape sharpens for pointer-chasing profiles (high L2+LLC with
 ///   modest bandwidth).
 pub fn derive_mrc(profile: &WorkloadProfile) -> MissRateCurve {
-    let p = profile.reference_pressure();
-    let llc = p[Resource::Llc] / 100.0;
-    let membw = p[Resource::MemBw] / 100.0;
-    let l2 = p[Resource::L2] / 100.0;
+    derive_mrc_from_pressure(profile.reference_pressure())
+}
+
+/// [`derive_mrc`] from a bare pressure fingerprint — the form an observer
+/// uses when all it holds is a (possibly channel-attenuated) pressure
+/// vector rather than a full profile. Every derived parameter is produced
+/// in-range here, without leaning on [`MissRateCurve::new`]'s clamps:
+/// pressures in `[0, 100]` map to a knee in `[0.15, 1]`, a floor in
+/// `[0.02, 0.77]`, and a shape in `[1, 3]`.
+pub fn derive_mrc_from_pressure(p: &PressureVector) -> MissRateCurve {
+    let llc = (p[Resource::Llc] / 100.0).clamp(0.0, 1.0);
+    let membw = (p[Resource::MemBw] / 100.0).clamp(0.0, 1.0);
+    let l2 = (p[Resource::L2] / 100.0).clamp(0.0, 1.0);
 
     let knee = (0.15 + 0.85 * llc).clamp(0.05, 1.0);
     // Streaming index: bandwidth demand not explained by cache footprint.
+    // With membw and llc in [0, 1] the index stays in [0, 1], so the
+    // floor lands in [0.02, 0.77] ⊂ [0, 1] by construction.
     let streaming = (membw - 0.5 * llc).clamp(0.0, 1.0);
-    let floor = 0.02 + 0.75 * streaming;
-    let shape = 1.0 + 2.0 * (l2 + llc) / 2.0;
+    let floor = (0.02 + 0.75 * streaming).clamp(0.0, 1.0);
+    let shape = (1.0 + 2.0 * (l2 + llc) / 2.0).max(0.5);
     MissRateCurve::new(knee, floor, shape)
+}
+
+/// The LLC-pressure response an observer measures at one step of a
+/// cache-allocation sweep: when the observer's own probe occupies
+/// `probe_alloc` of the LLC (fraction in `[0, 1]`), a co-resident emitting
+/// `llc_pressure` points of cache pressure is squeezed into the remaining
+/// `1 − probe_alloc` of the cache, and its refill traffic — the signal
+/// the probe feels — scales with its miss rate there. Streaming tenants
+/// (flat curves near 1) push back at every level; cache-resident tenants
+/// stay quiet until the probe working set crosses their knee.
+///
+/// This is the *shared protocol* between the simulator's sweep primitive
+/// and the recommender's expected-response curves: both sides must agree
+/// on it for curve matching to mean anything.
+pub fn sweep_response(curve: &MissRateCurve, llc_pressure: f64, probe_alloc: f64) -> f64 {
+    let remaining = (1.0 - probe_alloc).clamp(0.0, 1.0);
+    llc_pressure.clamp(0.0, 100.0) * curve.miss_rate(remaining)
 }
 
 /// True when two workloads are *indistinguishable* by average LLC pressure
@@ -178,9 +218,49 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "at least one sample")]
-    fn sample_rejects_zero_points() {
+    fn sample_rejects_zero_points_in_debug() {
         MissRateCurve::new(0.5, 0.1, 2.0).sample(0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "at least one sample")]
+    fn distance_rejects_zero_points_in_debug() {
+        let a = MissRateCurve::new(0.5, 0.1, 2.0);
+        a.distance(&a, 0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zero_points_degrade_gracefully_in_release() {
+        let a = MissRateCurve::new(0.5, 0.1, 2.0);
+        assert!(a.sample(0).is_empty());
+        assert_eq!(a.distance(&a, 0), 0.0);
+    }
+
+    #[test]
+    fn sweep_response_reads_the_reuse_pattern() {
+        let streaming = MissRateCurve::new(1.0, 0.85, 1.0);
+        let resident = MissRateCurve::new(0.3, 0.02, 2.0);
+        // Small probe: the resident tenant still fits and stays quiet,
+        // the streaming tenant pushes back regardless.
+        let quiet = sweep_response(&resident, 60.0, 0.2);
+        let loud = sweep_response(&streaming, 60.0, 0.2);
+        assert!(loud > quiet + 20.0, "streaming {loud} vs resident {quiet}");
+        // Response grows (weakly) with the probe's working set, and is
+        // bounded by the emitted pressure.
+        let mut prev = -1.0;
+        for i in 0..=10 {
+            let r = sweep_response(&resident, 60.0, i as f64 / 10.0);
+            assert!(
+                r >= prev - 1e-12,
+                "response must not fall as the probe grows"
+            );
+            assert!((0.0..=60.0 + 1e-12).contains(&r));
+            prev = r;
+        }
     }
 
     #[test]

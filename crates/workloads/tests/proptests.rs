@@ -2,6 +2,7 @@
 
 use bolt_workloads::catalog::{hadoop, memcached, spark, userstudy};
 use bolt_workloads::load::LoadPattern;
+use bolt_workloads::mrc::{derive_mrc_from_pressure, sweep_response};
 use bolt_workloads::perf;
 use bolt_workloads::{DatasetScale, PressureVector, Resource};
 use proptest::prelude::*;
@@ -119,6 +120,46 @@ proptest! {
         prop_assert!(s < 20.0, "implausible slowdown: {s}");
         let rate = perf::progress_rate(&victim, &p);
         prop_assert!((rate * s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_mrc_is_monotone_and_floored(p in arb_pressure()) {
+        // Any observable pressure fingerprint must derive a proper
+        // miss-rate curve: monotonically non-increasing in allocation and
+        // confined to [floor, 1] — the derivation itself produces in-range
+        // parameters rather than leaning on the constructor's clamps.
+        let curve = derive_mrc_from_pressure(&p);
+        prop_assert!((0.0..=1.0).contains(&curve.floor()));
+        prop_assert!((0.05..=1.0).contains(&curve.knee()));
+        let mut prev = f64::INFINITY;
+        for i in 0..=32 {
+            let m = curve.miss_rate(i as f64 / 32.0);
+            prop_assert!(
+                m <= prev + 1e-12,
+                "miss rate rose with more cache: {prev} -> {m}"
+            );
+            prop_assert!(
+                (curve.floor() - 1e-12..=1.0).contains(&m),
+                "miss rate {m} outside [floor {}, 1]",
+                curve.floor()
+            );
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn sweep_response_monotone_in_probe_allocation(
+        p in arb_pressure(),
+        a1 in 0.0f64..1.0,
+        a2 in 0.0f64..1.0,
+    ) {
+        let curve = derive_mrc_from_pressure(&p);
+        let llc = p[Resource::Llc];
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        let r_lo = sweep_response(&curve, llc, lo);
+        let r_hi = sweep_response(&curve, llc, hi);
+        prop_assert!(r_hi + 1e-12 >= r_lo, "a larger probe must not read less");
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&r_hi));
     }
 
     #[test]

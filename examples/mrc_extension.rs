@@ -20,10 +20,13 @@ fn main() {
     // memory with almost no reuse.
     let mcf = speccpu::profile(&speccpu::Benchmark::Mcf, &mut rng);
     let lbm = speccpu::profile(&speccpu::Benchmark::Lbm, &mut rng);
+    // The reference (full-load) pressure is what `derive_mrc` fits
+    // against, so print the same quantity — `base_pressure` drifts with
+    // the sampled input-load level and would disagree with the curves.
     println!(
         "average LLC pressure: mcf {:.0}%, lbm {:.0}% (close — hard to tell apart)",
-        mcf.base_pressure()[bolt_workloads::Resource::Llc],
-        lbm.base_pressure()[bolt_workloads::Resource::Llc],
+        mcf.reference_pressure()[bolt_workloads::Resource::Llc],
+        lbm.reference_pressure()[bolt_workloads::Resource::Llc],
     );
 
     let mcf_mrc = derive_mrc(&mcf);

@@ -36,6 +36,12 @@ cargo test -q -p bolt --test chaos_invariance
 echo "==> robustness bench harness compiles"
 cargo bench --no-run -p bolt-bench --bench robustness_churn
 
+echo "==> MRC ablation bench harness compiles"
+cargo bench --no-run -p bolt-bench --bench table1_mrc_ablation
+
+echo "==> mrc_extension example smoke run"
+cargo run --release -q --example mrc_extension > /dev/null
+
 echo "==> deterministic replay (same seed -> identical run, telemetry included)"
 REPLAY_DIR=$(mktemp -d)
 trap 'rm -rf "$REPLAY_DIR"' EXIT

@@ -92,7 +92,12 @@ FLAGS (all optional):
     --instances N     user-study instances    (default 40)
     --jobs N          user-study jobs         (default 120)
     --seed S          RNG seed                (default experiment-specific)
+    --mrc             enable the miss-rate-curve detection channel (default off)
     --telemetry PATH  write a JSONL telemetry trace of the run to PATH";
+
+/// Flags that take no value: `--mrc` alone means `--mrc true`, while an
+/// explicit `--mrc false` (or `=false`) still parses.
+const BOOLEAN_FLAGS: [&str; 1] = ["mrc"];
 
 /// Parsed `--flag value` pairs (also accepts `--flag=value`). Values stay
 /// strings until a command asks for them, so path-valued flags like
@@ -116,6 +121,18 @@ impl Flags {
         Ok(self.u64(name)?.map(|v| v as usize).unwrap_or(default))
     }
 
+    /// The flag as a boolean, defaulting to `false` when absent.
+    fn bool(&self, name: &str) -> Result<bool, String> {
+        self.0
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} needs true or false, got `{v}`"))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(false))
+    }
+
     /// The `--telemetry` output path, if requested.
     fn telemetry(&self) -> Option<PathBuf> {
         self.0.get("telemetry").map(PathBuf::from)
@@ -131,6 +148,13 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
         };
         let (name, value) = match name.split_once('=') {
             Some((name, value)) => (name.to_string(), value.to_string()),
+            None if BOOLEAN_FLAGS.contains(&name)
+                && args.peek().is_none_or(|next| next.starts_with("--")) =>
+            {
+                // A bare boolean flag: the next token (if any) is another
+                // flag, so this one means "true".
+                (name.to_string(), "true".to_string())
+            }
             None => {
                 let Some(value) = args.next() else {
                     return Err(format!("--{name} needs a value"));
@@ -160,6 +184,7 @@ fn experiment_config(flags: &Flags) -> Result<ExperimentConfig, String> {
     let mut config = ExperimentConfig {
         servers: flags.usize("servers", 20)?,
         victims: flags.usize("victims", 48)?,
+        mrc_channel: flags.bool("mrc")?,
         ..ExperimentConfig::default()
     };
     if let Some(seed) = flags.u64("seed")? {
@@ -647,5 +672,25 @@ mod tests {
         let flags =
             parse_flags(["--seed".to_string(), "abc".to_string()].into_iter()).expect("parses");
         assert!(flags.u64("seed").is_err());
+    }
+
+    #[test]
+    fn parse_flags_accepts_bare_booleans() {
+        // Trailing, followed by another flag, and explicit forms all work;
+        // absence reads false.
+        for args in [
+            vec!["--mrc"],
+            vec!["--mrc", "--servers", "12"],
+            vec!["--mrc=true"],
+            vec!["--mrc", "true"],
+        ] {
+            let flags =
+                parse_flags(args.iter().map(|s| s.to_string())).expect("valid boolean flag");
+            assert!(flags.bool("mrc").unwrap(), "args: {args:?}");
+        }
+        let flags = parse_flags(["--servers".to_string(), "12".to_string()].into_iter()).unwrap();
+        assert!(!flags.bool("mrc").unwrap());
+        let flags = parse_flags(["--mrc=oui".to_string()].into_iter()).unwrap();
+        assert!(flags.bool("mrc").is_err());
     }
 }

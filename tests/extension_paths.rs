@@ -86,6 +86,27 @@ fn mrc_separates_what_average_pressure_cannot() {
 }
 
 #[test]
+fn mrc_example_verdict_is_pinned() {
+    // Regression for the mrc_extension example: with its exact seed the
+    // separation verdict is "yes", and the pressures the example prints
+    // (reference, not base — base drifts with the sampled load level)
+    // agree with what derive_mrc fits against.
+    let mut rng = StdRng::seed_from_u64(0x3C);
+    let mcf = catalog::speccpu::profile(&catalog::speccpu::Benchmark::Mcf, &mut rng);
+    let lbm = catalog::speccpu::profile(&catalog::speccpu::Benchmark::Lbm, &mut rng);
+    assert!(
+        mrc_separates(&mcf, &lbm, 25.0, 0.05),
+        "the example's seed must keep separating mcf from lbm"
+    );
+    let llc = bolt_workloads::Resource::Llc;
+    let gap = (mcf.reference_pressure()[llc] - lbm.reference_pressure()[llc]).abs();
+    assert!(
+        gap <= 25.0,
+        "the example's premise — close average LLC pressure — must hold, gap {gap}"
+    );
+}
+
+#[test]
 fn trace_reconstructs_an_experiment_timeline() {
     let mut rng = StdRng::seed_from_u64(0x7A);
     let mut cluster =
