@@ -11,15 +11,20 @@ use bolt::experiment::ExperimentConfig;
 use bolt::parallel::Parallelism;
 use bolt::report::{pct, Table};
 use bolt::sensitivity::{
-    adversary_size_sweep_telemetry, benchmark_count_sweep_telemetry,
-    profiling_interval_sweep_telemetry,
+    adversary_size_sweep_cache_telemetry, benchmark_count_sweep_cache_telemetry,
+    profiling_interval_sweep_cache_telemetry,
 };
 use bolt::telemetry::{telemetry_path_from_args, TelemetryLog};
+use bolt::FitCache;
 use bolt_bench::{emit, full_scale};
 
 fn main() {
     let telemetry_path = telemetry_path_from_args(std::env::args().skip(1));
     let mut log = TelemetryLog::new();
+    // One cache across all three sweeps: every point that shares training
+    // inputs (all of fig10b/fig10c, and fig10a's phased scenes) reuses the
+    // first point's trained recommender.
+    let cache = FitCache::new();
     let base = if full_scale() {
         ExperimentConfig {
             servers: 24,
@@ -37,9 +42,15 @@ fn main() {
     // (a) profiling interval, against a victim switching jobs (~60 s).
     eprintln!("sweeping profiling intervals...");
     let intervals = [5.0, 20.0, 60.0, 120.0, 300.0];
-    let (points, interval_log) =
-        profiling_interval_sweep_telemetry(&intervals, 60.0, 900.0, 0xF16A, Parallelism::Auto)
-            .expect("interval sweep runs");
+    let (points, interval_log) = profiling_interval_sweep_cache_telemetry(
+        &intervals,
+        60.0,
+        900.0,
+        0xF16A,
+        Parallelism::Auto,
+        &cache,
+    )
+    .expect("interval sweep runs");
     log.extend(interval_log.into_events());
     let mut a = Table::new(vec!["interval (s)", "paper", "measured accuracy"]);
     let paper_a = ["~90%", "~88%", "~75%", "~65%", "~50%"];
@@ -74,7 +85,7 @@ fn main() {
     eprintln!("sweeping adversarial VM sizes...");
     let sizes = [1u32, 2, 4, 8];
     let (points, size_log) =
-        adversary_size_sweep_telemetry(&base, &sizes).expect("size sweep runs");
+        adversary_size_sweep_cache_telemetry(&base, &sizes, &cache).expect("size sweep runs");
     log.extend(size_log.into_events());
     let mut b = Table::new(vec!["adversary vCPUs", "paper", "measured accuracy"]);
     let paper_b = ["~35%", "~60%", "~87%", "~90%"];
@@ -95,7 +106,7 @@ fn main() {
     eprintln!("sweeping benchmark counts...");
     let counts = [1usize, 2, 3, 5, 8];
     let (points, count_log) =
-        benchmark_count_sweep_telemetry(&base, &counts).expect("count sweep runs");
+        benchmark_count_sweep_cache_telemetry(&base, &counts, &cache).expect("count sweep runs");
     log.extend(count_log.into_events());
     let mut c = Table::new(vec!["benchmarks", "paper", "measured accuracy"]);
     let paper_c = ["~55%", "~87%", "~89%", "~90%", "~90%"];
@@ -110,6 +121,16 @@ fn main() {
         "fig10c_benchmark_count",
         "one benchmark is insufficient; beyond 3 the returns diminish",
         &c,
+    );
+
+    let stats = cache.stats();
+    eprintln!(
+        "fit cache: {} hits / {} misses ({:.0}% hit rate), training sets {} hits / {} misses",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.data_hits,
+        stats.data_misses,
     );
 
     if let Some(path) = telemetry_path {

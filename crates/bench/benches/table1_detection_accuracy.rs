@@ -5,8 +5,9 @@
 //! 92/92, Spark 85/86, Cassandra 90/89, SPEC CPU2006 84/85. The scheduler
 //! barely matters — Quasar's cleaner colocations even help slightly.
 
-use bolt::experiment::{run_experiment, ExperimentConfig};
+use bolt::experiment::{run_experiment_cache, ExperimentConfig};
 use bolt::report::{pct, Table};
+use bolt::FitCache;
 use bolt_bench::{emit, full_scale};
 use bolt_sim::{LeastLoaded, Quasar};
 
@@ -25,8 +26,11 @@ fn main() {
         "running the controlled experiment twice ({} servers, {} victims)...",
         config.servers, config.victims
     );
-    let ll = run_experiment(&config, &LeastLoaded).expect("experiment runs");
-    let quasar = run_experiment(&config, &Quasar).expect("experiment runs");
+    // Scheduler choice never touches the training inputs: one cache means
+    // the Quasar run reuses the least-loaded run's trained recommender.
+    let cache = FitCache::new();
+    let ll = run_experiment_cache(&config, &LeastLoaded, &cache).expect("experiment runs");
+    let quasar = run_experiment_cache(&config, &Quasar, &cache).expect("experiment runs");
 
     let mut table = Table::new(vec![
         "class",

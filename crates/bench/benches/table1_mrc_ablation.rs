@@ -9,9 +9,10 @@
 //! accuracy — while the channel-off run stays byte-identical to the
 //! shipped Table 1 baseline.
 
-use bolt::experiment::{run_experiment_telemetry, ExperimentConfig};
+use bolt::experiment::{run_experiment_cache_telemetry, ExperimentConfig};
 use bolt::report::{pct, Table};
 use bolt::telemetry::Counter;
+use bolt::FitCache;
 use bolt_bench::{emit, full_scale};
 use bolt_sim::LeastLoaded;
 
@@ -35,9 +36,13 @@ fn main() {
         "mrc tie-breaks",
     ]);
 
+    // The MRC channel only changes detection, not training, so the "on"
+    // variant reuses the baseline's trained recommender through one cache.
+    let cache = FitCache::new();
     let run = |name: &str, config: &ExperimentConfig, table: &mut Table| {
         eprintln!("running Table 1 variant: {name}...");
-        let (results, log) = run_experiment_telemetry(config, &LeastLoaded).expect("runs");
+        let (results, log) =
+            run_experiment_cache_telemetry(config, &LeastLoaded, &cache).expect("runs");
         let multi = results.multi_tenant_label_accuracy();
         table.row(vec![
             name.to_string(),

@@ -15,6 +15,8 @@
 //! Detection repeats every `interval_s` (default 20 s, Fig. 10a) to track
 //! application phases (Fig. 8).
 
+use std::sync::Arc;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -341,19 +343,26 @@ impl ProbeWorld<'_> {
 }
 
 /// The detection engine bound to one fitted recommender.
+///
+/// The recommender is held behind an [`Arc`]: cloning a detector (or
+/// building many from one [`FitCache`](bolt_recommender::FitCache) entry)
+/// shares the trained model rather than duplicating its factor matrices,
+/// and all `Parallelism::Threads(n)` hunt workers read the same fit.
 #[derive(Debug, Clone)]
 pub struct Detector {
-    recommender: HybridRecommender,
+    recommender: Arc<HybridRecommender>,
     profiler: Profiler,
     config: DetectorConfig,
 }
 
 impl Detector {
-    /// Creates a detector.
-    pub fn new(recommender: HybridRecommender, config: DetectorConfig) -> Self {
+    /// Creates a detector. Accepts either an owned
+    /// [`HybridRecommender`] (wrapped on the way in) or a shared
+    /// `Arc<HybridRecommender>` straight from the fit cache.
+    pub fn new(recommender: impl Into<Arc<HybridRecommender>>, config: DetectorConfig) -> Self {
         Detector {
             profiler: Profiler::new(config.profiler),
-            recommender,
+            recommender: recommender.into(),
             config,
         }
     }
@@ -366,6 +375,12 @@ impl Detector {
     /// The underlying recommender.
     pub fn recommender(&self) -> &HybridRecommender {
         &self.recommender
+    }
+
+    /// The shared handle to the underlying recommender (cheap to clone;
+    /// hands the same trained model to other detectors or threads).
+    pub fn recommender_arc(&self) -> Arc<HybridRecommender> {
+        Arc::clone(&self.recommender)
     }
 
     /// Runs one detection iteration from `adversary`'s position at time

@@ -6,11 +6,15 @@
 //! information. The experiment produces one [`ExperimentRecord`] per victim
 //! — everything Table 1 and Figs. 6, 7 and 9 aggregate.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData, TrainingExample};
+use bolt_recommender::{
+    ContentHasher, FitCache, HybridRecommender, RecommenderConfig, TrainingData, TrainingExample,
+};
 use bolt_sim::vm::VmRole;
 use bolt_sim::{ChaosConfig, Cluster, FaultPlan, IsolationConfig, Scheduler, ServerSpec, VmId};
 use bolt_workloads::catalog::{cassandra, database, hadoop, memcached, spark, speccpu, webserver};
@@ -21,7 +25,7 @@ use bolt_workloads::{
 
 use crate::detector::{DegradedReason, Detector, DetectorConfig, RetryPolicy};
 use crate::parallel::{split_seed, sweep, Parallelism};
-use crate::telemetry::{Telemetry, TelemetryLog};
+use crate::telemetry::{Counter, Phase, Telemetry, TelemetryLog};
 use crate::BoltError;
 
 /// Controlled-experiment configuration.
@@ -390,6 +394,51 @@ pub fn observed_training(
         .collect()
 }
 
+/// Content key for the observed training set: the catalog draw is fixed
+/// by `training_seed`, and [`observe_through`] folds in nothing but the
+/// per-resource isolation attenuations — so two configs sharing those
+/// bits share the training set, however much the rest differs.
+fn training_data_key(training_seed: u64, isolation: &IsolationConfig) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_u64(training_seed);
+    for r in Resource::ALL {
+        h.write_f64(isolation.attenuation(r));
+    }
+    h.finish().as_u128() as u64
+}
+
+/// The one fit path of the driver stack: builds (or recalls) the observed
+/// training set for `(training_seed, isolation)` and fits (or recalls)
+/// the recommender for it under `recommender` through `cache`.
+///
+/// Telemetry contract: a cache miss records a [`Phase::RecommenderFit`]
+/// span plus a [`Counter::FitCacheMiss`]; a hit records a
+/// [`Counter::FitCacheHit`] and **no** fit span (no training ran).
+///
+/// # Errors
+///
+/// Propagates numerical errors from training-set construction or the fit.
+pub fn shared_recommender(
+    training_seed: u64,
+    isolation: &IsolationConfig,
+    recommender: RecommenderConfig,
+    cache: &FitCache,
+    telemetry: &mut Telemetry,
+) -> Result<Arc<HybridRecommender>, BoltError> {
+    let data = cache.training_data(training_data_key(training_seed, isolation), || {
+        TrainingData::from_examples(observed_training(&training_set(training_seed), isolation))
+    })?;
+    let clock = telemetry.begin();
+    let (model, hit) = cache.fit(&data, recommender)?;
+    if hit {
+        telemetry.count(Counter::FitCacheHit, 1);
+    } else {
+        telemetry.count(Counter::FitCacheMiss, 1);
+        telemetry.span(Phase::RecommenderFit, 0.0, 0.0, clock);
+    }
+    Ok(model)
+}
+
 /// A built controlled-experiment testbed, ready for detection or attacks.
 pub struct Testbed {
     /// The populated cluster.
@@ -412,6 +461,33 @@ pub struct Testbed {
 pub fn build_testbed<S: Scheduler>(
     config: &ExperimentConfig,
     scheduler: &S,
+) -> Result<Testbed, BoltError> {
+    build_testbed_cache(config, scheduler, &FitCache::new())
+}
+
+/// [`build_testbed`] fitting the recommender through a shared
+/// [`FitCache`]: sweeps that build many testbeds over the same
+/// `(training_seed, isolation, recommender)` train exactly once. Cache
+/// hits are byte-identical to refits ([`HybridRecommender::fit`] is
+/// pure), so results never depend on the cache;
+/// [`FitCache::disabled`] restores the train-every-time path exactly.
+///
+/// # Errors
+///
+/// Same conditions as [`build_testbed`].
+pub fn build_testbed_cache<S: Scheduler>(
+    config: &ExperimentConfig,
+    scheduler: &S,
+    cache: &FitCache,
+) -> Result<Testbed, BoltError> {
+    build_testbed_inner(config, scheduler, cache, &mut Telemetry::disabled())
+}
+
+fn build_testbed_inner<S: Scheduler>(
+    config: &ExperimentConfig,
+    scheduler: &S,
+    cache: &FitCache,
+    telemetry: &mut Telemetry,
 ) -> Result<Testbed, BoltError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut cluster = Cluster::new(config.servers, ServerSpec::xeon(), config.isolation)?;
@@ -442,9 +518,13 @@ pub fn build_testbed<S: Scheduler>(
         victims.push(cluster.launch_on(server, p, VmRole::Friendly, 0.0)?);
     }
 
-    let examples = observed_training(&training_set(config.training_seed), &config.isolation);
-    let data = TrainingData::from_examples(examples)?;
-    let recommender = HybridRecommender::fit(data, config.recommender)?;
+    let recommender = shared_recommender(
+        config.training_seed,
+        &config.isolation,
+        config.recommender,
+        cache,
+        telemetry,
+    )?;
     let detector = Detector::new(
         recommender,
         DetectorConfig {
@@ -483,7 +563,22 @@ pub fn run_experiment<S: Scheduler>(
     config: &ExperimentConfig,
     scheduler: &S,
 ) -> Result<ExperimentResults, BoltError> {
-    run_experiment_inner(config, scheduler, false).map(|(results, _)| results)
+    run_experiment_cache(config, scheduler, &FitCache::new())
+}
+
+/// [`run_experiment`] fitting through a shared [`FitCache`] — the entry
+/// point sweeps use so every point past the first reuses the trained
+/// recommender. Output is byte-identical to the uncached path.
+///
+/// # Errors
+///
+/// Same conditions as [`run_experiment`].
+pub fn run_experiment_cache<S: Scheduler>(
+    config: &ExperimentConfig,
+    scheduler: &S,
+    cache: &FitCache,
+) -> Result<ExperimentResults, BoltError> {
+    run_experiment_inner(config, scheduler, cache, false).map(|(results, _)| results)
 }
 
 /// [`run_experiment`] with telemetry: returns the merged event stream of
@@ -500,12 +595,29 @@ pub fn run_experiment_telemetry<S: Scheduler>(
     config: &ExperimentConfig,
     scheduler: &S,
 ) -> Result<(ExperimentResults, TelemetryLog), BoltError> {
-    run_experiment_inner(config, scheduler, true)
+    run_experiment_inner(config, scheduler, &FitCache::new(), true)
+}
+
+/// [`run_experiment_telemetry`] fitting through a shared [`FitCache`].
+/// Unit 0 additionally carries the fit-cache events: a
+/// [`Phase::RecommenderFit`] span + [`Counter::FitCacheMiss`] when the
+/// recommender trained, a [`Counter::FitCacheHit`] when it was recalled.
+///
+/// # Errors
+///
+/// Same conditions as [`run_experiment`].
+pub fn run_experiment_cache_telemetry<S: Scheduler>(
+    config: &ExperimentConfig,
+    scheduler: &S,
+    cache: &FitCache,
+) -> Result<(ExperimentResults, TelemetryLog), BoltError> {
+    run_experiment_inner(config, scheduler, cache, true)
 }
 
 fn run_experiment_inner<S: Scheduler>(
     config: &ExperimentConfig,
     scheduler: &S,
+    cache: &FitCache,
     telemetry_enabled: bool,
 ) -> Result<(ExperimentResults, TelemetryLog), BoltError> {
     let unit = |u: usize| {
@@ -515,9 +627,10 @@ fn run_experiment_inner<S: Scheduler>(
             Telemetry::disabled()
         }
     };
-    let mut testbed = build_testbed(config, scheduler)?;
-    // Unit 0 carries the shared setup: every launch the testbed performed.
+    // Unit 0 carries the shared setup: the recommender fit (or cache
+    // recall) and every launch the testbed performed.
     let mut unit0 = unit(0);
+    let mut testbed = build_testbed_inner(config, scheduler, cache, &mut unit0)?;
     if unit0.is_enabled() {
         unit0.cluster_events(testbed.cluster.take_events());
     }
@@ -776,6 +889,51 @@ mod tests {
         // A telemetry-off run computes the same results.
         let plain = run_experiment(&serial, &LeastLoaded).unwrap();
         assert_eq!(plain, r1);
+    }
+
+    #[test]
+    fn cached_fit_emits_hit_counter_and_no_fit_span() {
+        // The telemetry contract: a miss pays for training and records a
+        // RecommenderFit span; a hit records the FitCacheHit counter and
+        // nothing else — claiming a fit span for work that never ran would
+        // corrupt the phase profile.
+        let config = small_config();
+        let cache = FitCache::new();
+        let fit_events = |log: &crate::telemetry::TelemetryLog| {
+            let mut spans = 0u64;
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for event in log.events() {
+                match *event {
+                    crate::telemetry::TelemetryEvent::Span {
+                        phase: Phase::RecommenderFit,
+                        ..
+                    } => spans += 1,
+                    crate::telemetry::TelemetryEvent::Count { counter, delta, .. } => match counter
+                    {
+                        Counter::FitCacheHit => hits += delta,
+                        Counter::FitCacheMiss => misses += delta,
+                        _ => {}
+                    },
+                    _ => {}
+                }
+            }
+            (spans, hits, misses)
+        };
+        let (_, cold) = run_experiment_cache_telemetry(&config, &LeastLoaded, &cache).unwrap();
+        assert_eq!(fit_events(&cold), (1, 0, 1), "cold run: one trained fit");
+        let (_, warm) = run_experiment_cache_telemetry(&config, &LeastLoaded, &cache).unwrap();
+        assert_eq!(
+            fit_events(&warm),
+            (0, 1, 0),
+            "warm run: a hit counter and no fit span"
+        );
+        // A disabled cache always trains, and says so.
+        let (_, honest) =
+            run_experiment_cache_telemetry(&config, &LeastLoaded, &FitCache::disabled()).unwrap();
+        assert_eq!(fit_events(&honest), (1, 0, 1));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]

@@ -17,9 +17,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use bolt_recommender::FitCache;
 use bolt_sim::{IsolationConfig, LeastLoaded, Mechanisms, OsSetting};
 
-use crate::experiment::{run_experiment, run_experiment_telemetry, ExperimentConfig};
+use crate::experiment::{
+    run_experiment_cache, run_experiment_cache_telemetry, shared_recommender, ExperimentConfig,
+};
 use crate::parallel::{sweep, Parallelism};
 use crate::telemetry::{Counter, Phase, Telemetry, TelemetryLog};
 use crate::BoltError;
@@ -75,7 +78,23 @@ impl IsolationStudy {
 ///
 /// Propagates [`BoltError`] from the underlying experiments.
 pub fn run_isolation_study(base: &ExperimentConfig) -> Result<IsolationStudy, BoltError> {
-    run_isolation_study_inner(base, false).map(|(study, _)| study)
+    run_isolation_study_cache(base, &FitCache::new())
+}
+
+/// [`run_isolation_study`] fitting through a shared [`FitCache`]. Cells
+/// whose isolation stacks leave the same observation channel (e.g. "+
+/// thread pinning" only changes measurement noise, not attenuation)
+/// share one trained recommender; the distinct channels are pre-warmed
+/// on the calling thread so parallel cells hit deterministically.
+///
+/// # Errors
+///
+/// Same conditions as [`run_isolation_study`].
+pub fn run_isolation_study_cache(
+    base: &ExperimentConfig,
+    cache: &FitCache,
+) -> Result<IsolationStudy, BoltError> {
+    run_isolation_study_inner(base, cache, false).map(|(study, _)| study)
 }
 
 /// Runs the Fig. 14 sweep with telemetry enabled.
@@ -93,11 +112,26 @@ pub fn run_isolation_study(base: &ExperimentConfig) -> Result<IsolationStudy, Bo
 pub fn run_isolation_study_telemetry(
     base: &ExperimentConfig,
 ) -> Result<(IsolationStudy, TelemetryLog), BoltError> {
-    run_isolation_study_inner(base, true)
+    run_isolation_study_inner(base, &FitCache::new(), true)
+}
+
+/// [`run_isolation_study_telemetry`] fitting through a shared
+/// [`FitCache`]; the pre-warm fits record ahead of the per-cell streams
+/// as unit 0.
+///
+/// # Errors
+///
+/// Same conditions as [`run_isolation_study`].
+pub fn run_isolation_study_cache_telemetry(
+    base: &ExperimentConfig,
+    cache: &FitCache,
+) -> Result<(IsolationStudy, TelemetryLog), BoltError> {
+    run_isolation_study_inner(base, cache, true)
 }
 
 fn run_isolation_study_inner(
     base: &ExperimentConfig,
+    cache: &FitCache,
     telemetry_enabled: bool,
 ) -> Result<(IsolationStudy, TelemetryLog), BoltError> {
     let mut stack_cells: Vec<IsolationConfig> = Vec::new();
@@ -122,6 +156,28 @@ fn run_isolation_study_inner(
         .chain(core_cells.iter())
         .copied()
         .collect();
+
+    // Pre-warm the distinct observation channels on this thread: cells
+    // then hit the cache deterministically however they are scheduled
+    // (racing two parallel cells on a cold shared fingerprint would make
+    // the per-cell hit/miss telemetry thread-count dependent).
+    let mut prelude = if telemetry_enabled {
+        Telemetry::for_unit(0)
+    } else {
+        Telemetry::disabled()
+    };
+    if cache.is_enabled() {
+        for isolation in &tasks {
+            shared_recommender(
+                base.training_seed,
+                isolation,
+                base.recommender,
+                cache,
+                &mut prelude,
+            )?;
+        }
+    }
+
     let outcomes = sweep(&tasks, base.parallelism, |idx, isolation| {
         let config = ExperimentConfig {
             isolation: *isolation,
@@ -133,18 +189,20 @@ fn run_isolation_study_inner(
             // inner experiment's counter totals rolled up into it.
             let mut telemetry = Telemetry::for_unit(idx);
             let cell_clock = telemetry.begin();
-            let (results, inner) = run_experiment_telemetry(&config, &LeastLoaded)?;
+            let (results, inner) = run_experiment_cache_telemetry(&config, &LeastLoaded, cache)?;
             telemetry.span(Phase::DetectionIteration, 0.0, 0.0, cell_clock);
             for counter in Counter::ALL {
                 telemetry.count(counter, inner.counter_total(counter));
             }
             Ok((results.label_accuracy(), telemetry.into_events()))
         } else {
-            run_experiment(&config, &LeastLoaded).map(|r| (r.label_accuracy(), Vec::new()))
+            run_experiment_cache(&config, &LeastLoaded, cache)
+                .map(|r| (r.label_accuracy(), Vec::new()))
         }
     });
     let mut accuracies = Vec::with_capacity(tasks.len());
     let mut log = TelemetryLog::new();
+    log.merge(prelude);
     for outcome in outcomes {
         let (accuracy, events) = outcome?;
         accuracies.push(accuracy);
@@ -233,6 +291,7 @@ mod tests {
 
     #[test]
     fn core_isolation_residual_is_disk_borne() {
+        use crate::run_experiment;
         use bolt_sim::LeastLoaded;
         let config = ExperimentConfig {
             isolation: IsolationConfig {

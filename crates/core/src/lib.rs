@@ -79,11 +79,14 @@ pub mod sensitivity;
 pub mod telemetry;
 pub mod user_study;
 
+pub use bolt_recommender::{FitCache, FitCacheStats};
 pub use detector::{DegradedReason, Detection, Detector, DetectorConfig, RetryPolicy};
 pub use error::BoltError;
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentRecord, ExperimentResults};
-pub use isolation_study::{run_isolation_study, IsolationStudy};
+pub use experiment::{
+    run_experiment, run_experiment_cache, ExperimentConfig, ExperimentRecord, ExperimentResults,
+};
+pub use isolation_study::{run_isolation_study, run_isolation_study_cache, IsolationStudy};
 pub use parallel::Parallelism;
-pub use robustness::{churn_sweep, churn_sweep_telemetry, RobustnessPoint};
+pub use robustness::{churn_sweep, churn_sweep_cache, churn_sweep_telemetry, RobustnessPoint};
 pub use telemetry::{Counter, Phase, Telemetry, TelemetryEvent, TelemetryLog};
-pub use user_study::{run_user_study, UserStudyConfig, UserStudyResults};
+pub use user_study::{run_user_study, run_user_study_cache, UserStudyConfig, UserStudyResults};

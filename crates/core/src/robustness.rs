@@ -10,9 +10,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use bolt_recommender::FitCache;
 use bolt_sim::{ChaosConfig, Scheduler};
 
-use crate::experiment::{run_experiment_telemetry, ExperimentConfig, ExperimentResults};
+use crate::experiment::{run_experiment_cache_telemetry, ExperimentConfig, ExperimentResults};
 use crate::telemetry::{Counter, TelemetryLog};
 use crate::BoltError;
 
@@ -78,6 +79,23 @@ pub fn churn_sweep<S: Scheduler>(
     churn_sweep_telemetry(base, scheduler, intensities).map(|(points, _)| points)
 }
 
+/// [`churn_sweep`] fitting through a shared [`FitCache`]: churn perturbs
+/// the cluster, never the training inputs, so every intensity past the
+/// first reuses the first point's trained recommender. Byte-identical
+/// rows either way.
+///
+/// # Errors
+///
+/// Same conditions as [`churn_sweep`].
+pub fn churn_sweep_cache<S: Scheduler>(
+    base: &ExperimentConfig,
+    scheduler: &S,
+    intensities: &[f64],
+    cache: &FitCache,
+) -> Result<Vec<RobustnessPoint>, BoltError> {
+    churn_sweep_cache_telemetry(base, scheduler, intensities, cache).map(|(points, _)| points)
+}
+
 /// [`churn_sweep`] returning the concatenated telemetry of every point
 /// alongside the rows. Counters are always collected internally (they feed
 /// the per-point fault/retry tallies); the returned log is the point-by-
@@ -91,6 +109,20 @@ pub fn churn_sweep_telemetry<S: Scheduler>(
     scheduler: &S,
     intensities: &[f64],
 ) -> Result<(Vec<RobustnessPoint>, TelemetryLog), BoltError> {
+    churn_sweep_cache_telemetry(base, scheduler, intensities, &FitCache::new())
+}
+
+/// [`churn_sweep_telemetry`] fitting through a shared [`FitCache`].
+///
+/// # Errors
+///
+/// Same conditions as [`churn_sweep`].
+pub fn churn_sweep_cache_telemetry<S: Scheduler>(
+    base: &ExperimentConfig,
+    scheduler: &S,
+    intensities: &[f64],
+    cache: &FitCache,
+) -> Result<(Vec<RobustnessPoint>, TelemetryLog), BoltError> {
     let mut points = Vec::with_capacity(intensities.len());
     let mut log = TelemetryLog::new();
     for &intensity in intensities {
@@ -98,7 +130,7 @@ pub fn churn_sweep_telemetry<S: Scheduler>(
             chaos: ChaosConfig::with_intensity(intensity),
             ..*base
         };
-        let (results, point_log) = run_experiment_telemetry(&config, scheduler)?;
+        let (results, point_log) = run_experiment_cache_telemetry(&config, scheduler, cache)?;
         points.push(RobustnessPoint::from_results(
             intensity, &results, &point_log,
         ));

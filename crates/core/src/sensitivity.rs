@@ -14,12 +14,16 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use bolt_probes::ProfilerConfig;
+use bolt_recommender::FitCache;
 use bolt_sim::vm::VmRole;
 use bolt_sim::{Cluster, LeastLoaded, ServerSpec, VmId};
 use bolt_workloads::{AppLabel, PressureVector, WorkloadProfile};
 
 use crate::detector::{Detector, DetectorConfig};
-use crate::experiment::{run_experiment, run_experiment_telemetry, victim_set, ExperimentConfig};
+use crate::experiment::{
+    run_experiment_cache, run_experiment_cache_telemetry, shared_recommender, victim_set,
+    ExperimentConfig,
+};
 use crate::parallel::{sweep, Parallelism};
 use crate::telemetry::{Telemetry, TelemetryLog};
 use crate::BoltError;
@@ -46,12 +50,29 @@ pub fn adversary_size_sweep(
     base: &ExperimentConfig,
     sizes: &[u32],
 ) -> Result<Vec<SweepPoint>, BoltError> {
+    adversary_size_sweep_cache(base, sizes, &FitCache::new())
+}
+
+/// [`adversary_size_sweep`] fitting through a shared [`FitCache`]: the
+/// adversary's size does not touch the training inputs, so every point
+/// past the first reuses point 0's trained recommender. Byte-identical
+/// to the uncached sweep; pass [`FitCache::disabled`] to re-train per
+/// point.
+///
+/// # Errors
+///
+/// Same conditions as [`adversary_size_sweep`].
+pub fn adversary_size_sweep_cache(
+    base: &ExperimentConfig,
+    sizes: &[u32],
+    cache: &FitCache,
+) -> Result<Vec<SweepPoint>, BoltError> {
     sweep(sizes, Parallelism::Serial, |_, &vcpus| {
         let config = ExperimentConfig {
             adversary_vcpus: vcpus,
             ..*base
         };
-        run_experiment(&config, &LeastLoaded).map(|results| SweepPoint {
+        run_experiment_cache(&config, &LeastLoaded, cache).map(|results| SweepPoint {
             parameter: vcpus as f64,
             accuracy: results.label_accuracy(),
         })
@@ -70,6 +91,21 @@ pub fn adversary_size_sweep_telemetry(
     base: &ExperimentConfig,
     sizes: &[u32],
 ) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
+    adversary_size_sweep_cache_telemetry(base, sizes, &FitCache::new())
+}
+
+/// [`adversary_size_sweep_telemetry`] fitting through a shared
+/// [`FitCache`]; with a warm cache every point's unit-0 stream carries a
+/// fit-cache-hit counter instead of a recommender-fit span.
+///
+/// # Errors
+///
+/// Same conditions as [`adversary_size_sweep`].
+pub fn adversary_size_sweep_cache_telemetry(
+    base: &ExperimentConfig,
+    sizes: &[u32],
+    cache: &FitCache,
+) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
     let mut points = Vec::with_capacity(sizes.len());
     let mut log = TelemetryLog::new();
     for &vcpus in sizes {
@@ -77,7 +113,7 @@ pub fn adversary_size_sweep_telemetry(
             adversary_vcpus: vcpus,
             ..*base
         };
-        let (results, point_log) = run_experiment_telemetry(&config, &LeastLoaded)?;
+        let (results, point_log) = run_experiment_cache_telemetry(&config, &LeastLoaded, cache)?;
         points.push(SweepPoint {
             parameter: vcpus as f64,
             accuracy: results.label_accuracy(),
@@ -100,6 +136,21 @@ pub fn benchmark_count_sweep(
     base: &ExperimentConfig,
     counts: &[usize],
 ) -> Result<Vec<SweepPoint>, BoltError> {
+    benchmark_count_sweep_cache(base, counts, &FitCache::new())
+}
+
+/// [`benchmark_count_sweep`] fitting through a shared [`FitCache`] —
+/// the benchmark count only changes the profiler, never the training
+/// inputs, so one fit serves the whole sweep.
+///
+/// # Errors
+///
+/// Same conditions as [`benchmark_count_sweep`].
+pub fn benchmark_count_sweep_cache(
+    base: &ExperimentConfig,
+    counts: &[usize],
+    cache: &FitCache,
+) -> Result<Vec<SweepPoint>, BoltError> {
     sweep(counts, Parallelism::Serial, |_, &n| {
         let config = ExperimentConfig {
             detector: DetectorConfig {
@@ -111,7 +162,7 @@ pub fn benchmark_count_sweep(
             },
             ..*base
         };
-        run_experiment(&config, &LeastLoaded).map(|results| SweepPoint {
+        run_experiment_cache(&config, &LeastLoaded, cache).map(|results| SweepPoint {
             parameter: n as f64,
             accuracy: results.label_accuracy(),
         })
@@ -130,6 +181,20 @@ pub fn benchmark_count_sweep_telemetry(
     base: &ExperimentConfig,
     counts: &[usize],
 ) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
+    benchmark_count_sweep_cache_telemetry(base, counts, &FitCache::new())
+}
+
+/// [`benchmark_count_sweep_telemetry`] fitting through a shared
+/// [`FitCache`].
+///
+/// # Errors
+///
+/// Same conditions as [`benchmark_count_sweep`].
+pub fn benchmark_count_sweep_cache_telemetry(
+    base: &ExperimentConfig,
+    counts: &[usize],
+    cache: &FitCache,
+) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
     let mut points = Vec::with_capacity(counts.len());
     let mut log = TelemetryLog::new();
     for &n in counts {
@@ -143,7 +208,7 @@ pub fn benchmark_count_sweep_telemetry(
             },
             ..*base
         };
-        let (results, point_log) = run_experiment_telemetry(&config, &LeastLoaded)?;
+        let (results, point_log) = run_experiment_cache_telemetry(&config, &LeastLoaded, cache)?;
         points.push(SweepPoint {
             parameter: n as f64,
             accuracy: results.label_accuracy(),
@@ -215,7 +280,37 @@ pub fn profiling_interval_sweep(
     seed: u64,
     parallelism: Parallelism,
 ) -> Result<Vec<SweepPoint>, BoltError> {
+    profiling_interval_sweep_cache(
+        intervals_s,
+        job_duration_s,
+        horizon_s,
+        seed,
+        parallelism,
+        &FitCache::new(),
+    )
+}
+
+/// [`profiling_interval_sweep`] fitting through a shared [`FitCache`].
+/// Every interval shares one training configuration, so the sweep
+/// pre-warms the cache on the calling thread before fanning intervals
+/// out over `parallelism` — each worker then hits deterministically,
+/// keeping results *and* telemetry identical for every thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`profiling_interval_sweep`].
+pub fn profiling_interval_sweep_cache(
+    intervals_s: &[f64],
+    job_duration_s: f64,
+    horizon_s: f64,
+    seed: u64,
+    parallelism: Parallelism,
+    cache: &FitCache,
+) -> Result<Vec<SweepPoint>, BoltError> {
     let base = ExperimentConfig::default();
+    if cache.is_enabled() {
+        prewarm(&base, cache, &mut Telemetry::disabled())?;
+    }
     sweep(intervals_s, parallelism, |_, &interval| {
         let mut telemetry = Telemetry::disabled();
         interval_point(
@@ -224,6 +319,7 @@ pub fn profiling_interval_sweep(
             job_duration_s,
             horizon_s,
             seed,
+            cache,
             &mut telemetry,
         )
     })
@@ -248,7 +344,38 @@ pub fn profiling_interval_sweep_telemetry(
     seed: u64,
     parallelism: Parallelism,
 ) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
+    profiling_interval_sweep_cache_telemetry(
+        intervals_s,
+        job_duration_s,
+        horizon_s,
+        seed,
+        parallelism,
+        &FitCache::new(),
+    )
+}
+
+/// [`profiling_interval_sweep_telemetry`] fitting through a shared
+/// [`FitCache`]. The pre-warm fit records (as unit 0) ahead of the
+/// per-interval streams; with a warm cache each interval then records a
+/// fit-cache-hit counter and no fit span, identically for every
+/// `parallelism`.
+///
+/// # Errors
+///
+/// Same conditions as [`profiling_interval_sweep`].
+pub fn profiling_interval_sweep_cache_telemetry(
+    intervals_s: &[f64],
+    job_duration_s: f64,
+    horizon_s: f64,
+    seed: u64,
+    parallelism: Parallelism,
+    cache: &FitCache,
+) -> Result<(Vec<SweepPoint>, TelemetryLog), BoltError> {
     let base = ExperimentConfig::default();
+    let mut prelude = Telemetry::for_unit(0);
+    if cache.is_enabled() {
+        prewarm(&base, cache, &mut prelude)?;
+    }
     let per_point: Result<Vec<_>, BoltError> =
         sweep(intervals_s, parallelism, |unit, &interval| {
             let mut telemetry = Telemetry::for_unit(unit);
@@ -258,6 +385,7 @@ pub fn profiling_interval_sweep_telemetry(
                 job_duration_s,
                 horizon_s,
                 seed,
+                cache,
                 &mut telemetry,
             )?;
             Ok((point, telemetry.into_events()))
@@ -266,6 +394,7 @@ pub fn profiling_interval_sweep_telemetry(
         .collect();
     let mut points = Vec::with_capacity(intervals_s.len());
     let mut log = TelemetryLog::new();
+    log.merge(prelude);
     for (point, events) in per_point? {
         points.push(point);
         log.extend(events);
@@ -273,21 +402,41 @@ pub fn profiling_interval_sweep_telemetry(
     Ok((points, log))
 }
 
+/// Trains (or recalls) the recommender for `base`'s training inputs on
+/// the calling thread, so a subsequent parallel fan-out over the same
+/// inputs hits deterministically.
+fn prewarm(
+    base: &ExperimentConfig,
+    cache: &FitCache,
+    telemetry: &mut Telemetry,
+) -> Result<(), BoltError> {
+    shared_recommender(
+        base.training_seed,
+        &base.isolation,
+        base.recommender,
+        cache,
+        telemetry,
+    )
+    .map(|_| ())
+}
+
 /// One interval of the staleness study: build the phased scene, audit at
 /// 1 Hz, re-detect at every interval multiple. Both sweep entry points
 /// funnel through here; the plain one passes [`Telemetry::disabled`], so
 /// the recorded and unrecorded paths cannot drift apart.
+#[allow(clippy::too_many_arguments)]
 fn interval_point(
     base: &ExperimentConfig,
     interval: f64,
     job_duration_s: f64,
     horizon_s: f64,
     seed: u64,
+    cache: &FitCache,
     telemetry: &mut Telemetry,
 ) -> Result<SweepPoint, BoltError> {
     let mut rng = StdRng::seed_from_u64(seed ^ (interval as u64).wrapping_mul(0x9E37));
     let (mut cluster, detector, adversary, victim) =
-        phased_scene(base, job_duration_s, horizon_s, &mut rng)?;
+        phased_scene(base, job_duration_s, horizon_s, cache, telemetry, &mut rng)?;
     telemetry.cluster_events(cluster.take_events());
 
     let mut correct = 0usize;
@@ -327,6 +476,8 @@ fn phased_scene(
     base: &ExperimentConfig,
     job_duration_s: f64,
     horizon_s: f64,
+    cache: &FitCache,
+    telemetry: &mut Telemetry,
     rng: &mut StdRng,
 ) -> Result<(Cluster, Detector, VmId, PhasedVictim), BoltError> {
     let mut cluster = Cluster::new(1, ServerSpec::xeon(), base.isolation)?;
@@ -353,12 +504,13 @@ fn phased_scene(
     }
     let vm = cluster.launch_on(0, profiles[0].clone(), VmRole::Friendly, 0.0)?;
 
-    let examples = crate::experiment::observed_training(
-        &bolt_workloads::training::training_set(base.training_seed),
+    let recommender = shared_recommender(
+        base.training_seed,
         &base.isolation,
-    );
-    let data = bolt_recommender::TrainingData::from_examples(examples)?;
-    let recommender = bolt_recommender::HybridRecommender::fit(data, base.recommender)?;
+        base.recommender,
+        cache,
+        telemetry,
+    )?;
     let detector = Detector::new(recommender, base.detector);
 
     Ok((
@@ -456,7 +608,15 @@ mod tests {
     fn phased_victim_schedule_lookup() {
         let mut rng = StdRng::seed_from_u64(1);
         let base = ExperimentConfig::default();
-        let (_, _, _, victim) = phased_scene(&base, 60.0, 300.0, &mut rng).unwrap();
+        let (_, _, _, victim) = phased_scene(
+            &base,
+            60.0,
+            300.0,
+            &FitCache::new(),
+            &mut Telemetry::disabled(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(!victim.schedule.is_empty());
         let first = victim.schedule[0].1.clone();
         assert!(victim.active_label(0.0).matches(&first));

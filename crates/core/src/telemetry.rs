@@ -49,6 +49,10 @@ use crate::report::Table;
 /// A detection-pipeline phase covered by a span timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Phase {
+    /// Training the hybrid recommender (SVD + SGD completion). A
+    /// [`FitCacheHit`](Counter::FitCacheHit) replaces this span entirely:
+    /// cached fits emit the hit counter and *no* fit span.
+    RecommenderFit,
     /// One probe sweep over the shared resources (including the extra
     /// core-probe widening rounds of §3.3).
     ProbeSweep,
@@ -71,7 +75,8 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
+        Phase::RecommenderFit,
         Phase::ProbeSweep,
         Phase::ShutterCapture,
         Phase::MatrixCompletion,
@@ -85,6 +90,7 @@ impl Phase {
     /// Stable wire name.
     pub fn as_str(self) -> &'static str {
         match self {
+            Phase::RecommenderFit => "recommender-fit",
             Phase::ProbeSweep => "probe-sweep",
             Phase::ShutterCapture => "shutter-capture",
             Phase::MatrixCompletion => "matrix-completion",
@@ -127,11 +133,19 @@ pub enum Counter {
     /// Decompositions where the sweep curve overruled the pressure-only
     /// candidate selection.
     MrcTieBreaks,
+    /// Recommender fits served from the [`FitCache`] — no training ran
+    /// and no [`Phase::RecommenderFit`] span is recorded.
+    ///
+    /// [`FitCache`]: bolt_recommender::FitCache
+    FitCacheHit,
+    /// Recommender fits that missed the cache and trained from scratch
+    /// (always paired with a [`Phase::RecommenderFit`] span).
+    FitCacheMiss,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::SgdIterations,
         Counter::ShortlistPairHits,
         Counter::ExactPairSearches,
@@ -142,6 +156,8 @@ impl Counter {
         Counter::DetectionRetries,
         Counter::MrcProbePoints,
         Counter::MrcTieBreaks,
+        Counter::FitCacheHit,
+        Counter::FitCacheMiss,
     ];
 
     /// Stable wire name.
@@ -157,6 +173,8 @@ impl Counter {
             Counter::DetectionRetries => "detection-retries",
             Counter::MrcProbePoints => "mrc-probe-points",
             Counter::MrcTieBreaks => "mrc-tie-breaks",
+            Counter::FitCacheHit => "fit-cache-hit",
+            Counter::FitCacheMiss => "fit-cache-miss",
         }
     }
 

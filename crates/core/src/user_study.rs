@@ -12,17 +12,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
+use bolt_recommender::{FitCache, RecommenderConfig};
 use bolt_sim::vm::VmRole;
 use bolt_sim::{Cluster, IsolationConfig, ServerSpec, VmId};
 use bolt_workloads::catalog::userstudy::{self, UserStudyApp};
-use bolt_workloads::training::training_set;
 use bolt_workloads::{AppLabel, PressureVector, ResourceCharacteristics};
 
 use crate::detector::{Detector, DetectorConfig};
 use crate::parallel::{split_seed, sweep, Parallelism};
 use crate::telemetry::{Telemetry, TelemetryLog};
 use crate::BoltError;
+
+/// Training-set seed of the §4 study: the paper's training set was *not*
+/// updated for the user study, so the seed is part of the protocol, not
+/// the configuration.
+const USER_STUDY_TRAINING_SEED: u64 = 7;
 
 /// User-study configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -248,7 +252,21 @@ fn flush_detections(
 ///
 /// Propagates [`BoltError`] from the simulator or detector.
 pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, BoltError> {
-    run_user_study_inner(config, false).map(|(results, _)| results)
+    run_user_study_cache(config, &FitCache::new())
+}
+
+/// [`run_user_study`] fitting through a shared [`FitCache`] — repeated
+/// studies (or a study following other default-config work) reuse the
+/// trained recommender instead of refitting it. Byte-identical results.
+///
+/// # Errors
+///
+/// Same conditions as [`run_user_study`].
+pub fn run_user_study_cache(
+    config: &UserStudyConfig,
+    cache: &FitCache,
+) -> Result<UserStudyResults, BoltError> {
+    run_user_study_inner(config, cache, false).map(|(results, _)| results)
 }
 
 /// Runs the user study with telemetry enabled.
@@ -264,11 +282,26 @@ pub fn run_user_study(config: &UserStudyConfig) -> Result<UserStudyResults, Bolt
 pub fn run_user_study_telemetry(
     config: &UserStudyConfig,
 ) -> Result<(UserStudyResults, TelemetryLog), BoltError> {
-    run_user_study_inner(config, true)
+    run_user_study_inner(config, &FitCache::new(), true)
+}
+
+/// [`run_user_study_telemetry`] fitting through a shared [`FitCache`];
+/// the fit (or cache recall) leads the stream as a unit-0 block ahead of
+/// the per-job detection units.
+///
+/// # Errors
+///
+/// Same conditions as [`run_user_study`].
+pub fn run_user_study_cache_telemetry(
+    config: &UserStudyConfig,
+    cache: &FitCache,
+) -> Result<(UserStudyResults, TelemetryLog), BoltError> {
+    run_user_study_inner(config, cache, true)
 }
 
 fn run_user_study_inner(
     config: &UserStudyConfig,
+    cache: &FitCache,
     telemetry_enabled: bool,
 ) -> Result<(UserStudyResults, TelemetryLog), BoltError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -292,14 +325,27 @@ fn run_user_study_inner(
     }
 
     let isolation = cluster.isolation();
-    let examples = crate::experiment::observed_training(&training_set(7), &isolation);
-    let data = TrainingData::from_examples(examples)?;
-    let recommender = HybridRecommender::fit(data, config.recommender)?;
+    // The study trains on seed-7 profiles observed through the cloud's
+    // default channel (see `USER_STUDY_TRAINING_SEED`); the shared fit
+    // path memoizes both the catalog walk and the SVD+SGD training.
+    let mut fit_telemetry = if telemetry_enabled {
+        Telemetry::for_unit(0)
+    } else {
+        Telemetry::disabled()
+    };
+    let recommender = crate::experiment::shared_recommender(
+        USER_STUDY_TRAINING_SEED,
+        &isolation,
+        config.recommender,
+        cache,
+        &mut fit_telemetry,
+    )?;
     let detector = Detector::new(recommender, config.detector);
 
     let horizon_s = 4.0 * 3600.0;
     let mut records = Vec::with_capacity(config.jobs);
     let mut log = TelemetryLog::new();
+    log.merge(fit_telemetry);
     let mut pending: Vec<PendingDetection> = Vec::with_capacity(DETECTION_CHUNK);
     // Jobs a user keeps concentrated on "their" instances: each user gets a
     // home instance for manual placements.

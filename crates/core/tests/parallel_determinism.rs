@@ -1,8 +1,11 @@
 //! Property tests for the parallel experiment engine's determinism
 //! claims: thread count must never change results, only wall-clock.
 
-use bolt::experiment::{run_experiment, ExperimentConfig};
+use bolt::experiment::{
+    run_experiment, run_experiment_cache, run_experiment_cache_telemetry, ExperimentConfig,
+};
 use bolt::parallel::{sweep, Parallelism};
+use bolt::FitCache;
 use bolt_sim::LeastLoaded;
 use proptest::prelude::*;
 
@@ -35,6 +38,45 @@ proptest! {
         prop_assert_eq!(&serial.records, &one.records);
         prop_assert_eq!(&serial.records, &two.records);
         prop_assert_eq!(&serial.records, &eight.records);
+    }
+
+    #[test]
+    fn fit_cache_preserves_thread_count_invariance(
+        seed in 0u64..1_000_000,
+        servers in 4usize..7,
+        victims in 6usize..10,
+    ) {
+        // With a shared cache (warm or cold), thread count must still
+        // never change a byte: records, telemetry event streams, and the
+        // cache's hit/miss accounting all have to match the serial run.
+        let config = |parallelism| ExperimentConfig {
+            servers,
+            victims,
+            seed,
+            parallelism,
+            ..ExperimentConfig::default()
+        };
+        let serial_cache = FitCache::new();
+        let (serial, serial_log) =
+            run_experiment_cache_telemetry(&config(Parallelism::Serial), &LeastLoaded, &serial_cache)
+                .expect("serial runs");
+        let threaded_cache = FitCache::new();
+        let (threaded, threaded_log) =
+            run_experiment_cache_telemetry(&config(Parallelism::Threads(3)), &LeastLoaded, &threaded_cache)
+                .expect("3 threads run");
+        prop_assert_eq!(&serial.records, &threaded.records);
+        prop_assert_eq!(serial_log.normalized(), threaded_log.normalized());
+        prop_assert_eq!(serial_cache.stats(), threaded_cache.stats());
+        // A warm cache changes wall-clock only: re-running against the
+        // already-populated serial cache reproduces the records again.
+        let warm = run_experiment_cache(&config(Parallelism::Threads(2)), &LeastLoaded, &serial_cache)
+            .expect("warm cache runs");
+        prop_assert_eq!(&serial.records, &warm.records);
+        prop_assert_eq!(serial_cache.stats().hits, 1);
+        // Disabling the cache must not change results either.
+        let uncached = run_experiment_cache(&config(Parallelism::Serial), &LeastLoaded, &FitCache::disabled())
+            .expect("uncached runs");
+        prop_assert_eq!(&serial.records, &uncached.records);
     }
 }
 

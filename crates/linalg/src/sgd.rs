@@ -7,11 +7,44 @@
 //! regularized squared error over the observed cells with SGD — the
 //! "PQ-reconstruction with stochastic gradient descent" step of the paper.
 
+use std::cell::RefCell;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::{LinalgError, Matrix};
+
+/// Reusable SGD work buffers: the flat factor matrices, the epoch
+/// shuffle order, and the observation staging area.
+///
+/// Every public entry point in this module borrows one thread-local
+/// scratch instance, so repeated trainings and fold-ins on one thread
+/// allocate nothing after warm-up. Buffers are `clear()`ed and refilled
+/// with exactly the iterators the allocating code used, so values,
+/// update order, and therefore results are bit-identical to fresh
+/// allocations.
+#[derive(Debug, Default)]
+struct SgdScratch {
+    p: Vec<f64>,
+    q: Vec<f64>,
+    order: Vec<usize>,
+    obs: Vec<Observation>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SgdScratch> = RefCell::new(SgdScratch::default());
+}
+
+/// Runs `f` with the thread-local scratch. A reentrant call (an `Rng`
+/// implementation that itself trains, say) falls back to fresh buffers
+/// rather than panicking on the second borrow.
+fn with_scratch<T>(f: impl FnOnce(&mut SgdScratch) -> T) -> T {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut SgdScratch::default()),
+    })
+}
 
 /// An observed cell of a partially-known matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,6 +144,34 @@ pub fn complete<R: Rng>(
     config: &SgdConfig,
     rng: &mut R,
 ) -> Result<Completion, LinalgError> {
+    with_scratch(|scratch| {
+        complete_inner(
+            &mut scratch.p,
+            &mut scratch.q,
+            &mut scratch.order,
+            rows,
+            cols,
+            observations,
+            config,
+            rng,
+        )
+    })
+}
+
+/// [`complete`] against caller-provided factor/order buffers (the scratch
+/// fields, destructured so `complete_row` can stage observations in the
+/// same scratch without a second borrow).
+#[allow(clippy::too_many_arguments)]
+fn complete_inner<R: Rng>(
+    p: &mut Vec<f64>,
+    q: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+    rows: usize,
+    cols: usize,
+    observations: &[Observation],
+    config: &SgdConfig,
+    rng: &mut R,
+) -> Result<Completion, LinalgError> {
     if rows == 0 || cols == 0 {
         return Err(LinalgError::InvalidShape {
             reason: format!("completion target must be nonempty, got {rows}x{cols}"),
@@ -145,22 +206,23 @@ pub fn complete<R: Rng>(
     }
 
     let k = config.factors;
-    // Factor matrices stored as flat row-major [row * k + f].
-    let mut p: Vec<f64> = (0..rows * k)
-        .map(|_| rng.gen::<f64>() * config.init_scale)
-        .collect();
-    let mut q: Vec<f64> = (0..cols * k)
-        .map(|_| rng.gen::<f64>() * config.init_scale)
-        .collect();
+    // Factor matrices stored as flat row-major [row * k + f]. The buffers
+    // are refilled with the same draws, in the same order, as a fresh
+    // allocation would make — results are bit-identical.
+    p.clear();
+    p.extend((0..rows * k).map(|_| rng.gen::<f64>() * config.init_scale));
+    q.clear();
+    q.extend((0..cols * k).map(|_| rng.gen::<f64>() * config.init_scale));
 
-    let mut order: Vec<usize> = (0..observations.len()).collect();
+    order.clear();
+    order.extend(0..observations.len());
     let mut rmse = f64::INFINITY;
     let mut epochs = 0;
     for _ in 0..config.max_epochs {
         epochs += 1;
         order.shuffle(rng);
         let mut sq_err = 0.0;
-        for &idx in &order {
+        for &idx in order.iter() {
             let o = &observations[idx];
             let pr = o.row * k;
             let qr = o.col * k;
@@ -232,30 +294,34 @@ pub fn complete_row<R: Rng>(
     }
     let rows = reference.rows() + 1;
     let cols = reference.cols();
-    let mut obs = Vec::with_capacity(reference.rows() * cols + observed.len());
-    for r in 0..reference.rows() {
-        for c in 0..cols {
+    with_scratch(|scratch| {
+        let SgdScratch { p, q, order, obs } = scratch;
+        obs.clear();
+        obs.reserve(reference.rows() * cols + observed.len());
+        for r in 0..reference.rows() {
+            for c in 0..cols {
+                obs.push(Observation {
+                    row: r,
+                    col: c,
+                    value: reference[(r, c)],
+                });
+            }
+        }
+        for &(c, v) in observed {
+            if c >= cols {
+                return Err(LinalgError::InvalidShape {
+                    reason: format!("observed column {c} outside {cols}-column matrix"),
+                });
+            }
             obs.push(Observation {
-                row: r,
+                row: rows - 1,
                 col: c,
-                value: reference[(r, c)],
+                value: v,
             });
         }
-    }
-    for &(c, v) in observed {
-        if c >= cols {
-            return Err(LinalgError::InvalidShape {
-                reason: format!("observed column {c} outside {cols}-column matrix"),
-            });
-        }
-        obs.push(Observation {
-            row: rows - 1,
-            col: c,
-            value: v,
-        });
-    }
-    let completion = complete(rows, cols, &obs, config, rng)?;
-    Ok(completion.completed.row(rows - 1).to_vec())
+        let completion = complete_inner(p, q, order, rows, cols, obs, config, rng)?;
+        Ok(completion.completed.row(rows - 1).to_vec())
+    })
 }
 
 /// A trained PQ factorization of a dense reference matrix, supporting
@@ -287,23 +353,27 @@ impl PqModel {
         config: &SgdConfig,
         rng: &mut R,
     ) -> Result<Self, LinalgError> {
-        let mut obs = Vec::with_capacity(matrix.rows() * matrix.cols());
-        for r in 0..matrix.rows() {
-            for c in 0..matrix.cols() {
-                obs.push(Observation {
-                    row: r,
-                    col: c,
-                    value: matrix[(r, c)],
-                });
+        with_scratch(|scratch| {
+            let SgdScratch { p, order, obs, .. } = scratch;
+            obs.clear();
+            obs.reserve(matrix.rows() * matrix.cols());
+            for r in 0..matrix.rows() {
+                for c in 0..matrix.cols() {
+                    obs.push(Observation {
+                        row: r,
+                        col: c,
+                        value: matrix[(r, c)],
+                    });
+                }
             }
-        }
-        let (q, rmse) = train_q(matrix.rows(), matrix.cols(), &obs, config, rng)?;
-        Ok(PqModel {
-            q,
-            cols: matrix.cols(),
-            factors: config.factors,
-            regularization: config.regularization,
-            rmse,
+            let (q, rmse) = train_q(p, order, matrix.rows(), matrix.cols(), obs, config, rng)?;
+            Ok(PqModel {
+                q,
+                cols: matrix.cols(),
+                factors: config.factors,
+                regularization: config.regularization,
+                rmse,
+            })
         })
     }
 
@@ -348,28 +418,40 @@ impl PqModel {
             }
         }
         let k = self.factors;
-        let mut p: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() * 0.1).collect();
-        // Dedicated epochs on the new row only; Q stays frozen.
-        let lr = 0.05;
-        for _ in 0..400 {
-            for &(c, v) in observed {
-                let qr = c * k;
-                let pred: f64 = (0..k).map(|f| p[f] * self.q[qr + f]).sum();
-                let err = v - pred;
-                for (f, pf) in p.iter_mut().enumerate().take(k) {
-                    *pf += lr * (err * self.q[qr + f] - self.regularization * *pf);
+        with_scratch(|scratch| {
+            // Fold-in runs once per probe window, so its k-length latent
+            // row is the hottest allocation in the module — stage it in
+            // the scratch.
+            let p = &mut scratch.p;
+            p.clear();
+            p.extend((0..k).map(|_| rng.gen::<f64>() * 0.1));
+            // Dedicated epochs on the new row only; Q stays frozen.
+            let lr = 0.05;
+            for _ in 0..400 {
+                for &(c, v) in observed {
+                    let qr = c * k;
+                    let pred: f64 = (0..k).map(|f| p[f] * self.q[qr + f]).sum();
+                    let err = v - pred;
+                    for (f, pf) in p.iter_mut().enumerate().take(k) {
+                        *pf += lr * (err * self.q[qr + f] - self.regularization * *pf);
+                    }
                 }
             }
-        }
-        Ok((0..self.cols)
-            .map(|c| (0..k).map(|f| p[f] * self.q[c * k + f]).sum())
-            .collect())
+            Ok((0..self.cols)
+                .map(|c| (0..k).map(|f| p[f] * self.q[c * k + f]).sum())
+                .collect())
+        })
     }
 }
 
 /// Trains both factor matrices on observations and returns `Q` plus the
 /// final RMSE (shared by [`complete`]-style training and [`PqModel`]).
+///
+/// `p` and `order` are scratch buffers; `q` is freshly allocated because
+/// the caller keeps it (it becomes the [`PqModel`]'s item factors).
 fn train_q<R: Rng>(
+    p: &mut Vec<f64>,
+    order: &mut Vec<usize>,
     rows: usize,
     cols: usize,
     observations: &[Observation],
@@ -389,18 +471,18 @@ fn train_q<R: Rng>(
         });
     }
     let k = config.factors;
-    let mut p: Vec<f64> = (0..rows * k)
-        .map(|_| rng.gen::<f64>() * config.init_scale)
-        .collect();
+    p.clear();
+    p.extend((0..rows * k).map(|_| rng.gen::<f64>() * config.init_scale));
     let mut q: Vec<f64> = (0..cols * k)
         .map(|_| rng.gen::<f64>() * config.init_scale)
         .collect();
-    let mut order: Vec<usize> = (0..observations.len()).collect();
+    order.clear();
+    order.extend(0..observations.len());
     let mut rmse = f64::INFINITY;
     for _ in 0..config.max_epochs {
         order.shuffle(rng);
         let mut sq = 0.0;
-        for &i in &order {
+        for &i in order.iter() {
             let o = &observations[i];
             let pr = o.row * k;
             let qr = o.col * k;
@@ -552,6 +634,47 @@ mod tests {
         let b = complete(2, 2, &obs, &config, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.rmse, b.rmse);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_exact_across_call_shapes() {
+        // The thread-local scratch must never leak state between calls:
+        // results computed on a warm scratch (after larger, differently
+        // shaped problems) must be bit-identical to results from a fresh
+        // thread whose scratch was never touched.
+        let reference =
+            Matrix::from_rows(&[vec![10.0, 20.0, 30.0, 40.0], vec![40.0, 30.0, 20.0, 10.0]])
+                .unwrap();
+        let config = SgdConfig {
+            max_epochs: 60,
+            ..SgdConfig::default()
+        };
+        let run = |reference: &Matrix, config: &SgdConfig| {
+            let completion = complete_row(
+                reference,
+                &[(0usize, 10.0), (1usize, 20.0)],
+                config,
+                &mut StdRng::seed_from_u64(11),
+            )
+            .unwrap();
+            let model = PqModel::train(reference, config, &mut StdRng::seed_from_u64(12)).unwrap();
+            let folded = model
+                .fold_in(&[(0, 10.0), (1, 20.0)], &mut StdRng::seed_from_u64(13))
+                .unwrap();
+            (completion, model.rmse(), folded)
+        };
+        let fresh = {
+            let reference = reference.clone();
+            std::thread::spawn(move || run(&reference, &config))
+                .join()
+                .unwrap()
+        };
+        // Warm this thread's scratch with a bigger problem first.
+        let big = Matrix::from_rows(&(0..12).map(|r| vec![r as f64 + 1.0; 9]).collect::<Vec<_>>())
+            .unwrap();
+        let _ = PqModel::train(&big, &config, &mut rng()).unwrap();
+        let warm = run(&reference, &config);
+        assert_eq!(fresh, warm);
     }
 
     #[test]

@@ -23,9 +23,11 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod dataset;
 mod hybrid;
 
+pub use cache::{fingerprint, ContentHasher, Fingerprint, FitCache, FitCacheStats};
 pub use dataset::{TrainingData, TrainingExample};
 pub use hybrid::{
     HybridRecommender, Recommendation, RecommenderConfig, RecommenderStats, SimilarityScore,

@@ -39,6 +39,9 @@ cargo bench --no-run -p bolt-bench --bench robustness_churn
 echo "==> MRC ablation bench harness compiles"
 cargo bench --no-run -p bolt-bench --bench table1_mrc_ablation
 
+echo "==> fit-cache bench harness compiles"
+cargo bench --no-run -p bolt-bench --bench crit_fit_cache
+
 echo "==> mrc_extension example smoke run"
 cargo run --release -q --example mrc_extension > /dev/null
 
@@ -54,5 +57,10 @@ for i in 1 2; do
 done
 cmp "$REPLAY_DIR/out1.txt" "$REPLAY_DIR/out2.txt"
 cmp "$REPLAY_DIR/norm1.jsonl" "$REPLAY_DIR/norm2.jsonl"
+
+echo "==> fit cache is output-invariant (cache on vs --no-fit-cache)"
+cargo run --release -q -- detect --servers 4 --victims 6 --seed 42 \
+  --no-fit-cache > "$REPLAY_DIR/uncached.txt"
+cmp "$REPLAY_DIR/out1.txt" "$REPLAY_DIR/uncached.txt"
 
 echo "OK: all checks passed"

@@ -23,11 +23,12 @@ use bolt::attacks::dos::{
     craft_attack_from_profile, naive_attack, run_dos_telemetry, DosRunConfig,
 };
 use bolt::attacks::rfa::run_rfa_telemetry;
-use bolt::experiment::{run_experiment, run_experiment_telemetry, ExperimentConfig};
-use bolt::isolation_study::{run_isolation_study, run_isolation_study_telemetry};
+use bolt::experiment::{run_experiment_cache, run_experiment_cache_telemetry, ExperimentConfig};
+use bolt::isolation_study::{run_isolation_study_cache, run_isolation_study_cache_telemetry};
 use bolt::report::{pct, Table};
 use bolt::telemetry::{Telemetry, TelemetryLog};
-use bolt::user_study::{run_user_study, run_user_study_telemetry, UserStudyConfig};
+use bolt::user_study::{run_user_study_cache, run_user_study_cache_telemetry, UserStudyConfig};
+use bolt::FitCache;
 use bolt_sim::{LeastLoaded, OsSetting, Quasar};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -93,11 +94,12 @@ FLAGS (all optional):
     --jobs N          user-study jobs         (default 120)
     --seed S          RNG seed                (default experiment-specific)
     --mrc             enable the miss-rate-curve detection channel (default off)
+    --no-fit-cache    retrain the recommender at every use instead of caching fits
     --telemetry PATH  write a JSONL telemetry trace of the run to PATH";
 
 /// Flags that take no value: `--mrc` alone means `--mrc true`, while an
 /// explicit `--mrc false` (or `=false`) still parses.
-const BOOLEAN_FLAGS: [&str; 1] = ["mrc"];
+const BOOLEAN_FLAGS: [&str; 2] = ["mrc", "no-fit-cache"];
 
 /// Parsed `--flag value` pairs (also accepts `--flag=value`). Values stay
 /// strings until a command asks for them, so path-valued flags like
@@ -136,6 +138,16 @@ impl Flags {
     /// The `--telemetry` output path, if requested.
     fn telemetry(&self) -> Option<PathBuf> {
         self.0.get("telemetry").map(PathBuf::from)
+    }
+
+    /// The run's fit cache: shared across every fit of the command unless
+    /// `--no-fit-cache` asked for honest retrains.
+    fn fit_cache(&self) -> Result<FitCache, String> {
+        Ok(if self.bool("no-fit-cache")? {
+            FitCache::disabled()
+        } else {
+            FitCache::new()
+        })
     }
 }
 
@@ -199,10 +211,12 @@ fn cmd_detect(flags: &Flags) -> Result<(), String> {
         "running the controlled experiment: {} victims on {} servers...",
         config.victims, config.servers
     );
+    let cache = flags.fit_cache()?;
     let (results, log) = if flags.telemetry().is_some() {
-        run_experiment_telemetry(&config, &LeastLoaded).map_err(|e| e.to_string())?
+        run_experiment_cache_telemetry(&config, &LeastLoaded, &cache).map_err(|e| e.to_string())?
     } else {
-        let results = run_experiment(&config, &LeastLoaded).map_err(|e| e.to_string())?;
+        let results =
+            run_experiment_cache(&config, &LeastLoaded, &cache).map_err(|e| e.to_string())?;
         (results, TelemetryLog::new())
     };
     let mut table = Table::new(vec![
@@ -234,16 +248,19 @@ fn cmd_detect(flags: &Flags) -> Result<(), String> {
 fn cmd_table1(flags: &Flags) -> Result<(), String> {
     let config = experiment_config(flags)?;
     eprintln!("running the controlled experiment twice (LL, Quasar)...");
+    // Both schedulers see the same cluster physics, so one cache means the
+    // recommender is trained once and the Quasar run reuses it.
+    let cache = flags.fit_cache()?;
     let (ll, quasar, log) = if flags.telemetry().is_some() {
-        let (ll, mut log) =
-            run_experiment_telemetry(&config, &LeastLoaded).map_err(|e| e.to_string())?;
+        let (ll, mut log) = run_experiment_cache_telemetry(&config, &LeastLoaded, &cache)
+            .map_err(|e| e.to_string())?;
         let (quasar, quasar_log) =
-            run_experiment_telemetry(&config, &Quasar).map_err(|e| e.to_string())?;
+            run_experiment_cache_telemetry(&config, &Quasar, &cache).map_err(|e| e.to_string())?;
         log.extend(quasar_log.into_events());
         (ll, quasar, log)
     } else {
-        let ll = run_experiment(&config, &LeastLoaded).map_err(|e| e.to_string())?;
-        let quasar = run_experiment(&config, &Quasar).map_err(|e| e.to_string())?;
+        let ll = run_experiment_cache(&config, &LeastLoaded, &cache).map_err(|e| e.to_string())?;
+        let quasar = run_experiment_cache(&config, &Quasar, &cache).map_err(|e| e.to_string())?;
         (ll, quasar, TelemetryLog::new())
     };
     let mut table = Table::new(vec!["class", "LL", "Quasar"]);
@@ -283,10 +300,11 @@ fn cmd_study(flags: &Flags) -> Result<(), String> {
         "running the user study: {} jobs on {} instances...",
         config.jobs, config.instances
     );
+    let cache = flags.fit_cache()?;
     let (results, log) = if flags.telemetry().is_some() {
-        run_user_study_telemetry(&config).map_err(|e| e.to_string())?
+        run_user_study_cache_telemetry(&config, &cache).map_err(|e| e.to_string())?
     } else {
-        let results = run_user_study(&config).map_err(|e| e.to_string())?;
+        let results = run_user_study_cache(&config, &cache).map_err(|e| e.to_string())?;
         (results, TelemetryLog::new())
     };
     let n = results.records.len();
@@ -312,10 +330,11 @@ fn cmd_isolation(flags: &Flags) -> Result<(), String> {
         ..ExperimentConfig::default()
     };
     eprintln!("running 21 detection experiments (3 settings x 7 stacks)...");
+    let cache = flags.fit_cache()?;
     let (study, log) = if flags.telemetry().is_some() {
-        run_isolation_study_telemetry(&config).map_err(|e| e.to_string())?
+        run_isolation_study_cache_telemetry(&config, &cache).map_err(|e| e.to_string())?
     } else {
-        let study = run_isolation_study(&config).map_err(|e| e.to_string())?;
+        let study = run_isolation_study_cache(&config, &cache).map_err(|e| e.to_string())?;
         (study, TelemetryLog::new())
     };
     let mut table = Table::new(vec!["stack", "baremetal", "containers", "VMs"]);
@@ -484,11 +503,11 @@ fn cmd_rfa(flags: &Flags) -> Result<(), String> {
 
 fn cmd_coresidency(flags: &Flags) -> Result<(), String> {
     use bolt::detector::{Detector, DetectorConfig};
-    use bolt::experiment::observed_training;
-    use bolt_recommender::{HybridRecommender, RecommenderConfig, TrainingData};
+    use bolt::experiment::shared_recommender;
+    use bolt_recommender::RecommenderConfig;
     use bolt_sim::vm::VmRole;
     use bolt_sim::{Cluster, IsolationConfig, ServerSpec};
-    use bolt_workloads::{catalog, training::training_set, DatasetScale};
+    use bolt_workloads::{catalog, DatasetScale};
 
     let servers = flags.usize("servers", 40)?;
     let seed = flags.u64("seed")?.unwrap_or(0xC0DE);
@@ -529,10 +548,14 @@ fn cmd_coresidency(flags: &Flags) -> Result<(), String> {
         let _ = cluster.launch_on(s, p, VmRole::Friendly, 0.0);
     }
 
-    let data = TrainingData::from_examples(observed_training(&training_set(7), &isolation))
-        .map_err(|e| e.to_string())?;
-    let rec =
-        HybridRecommender::fit(data, RecommenderConfig::default()).map_err(|e| e.to_string())?;
+    let rec = shared_recommender(
+        7,
+        &isolation,
+        RecommenderConfig::default(),
+        &flags.fit_cache()?,
+        &mut Telemetry::disabled(),
+    )
+    .map_err(|e| e.to_string())?;
     let detector = Detector::new(rec, DetectorConfig::default());
     let config = CoResidencyConfig::default();
     println!(
@@ -579,7 +602,7 @@ fn cmd_coresidency(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_robustness(flags: &Flags) -> Result<(), String> {
-    use bolt::robustness::churn_sweep_telemetry;
+    use bolt::robustness::churn_sweep_cache_telemetry;
 
     let config = ExperimentConfig {
         servers: flags.usize("servers", 8)?,
@@ -597,7 +620,8 @@ fn cmd_robustness(flags: &Flags) -> Result<(), String> {
     // fault/retry columns — so the log is there whether or not it is
     // written out.
     let (points, log) =
-        churn_sweep_telemetry(&config, &LeastLoaded, &intensities).map_err(|e| e.to_string())?;
+        churn_sweep_cache_telemetry(&config, &LeastLoaded, &intensities, &flags.fit_cache()?)
+            .map_err(|e| e.to_string())?;
     let mut table = Table::new(vec![
         "intensity",
         "accuracy",
@@ -692,5 +716,12 @@ mod tests {
         assert!(!flags.bool("mrc").unwrap());
         let flags = parse_flags(["--mrc=oui".to_string()].into_iter()).unwrap();
         assert!(flags.bool("mrc").is_err());
+        let flags = parse_flags(
+            ["--no-fit-cache", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(flags.bool("no-fit-cache").unwrap());
     }
 }
