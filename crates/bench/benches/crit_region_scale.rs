@@ -1,0 +1,76 @@
+//! Criterion bench for the region-scale storage layer: one interference
+//! probe at 100, 1000, and 10000 servers.
+//!
+//! The per-server residency index makes a probe walk only its host's
+//! co-residents, so the three `probe/*` timings should agree within
+//! noise (the PR gate is ±20%) even though the largest region holds 100x
+//! the tenants of the smallest. Each iteration probes at a fresh
+//! simulated time so the aggregate cache never serves a hit — this
+//! measures the walk, not the memo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bolt_sim::vm::VmRole;
+use bolt_sim::{Cluster, IsolationConfig, ServerSpec, VmId};
+use bolt_workloads::catalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const VMS_PER_SERVER: usize = 10;
+
+/// A region of `servers` hosts with ten one-vCPU zero-noise tenants each
+/// (deterministic profiles keep the probe on the RNG-free path).
+fn region(servers: usize) -> (Cluster, VmId) {
+    let mut rng = StdRng::seed_from_u64(0xB017);
+    let mut cluster = Cluster::new(
+        servers,
+        ServerSpec::xeon(),
+        IsolationConfig::cloud_default(),
+    )
+    .expect("cluster builds");
+    let mut observer = None;
+    for server in 0..servers {
+        for k in 0..VMS_PER_SERVER {
+            let variant = if (server + k) % 2 == 0 {
+                catalog::memcached::Variant::Mixed
+            } else {
+                catalog::memcached::Variant::ReadHeavyKb
+            };
+            let profile = catalog::memcached::profile(&variant, &mut rng)
+                .with_noise(0.0)
+                .with_vcpus(1);
+            let id = cluster
+                .launch_on(server, profile, VmRole::Friendly, 0.0)
+                .expect("tenant fits");
+            if server == 0 && k == 0 {
+                observer = Some(id);
+            }
+        }
+    }
+    (cluster, observer.expect("server 0 is populated"))
+}
+
+fn bench_region_scale(c: &mut Criterion) {
+    c.sample_size(10);
+    for servers in [100usize, 1000, 10_000] {
+        let (cluster, observer) = region(servers);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tick = 0u64;
+        c.bench_function(&format!("probe/{servers}_servers"), |b| {
+            b.iter(|| {
+                // A fresh t per probe: always a first touch, never a memo.
+                tick += 1;
+                let t = 1.0 + tick as f64 * 1e-3;
+                black_box(
+                    cluster
+                        .interference_on(black_box(observer), t, &mut rng)
+                        .expect("probe runs"),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_region_scale);
+criterion_main!(benches);

@@ -326,13 +326,13 @@ mod tests {
     fn rfa_cleans_up_its_vms() {
         let mut r = rng();
         let mut c = cluster();
-        let before = c.vm_ids().len();
+        let before = c.vm_ids().count();
         let victim = catalog::hadoop::profile(
             &catalog::hadoop::Algorithm::Svm,
             bolt_workloads::DatasetScale::Medium,
             &mut r,
         );
         run_rfa(&mut c, 0, victim, mcf(&mut r), &mut r).unwrap();
-        assert_eq!(c.vm_ids().len(), before);
+        assert_eq!(c.vm_ids().count(), before);
     }
 }

@@ -18,6 +18,8 @@
 //!   victims) behind Table 1 and Figs. 6, 7, 9 and 10.
 //! * [`robustness`] — the same experiment under deterministic churn:
 //!   accuracy and graceful-degradation rates versus chaos intensity.
+//! * [`region`] — region-scale stress: thousands of hosts under churn
+//!   and probing, with storage-layer telemetry and the scaling curve.
 //! * [`user_study`] — the §4 EC2 multi-user study behind Figs. 11–12.
 //! * [`attacks`] — the §5 attacks: internal DoS, RFA, co-residency
 //!   detection.
@@ -73,6 +75,7 @@ pub mod experiment;
 pub mod fingerprint;
 pub mod isolation_study;
 pub mod parallel;
+pub mod region;
 pub mod report;
 pub mod robustness;
 pub mod sensitivity;
@@ -87,6 +90,7 @@ pub use experiment::{
 };
 pub use isolation_study::{run_isolation_study, run_isolation_study_cache, IsolationStudy};
 pub use parallel::Parallelism;
+pub use region::{run_region, run_region_telemetry, RegionConfig, RegionReport, ScalePoint};
 pub use robustness::{churn_sweep, churn_sweep_cache, churn_sweep_telemetry, RobustnessPoint};
 pub use telemetry::{Counter, Phase, Telemetry, TelemetryEvent, TelemetryLog};
 pub use user_study::{run_user_study, run_user_study_cache, UserStudyConfig, UserStudyResults};

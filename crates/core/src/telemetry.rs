@@ -141,11 +141,30 @@ pub enum Counter {
     /// Recommender fits that missed the cache and trained from scratch
     /// (always paired with a [`Phase::RecommenderFit`] span).
     FitCacheMiss,
+    /// VMs live in the cluster's storage arena (sampled, not incremental:
+    /// drivers record the occupancy reached by a sweep).
+    ArenaVmsLive,
+    /// Launches that recycled a free-listed arena slot left by a churned
+    /// VM — reuse keeps the arena dense through arrival/departure cycles.
+    ArenaSlotsReused,
+    /// Residency-index mutations (per-server sorted-id inserts and
+    /// removals) performed by launches, terminations, and migrations.
+    ResidencyIndexOps,
+    /// Neighbor-query results served from the deterministic aggregate
+    /// cache without re-walking co-residents.
+    AggregateCacheHit,
+    /// Neighbor queries that walked co-residents and (if on a fully
+    /// deterministic server) populated the aggregate cache.
+    AggregateCacheMiss,
+    /// Neighbor candidates visited by interference/utilization/sweep
+    /// queries. With the residency index this scales with co-residents
+    /// per query, independent of total cluster size.
+    NeighborVisits,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 18] = [
         Counter::SgdIterations,
         Counter::ShortlistPairHits,
         Counter::ExactPairSearches,
@@ -158,6 +177,12 @@ impl Counter {
         Counter::MrcTieBreaks,
         Counter::FitCacheHit,
         Counter::FitCacheMiss,
+        Counter::ArenaVmsLive,
+        Counter::ArenaSlotsReused,
+        Counter::ResidencyIndexOps,
+        Counter::AggregateCacheHit,
+        Counter::AggregateCacheMiss,
+        Counter::NeighborVisits,
     ];
 
     /// Stable wire name.
@@ -175,6 +200,12 @@ impl Counter {
             Counter::MrcTieBreaks => "mrc-tie-breaks",
             Counter::FitCacheHit => "fit-cache-hit",
             Counter::FitCacheMiss => "fit-cache-miss",
+            Counter::ArenaVmsLive => "arena-vms-live",
+            Counter::ArenaSlotsReused => "arena-slots-reused",
+            Counter::ResidencyIndexOps => "residency-index-ops",
+            Counter::AggregateCacheHit => "aggregate-cache-hit",
+            Counter::AggregateCacheMiss => "aggregate-cache-miss",
+            Counter::NeighborVisits => "neighbor-visits",
         }
     }
 

@@ -422,7 +422,6 @@ fn run_user_study_inner(
         if j % 2 == 1 {
             let friendly: Vec<VmId> = cluster
                 .vm_ids()
-                .into_iter()
                 .filter(|&id| {
                     id != vm
                         && cluster

@@ -270,7 +270,7 @@ mod tests {
         // Four 4-vCPU victims force core sharing on a 16-thread host.
         let (mut cluster, adv) = setup(3);
         // Give victims hot core pressure so the shared-core reading is big.
-        for id in cluster.vm_ids() {
+        for id in cluster.vm_ids().collect::<Vec<_>>() {
             if id != adv {
                 cluster
                     .set_pressure_override(

@@ -352,7 +352,6 @@ impl FaultPlan {
     fn pick_tenant(&mut self, cluster: &Cluster) -> Option<VmId> {
         let candidates: Vec<VmId> = cluster
             .vm_ids()
-            .into_iter()
             .filter(|&id| {
                 !self.protected.contains(&id)
                     && cluster
@@ -388,7 +387,8 @@ impl FaultPlan {
         }
         let mover = cluster
             .vms_on(server)
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&id| {
                 !self.protected.contains(&id)
                     && cluster
@@ -502,7 +502,10 @@ mod tests {
         let applied = plan.apply_due(&mut a, 1000.0).unwrap();
         assert_eq!(applied, 0);
         assert!(a.take_events().is_empty());
-        assert_eq!(a.vm_ids(), b.vm_ids());
+        assert_eq!(
+            a.vm_ids().collect::<Vec<_>>(),
+            b.vm_ids().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -558,7 +561,7 @@ mod tests {
     #[test]
     fn protected_vms_survive_heavy_churn() {
         let mut c = seeded(3);
-        let protected = c.vm_ids()[0];
+        let protected = c.vm_ids().next().unwrap();
         let mut config = ChaosConfig::with_intensity(1.0);
         config.departures_per_min = 10.0;
         config.swaps_per_min = 10.0;

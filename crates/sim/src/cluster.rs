@@ -9,7 +9,8 @@
 //! victims both read contention through this one code path, so what Bolt
 //! *measures* and what victims *suffer* stay consistent.
 
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use rand::Rng;
 
@@ -19,8 +20,35 @@ use bolt_workloads::{perf, PressureVector, Resource, WorkloadKind, WorkloadProfi
 use crate::error::SimError;
 use crate::isolation::IsolationConfig;
 use crate::server::{Server, ServerSpec};
+use crate::storage::{AggCache, VmArena};
 use crate::trace::TraceEvent;
 use crate::vm::{VmId, VmRole, VmState};
+
+/// A point-in-time view of the cluster's storage layer: arena occupancy,
+/// residency-index activity, aggregate-cache effectiveness, and how many
+/// neighbor candidates queries have visited. Drivers export these through
+/// telemetry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageStats {
+    /// Live VMs in the arena.
+    pub live_vms: usize,
+    /// Total arena slots ever allocated (live + free-listed).
+    pub arena_slots: usize,
+    /// Slots currently on the free list.
+    pub free_slots: usize,
+    /// Launches that recycled a churned slot.
+    pub slots_reused: u64,
+    /// Residency-index mutations (inserts + removals).
+    pub residency_ops: u64,
+    /// Aggregate-cache hits since the cluster was built.
+    pub agg_hits: u64,
+    /// Aggregate-cache misses since the cluster was built.
+    pub agg_misses: u64,
+    /// Neighbor candidates visited by interference/utilization/sweep
+    /// queries. With the residency index this grows with co-residents
+    /// per query, never with total cluster size.
+    pub neighbor_visits: u64,
+}
 
 /// A running cluster of servers hosting VMs.
 ///
@@ -45,7 +73,7 @@ use crate::vm::{VmId, VmRole, VmState};
 #[derive(Debug)]
 pub struct Cluster {
     servers: Vec<Server>,
-    vms: BTreeMap<VmId, VmState>,
+    vms: VmArena,
     isolation: IsolationConfig,
     next_id: u64,
     events: Vec<TraceEvent>,
@@ -53,6 +81,18 @@ pub struct Cluster {
     /// Only the chaos engine sets this, so the vector stays all-zero (and
     /// the physics below stay branch-only, bit-identical) in chaos-off runs.
     degradation: Vec<f64>,
+    /// Memoized deterministic aggregates (see [`crate::storage`]); a
+    /// `Mutex` because detection shares `&Cluster` across worker threads.
+    /// Queries release the lock while computing, so the couple-progress
+    /// recursion never re-enters it.
+    agg: Mutex<AggCache>,
+    /// Neighbor candidates visited by queries (locality telemetry).
+    neighbor_visits: AtomicU64,
+    /// Test-only escape hatch: scan the whole arena per query, bypassing
+    /// the residency index and the aggregate cache, reproducing the old
+    /// `BTreeMap` storage path. The storage-equivalence proptest drives
+    /// both modes through identical schedules and compares every output.
+    reference_scan: bool,
 }
 
 impl Cluster {
@@ -73,12 +113,57 @@ impl Cluster {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Cluster {
             servers,
-            vms: BTreeMap::new(),
+            vms: VmArena::new(n),
             isolation,
             next_id: 0,
             events: Vec::new(),
             degradation: vec![0.0; n],
+            agg: Mutex::new(AggCache::default()),
+            neighbor_visits: AtomicU64::new(0),
+            reference_scan: false,
         })
+    }
+
+    /// Drops every memoized aggregate; called by every mutation that can
+    /// change what a query observes.
+    fn invalidate_aggregates(&mut self) {
+        self.agg
+            .get_mut()
+            .expect("cache lock poisoned")
+            .invalidate();
+    }
+
+    /// True when every resident of `server` emits deterministically
+    /// (pressure override set, or zero profile noise), so query results
+    /// are pure functions of cluster state and may be memoized. The
+    /// stochastic path draws RNG per neighbor in a fixed order; caching
+    /// it would skip draws and shift the stream, so it is excluded.
+    fn cacheable(&self, server: usize) -> bool {
+        !self.reference_scan && self.vms.stochastic_on(server) == 0
+    }
+
+    /// Storage-layer instrumentation counters.
+    pub fn storage_stats(&self) -> StorageStats {
+        let agg = self.agg.lock().expect("cache lock poisoned");
+        StorageStats {
+            live_vms: self.vms.len(),
+            arena_slots: self.vms.slots(),
+            free_slots: self.vms.free_slots(),
+            slots_reused: self.vms.slots_reused,
+            residency_ops: self.vms.residency_ops,
+            agg_hits: agg.hits,
+            agg_misses: agg.misses,
+            neighbor_visits: self.neighbor_visits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Forces every query back onto a full-arena scan with no aggregate
+    /// caching — the exact visit order of the old global-map storage.
+    /// Only the storage-equivalence tests should enable this.
+    #[doc(hidden)]
+    pub fn set_reference_scan(&mut self, on: bool) {
+        self.reference_scan = on;
+        self.invalidate_aggregates();
     }
 
     /// Number of servers.
@@ -95,6 +180,7 @@ impl Cluster {
     /// mechanism stacks over an already-populated cluster).
     pub fn set_isolation(&mut self, isolation: IsolationConfig) {
         self.isolation = isolation;
+        self.invalidate_aggregates();
     }
 
     /// Throttles a server's effective capacity by `factor` in `[0, 1)`
@@ -121,6 +207,7 @@ impl Cluster {
         }
         self.degradation[server] = factor;
         self.events.push(TraceEvent::Degrade { server, factor, at });
+        self.invalidate_aggregates();
         Ok(())
     }
 
@@ -157,21 +244,19 @@ impl Cluster {
     ///
     /// Returns [`SimError::UnknownVm`] if the VM does not exist.
     pub fn vm(&self, id: VmId) -> Result<&VmState, SimError> {
-        self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })
+        self.vms.get(id).ok_or(SimError::UnknownVm { vm: id })
     }
 
-    /// All VM ids, in launch order.
-    pub fn vm_ids(&self) -> Vec<VmId> {
-        self.vms.keys().copied().collect()
+    /// All VM ids, in launch order. Borrows the arena instead of
+    /// allocating: per-tick driver loops call this on every sweep.
+    pub fn vm_ids(&self) -> impl Iterator<Item = VmId> + '_ {
+        self.vms.iter_ids()
     }
 
-    /// VMs hosted on one server.
-    pub fn vms_on(&self, server: usize) -> Vec<VmId> {
-        self.vms
-            .iter()
-            .filter(|(_, s)| s.server == server)
-            .map(|(&id, _)| id)
-            .collect()
+    /// VMs hosted on one server, sorted by ascending id — a borrow of the
+    /// residency index, O(1) to obtain.
+    pub fn vms_on(&self, server: usize) -> &[VmId] {
+        self.vms.on_server(server)
     }
 
     /// Launches a VM on a specific server.
@@ -230,6 +315,7 @@ impl Cluster {
                 pressure_override: None,
             },
         );
+        self.invalidate_aggregates();
         Ok(id)
     }
 
@@ -298,6 +384,7 @@ impl Cluster {
                 pressure_override: None,
             },
         );
+        self.invalidate_aggregates();
         Ok(id)
     }
 
@@ -308,12 +395,13 @@ impl Cluster {
     ///
     /// Returns [`SimError::UnknownVm`] if the VM does not exist.
     pub fn terminate(&mut self, id: VmId) -> Result<(), SimError> {
-        let state = self.vms.remove(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        let state = self.vms.remove(id).ok_or(SimError::UnknownVm { vm: id })?;
         self.servers[state.server].remove(id);
         self.events.push(TraceEvent::Terminate {
             vm: id,
             server: state.server,
         });
+        self.invalidate_aggregates();
         Ok(())
     }
 
@@ -334,7 +422,7 @@ impl Cluster {
             });
         }
         let (from, vcpus) = {
-            let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+            let state = self.vms.get(id).ok_or(SimError::UnknownVm { vm: id })?;
             (state.server, state.vcpus())
         };
         let core_iso = self.isolation.mechanisms.core_isolation;
@@ -349,10 +437,9 @@ impl Cluster {
         let threads = self.servers[to]
             .place(id, vcpus, core_iso)
             .expect("capacity just checked");
-        let state = self.vms.get_mut(&id).expect("vm just read");
-        state.server = to;
-        state.threads = threads;
+        self.vms.relocate(id, to, threads);
         self.events.push(TraceEvent::Migrate { vm: id, from, to });
+        self.invalidate_aggregates();
         Ok(())
     }
 
@@ -369,7 +456,7 @@ impl Cluster {
     ///   not fit (the original VM is restored).
     pub fn swap_profile(&mut self, id: VmId, profile: WorkloadProfile) -> Result<(), SimError> {
         let (server, old_vcpus) = {
-            let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+            let state = self.vms.get(id).ok_or(SimError::UnknownVm { vm: id })?;
             (state.server, state.vcpus())
         };
         if profile.vcpus() == old_vcpus {
@@ -377,8 +464,8 @@ impl Cluster {
                 vm: id,
                 label: profile.label().to_string(),
             });
-            let state = self.vms.get_mut(&id).expect("vm just read");
-            state.profile = profile;
+            self.vms.set_profile(id, profile, None);
+            self.invalidate_aggregates();
             return Ok(());
         }
         let core_iso = self.isolation.mechanisms.core_isolation;
@@ -389,9 +476,8 @@ impl Cluster {
                     vm: id,
                     label: profile.label().to_string(),
                 });
-                let state = self.vms.get_mut(&id).expect("vm just read");
-                state.profile = profile;
-                state.threads = threads;
+                self.vms.set_profile(id, profile, Some(threads));
+                self.invalidate_aggregates();
                 Ok(())
             }
             Err(e) => {
@@ -399,8 +485,9 @@ impl Cluster {
                 let threads = self.servers[server]
                     .place(id, old_vcpus, core_iso)
                     .expect("old placement fit before");
-                let state = self.vms.get_mut(&id).expect("vm just read");
-                state.threads = threads;
+                self.vms.set_threads(id, threads);
+                // Re-placement may land on different threads than before.
+                self.invalidate_aggregates();
                 Err(match e {
                     SimError::InsufficientCapacity {
                         requested,
@@ -428,11 +515,10 @@ impl Cluster {
         id: VmId,
         pressure: Option<PressureVector>,
     ) -> Result<(), SimError> {
-        let state = self
-            .vms
-            .get_mut(&id)
-            .ok_or(SimError::UnknownVm { vm: id })?;
-        state.pressure_override = pressure;
+        if !self.vms.set_override(id, pressure) {
+            return Err(SimError::UnknownVm { vm: id });
+        }
+        self.invalidate_aggregates();
         Ok(())
     }
 
@@ -492,9 +578,8 @@ impl Cluster {
         t: f64,
         rng: &mut R,
     ) -> Result<PressureVector, SimError> {
-        let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
-        let server = &self.servers[state.server];
-        let tpc = server.spec().threads_per_core;
+        let state = self.vms.get(id).ok_or(SimError::UnknownVm { vm: id })?;
+        let tpc = self.servers[state.server].spec().threads_per_core;
         let my_cores = state.cores(tpc);
         let Some(&physical_core) = my_cores.get(core) else {
             return Err(SimError::InvalidConfig {
@@ -505,23 +590,63 @@ impl Cluster {
             });
         };
 
+        if self.cacheable(state.server) {
+            let t_bits = t.to_bits();
+            if let Some(v) = self.agg.lock().expect("cache lock poisoned").get_per_core(
+                id.raw(),
+                physical_core,
+                t_bits,
+            ) {
+                return Ok(v);
+            }
+            let v = self.per_core_scan(id, state, physical_core, t, rng);
+            self.agg.lock().expect("cache lock poisoned").put_per_core(
+                id.raw(),
+                physical_core,
+                t_bits,
+                v,
+            );
+            return Ok(v);
+        }
+        Ok(self.per_core_scan(id, state, physical_core, t, rng))
+    }
+
+    /// The uncached per-core walk: only the owners of `physical_core`'s
+    /// hyperthreads contribute, found through the server's slot map in
+    /// O(threads-per-core) — never by scanning the cluster.
+    fn per_core_scan<R: Rng>(
+        &self,
+        id: VmId,
+        state: &VmState,
+        physical_core: usize,
+        t: f64,
+        rng: &mut R,
+    ) -> PressureVector {
+        let tpc = self.servers[state.server].spec().threads_per_core;
         let mut total = PressureVector::zero();
-        for (&other_id, other) in &self.vms {
-            if other.server != state.server || other_id == id {
-                continue;
+        if self.reference_scan {
+            for other_id in self.vms.iter_ids() {
+                self.neighbor_visits.fetch_add(1, Ordering::Relaxed);
+                if other_id == id {
+                    continue;
+                }
+                let other = self.vms.get(other_id).expect("iterated id is live");
+                if other.server != state.server || !other.cores(tpc).contains(&physical_core) {
+                    continue;
+                }
+                self.add_core_contribution(other, t, rng, &mut total);
             }
-            if !other.cores(tpc).contains(&physical_core) {
-                continue;
+        } else {
+            // Sibling owners in ascending id order — the same visit order
+            // (and therefore RNG draw order) the full scan would produce.
+            for other_id in self.servers[state.server].core_occupants(physical_core) {
+                self.neighbor_visits.fetch_add(1, Ordering::Relaxed);
+                if other_id == id {
+                    continue;
+                }
+                let other = self.vms.get(other_id).expect("occupant is live");
+                self.add_core_contribution(other, t, rng, &mut total);
             }
-            let p = match other.pressure_override {
-                Some(p) => p,
-                None => other.profile.pressure_at(t, 1.0, rng),
-            };
-            let mut contribution = PressureVector::zero();
-            for r in Resource::CORE {
-                contribution[r] = p[r] * self.isolation.attenuation(r);
-            }
-            total = total.saturating_add(&contribution);
         }
         let d = self.degradation[state.server];
         if d > 0.0 {
@@ -529,7 +654,26 @@ impl Cluster {
                 total[r] = (total[r] * (1.0 + d)).min(100.0);
             }
         }
-        Ok(total)
+        total
+    }
+
+    /// One sibling's core-domain contribution, attenuated and saturated.
+    fn add_core_contribution<R: Rng>(
+        &self,
+        other: &VmState,
+        t: f64,
+        rng: &mut R,
+        total: &mut PressureVector,
+    ) {
+        let p = match other.pressure_override {
+            Some(p) => p,
+            None => other.profile.pressure_at(t, 1.0, rng),
+        };
+        let mut contribution = PressureVector::zero();
+        for r in Resource::CORE {
+            contribution[r] = p[r] * self.isolation.attenuation(r);
+        }
+        *total = total.saturating_add(&contribution);
     }
 
     /// The contention a VM experiences from its co-residents at time `t`,
@@ -548,7 +692,7 @@ impl Cluster {
         t: f64,
         rng: &mut R,
     ) -> Result<PressureVector, SimError> {
-        let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        let state = self.vms.get(id).ok_or(SimError::UnknownVm { vm: id })?;
         Ok(self.interference_from_neighbors(id, state, t, rng, true))
     }
 
@@ -585,13 +729,54 @@ impl Cluster {
                 reason: format!("probe allocation {probe_alloc} outside [0, 1]"),
             });
         }
-        let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
-        let atten = self.isolation.attenuation(Resource::Llc);
+        let state = self.vms.get(id).ok_or(SimError::UnknownVm { vm: id })?;
+        if self.cacheable(state.server) {
+            let (t_bits, alloc_bits) = (t.to_bits(), probe_alloc.to_bits());
+            if let Some(v) = self.agg.lock().expect("cache lock poisoned").get_sweep(
+                id.raw(),
+                t_bits,
+                alloc_bits,
+            ) {
+                return Ok(v);
+            }
+            let v = self.sweep_scan(id, state, probe_alloc, t, rng);
+            self.agg.lock().expect("cache lock poisoned").put_sweep(
+                id.raw(),
+                t_bits,
+                alloc_bits,
+                v,
+            );
+            return Ok(v);
+        }
+        Ok(self.sweep_scan(id, state, probe_alloc, t, rng))
+    }
 
+    /// The uncached LLC-sweep walk over the observer's co-residents.
+    fn sweep_scan<R: Rng>(
+        &self,
+        id: VmId,
+        state: &VmState,
+        probe_alloc: f64,
+        t: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let atten = self.isolation.attenuation(Resource::Llc);
         let mut total = 0.0;
-        for (&other_id, other) in &self.vms {
-            if other.server != state.server || other_id == id {
+        let full: Vec<VmId>;
+        let candidates: &[VmId] = if self.reference_scan {
+            full = self.vms.iter_ids().collect();
+            &full
+        } else {
+            self.vms.on_server(state.server)
+        };
+        for &other_id in candidates {
+            self.neighbor_visits.fetch_add(1, Ordering::Relaxed);
+            if other_id == id {
                 continue;
+            }
+            let other = self.vms.get(other_id).expect("candidate is live");
+            if other.server != state.server {
+                continue; // reference mode scans the whole arena
             }
             let response = match other.pressure_override {
                 // Synthetic pressure has no working set: it misses at
@@ -609,10 +794,46 @@ impl Cluster {
         if d > 0.0 {
             total = (total * (1.0 + d)).min(100.0);
         }
-        Ok(total.min(100.0))
+        total.min(100.0)
     }
 
     fn interference_from_neighbors<R: Rng>(
+        &self,
+        id: VmId,
+        state: &VmState,
+        t: f64,
+        rng: &mut R,
+        couple_progress: bool,
+    ) -> PressureVector {
+        if self.cacheable(state.server) {
+            let t_bits = t.to_bits();
+            if let Some(v) = self.agg.lock().expect("cache lock poisoned").get_neighbors(
+                id.raw(),
+                couple_progress,
+                t_bits,
+            ) {
+                return v;
+            }
+            // Computed with the lock released: the couple-progress path
+            // recurses back into this function once per neighbor, and the
+            // lock is not reentrant.
+            let v = self.neighbor_scan(id, state, t, rng, couple_progress);
+            self.agg.lock().expect("cache lock poisoned").put_neighbors(
+                id.raw(),
+                couple_progress,
+                t_bits,
+                v,
+            );
+            return v;
+        }
+        self.neighbor_scan(id, state, t, rng, couple_progress)
+    }
+
+    /// The uncached neighbor walk behind [`Cluster::interference_on`]:
+    /// visits the observer's co-residents through the residency index, in
+    /// ascending-id order — the same order (and the same RNG draw order)
+    /// the old whole-cluster scan produced for this server.
+    fn neighbor_scan<R: Rng>(
         &self,
         id: VmId,
         state: &VmState,
@@ -633,9 +854,21 @@ impl Cluster {
         let mut float_candidate: Option<PressureVector> = None;
         let mut has_static_sharer = false;
 
-        for (&other_id, other) in &self.vms {
-            if other.server != state.server || other_id == id {
+        let full: Vec<VmId>;
+        let candidates: &[VmId] = if self.reference_scan {
+            full = self.vms.iter_ids().collect();
+            &full
+        } else {
+            self.vms.on_server(state.server)
+        };
+        for &other_id in candidates {
+            self.neighbor_visits.fetch_add(1, Ordering::Relaxed);
+            if other_id == id {
                 continue;
+            }
+            let other = self.vms.get(other_id).expect("candidate is live");
+            if other.server != state.server {
+                continue; // reference mode scans the whole arena
             }
             let p = if couple_progress {
                 self.generated_pressure(other_id, other, t, rng)
@@ -721,9 +954,43 @@ impl Cluster {
                 cluster_size: self.servers.len(),
             });
         }
+        if self.cacheable(server) {
+            let t_bits = t.to_bits();
+            if let Some(v) = self
+                .agg
+                .lock()
+                .expect("cache lock poisoned")
+                .get_utilization(server, t_bits)
+            {
+                return Ok(v);
+            }
+            let v = self.utilization_scan(server, t, rng);
+            self.agg
+                .lock()
+                .expect("cache lock poisoned")
+                .put_utilization(server, t_bits, v);
+            return Ok(v);
+        }
+        Ok(self.utilization_scan(server, t, rng))
+    }
+
+    /// The uncached utilization walk over one server's residents.
+    fn utilization_scan<R: Rng>(&self, server: usize, t: f64, rng: &mut R) -> f64 {
         let mut busy = 0.0;
         let mut occupied = 0u32;
-        for (&vm_id, state) in self.vms.iter().filter(|(_, s)| s.server == server) {
+        let full: Vec<VmId>;
+        let candidates: &[VmId] = if self.reference_scan {
+            full = self.vms.iter_ids().collect();
+            &full
+        } else {
+            self.vms.on_server(server)
+        };
+        for &vm_id in candidates {
+            self.neighbor_visits.fetch_add(1, Ordering::Relaxed);
+            let state = self.vms.get(vm_id).expect("candidate is live");
+            if state.server != server {
+                continue; // reference mode scans the whole arena
+            }
             // A stalled thread still burns its timeslice, so utilization
             // accounting deliberately skips the progress coupling.
             let own = match state.pressure_override {
@@ -740,9 +1007,9 @@ impl Cluster {
             occupied += state.vcpus();
         }
         if occupied == 0 {
-            return Ok(0.0);
+            return 0.0;
         }
-        Ok(busy / occupied as f64)
+        busy / occupied as f64
     }
 
     /// The victim-side performance of a VM at time `t`: `(p99 latency in
@@ -759,7 +1026,7 @@ impl Cluster {
         t: f64,
         rng: &mut R,
     ) -> Result<(f64, f64), SimError> {
-        let state = self.vms.get(&id).ok_or(SimError::UnknownVm { vm: id })?;
+        let state = self.vms.get(id).ok_or(SimError::UnknownVm { vm: id })?;
         let interference = self.interference_from_neighbors(id, state, t, rng, false);
         let penalty = self.isolation.performance_penalty();
         match state.profile.kind() {
@@ -802,6 +1069,11 @@ impl Cluster {
             next_id: self.next_id,
             events: Vec::new(),
             degradation: self.degradation.clone(),
+            // Memos and instrumentation start fresh: the snapshot is a new
+            // observation domain, and cached entries are cheap to rebuild.
+            agg: Mutex::new(AggCache::default()),
+            neighbor_visits: AtomicU64::new(0),
+            reference_scan: self.reference_scan,
         }
     }
 

@@ -45,12 +45,13 @@ mod error;
 pub mod isolation;
 pub mod scheduler;
 pub mod server;
+mod storage;
 pub mod telemetry;
 pub mod trace;
 pub mod vm;
 
 pub use chaos::{ChaosConfig, ChaosEvent, FaultPlan, PlannedFault};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, StorageStats};
 pub use error::SimError;
 pub use isolation::{IsolationConfig, Mechanisms, OsSetting};
 pub use scheduler::{LeastLoaded, Quasar, Scheduler};

@@ -54,7 +54,7 @@ impl Quasar {
     /// server's existing tenants (lower is better).
     fn overlap_score(cluster: &Cluster, server: usize, profile: &WorkloadProfile) -> f64 {
         let mut score = 0.0;
-        for id in cluster.vms_on(server) {
+        for &id in cluster.vms_on(server) {
             let tenant = cluster.vm(id).expect("tenant enumerated from cluster");
             for r in Resource::ALL {
                 let a = profile.base_pressure()[r] / 100.0;

@@ -263,7 +263,7 @@ proptest! {
         let applied = plan.apply_due(&mut cluster, start + horizon).expect("inert");
         prop_assert_eq!(applied, 0);
         prop_assert!(cluster.events().is_empty(), "none() must record nothing");
-        prop_assert_eq!(cluster.vm_ids(), vec![vm]);
+        prop_assert_eq!(cluster.vm_ids().collect::<Vec<_>>(), vec![vm]);
         prop_assert_eq!(cluster.degradation_of(0).expect("server 0"), 0.0);
     }
 }

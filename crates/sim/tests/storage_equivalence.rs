@@ -1,0 +1,294 @@
+//! Storage-layer equivalence: the arena + residency index + aggregate
+//! cache must be observationally identical to the old full-scan storage.
+//!
+//! The cluster keeps a `#[doc(hidden)]` reference mode
+//! ([`Cluster::set_reference_scan`]) that walks the whole arena in
+//! ascending-id order with the aggregate cache disabled — the exact
+//! behaviour of the original `BTreeMap` storage. These tests drive an
+//! indexed cluster and a reference cluster through the same random
+//! churn (launches, terminations, migrations, profile swaps, pressure
+//! overrides, degradation, and compiled chaos plans) and require every
+//! observable — interference, per-core interference, cache-sweep
+//! response, utilization, performance, the trace, and the state of the
+//! shared RNG stream — to match bit for bit.
+//!
+//! A separate regression pins the locality contract: a probe's
+//! neighbor-visit count depends only on its own host's population, never
+//! on the rest of the region.
+
+use bolt_sim::vm::VmRole;
+use bolt_sim::{ChaosConfig, Cluster, FaultPlan, IsolationConfig, ServerSpec, VmId};
+use bolt_workloads::{catalog, DatasetScale, PressureVector, WorkloadProfile};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SERVERS: usize = 4;
+
+/// A catalog profile for op slot `i`: half the families keep their
+/// stochastic noise (exercising the uncached path), half are zeroed
+/// (exercising the aggregate cache).
+fn profile(i: usize, rng: &mut StdRng) -> WorkloadProfile {
+    match i % 4 {
+        0 => catalog::memcached::profile(&catalog::memcached::Variant::Mixed, rng),
+        1 => catalog::speccpu::profile(&catalog::speccpu::Benchmark::Gobmk, rng).with_noise(0.0),
+        2 => catalog::spark::profile(&catalog::spark::Algorithm::KMeans, DatasetScale::Small, rng),
+        _ => catalog::memcached::profile(&catalog::memcached::Variant::ReadHeavyKb, rng)
+            .with_noise(0.0),
+    }
+}
+
+/// Applies one op schedule to `cluster` with its own RNG stream, and
+/// returns the RNG so callers can compare subsequent draws.
+fn apply_ops(cluster: &mut Cluster, ops: &[(u8, usize)], seed: u64) -> Vec<VmId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<VmId> = Vec::new();
+    for (i, &(op, pick)) in ops.iter().enumerate() {
+        match op {
+            0..=2 => {
+                let p = profile(i, &mut rng);
+                if let Some(s) = cluster.least_loaded_server(p.vcpus()) {
+                    let id = cluster
+                        .launch_on(s, p, VmRole::Friendly, i as f64)
+                        .expect("server reported capacity");
+                    live.push(id);
+                }
+            }
+            3 => {
+                if !live.is_empty() {
+                    let id = live.remove(pick % live.len());
+                    cluster.terminate(id).expect("vm is live");
+                }
+            }
+            4 => {
+                if !live.is_empty() {
+                    let id = live[pick % live.len()];
+                    let state = cluster.vm(id).expect("vm is live");
+                    let (from, vcpus) = (state.server, state.vcpus());
+                    if let Some(to) = cluster.least_loaded_server(vcpus).filter(|&s| s != from) {
+                        cluster.migrate(id, to).expect("target has room");
+                    }
+                }
+            }
+            5 => {
+                if !live.is_empty() {
+                    let id = live[pick % live.len()];
+                    let _ = cluster.swap_profile(id, profile(i + 1, &mut rng));
+                }
+            }
+            6 => {
+                if !live.is_empty() {
+                    let id = live[pick % live.len()];
+                    let o = if pick % 2 == 0 {
+                        Some(PressureVector::from_raw(
+                            [(pick % 90) as f64; bolt_workloads::RESOURCE_COUNT],
+                        ))
+                    } else {
+                        None
+                    };
+                    cluster.set_pressure_override(id, o).expect("vm is live");
+                }
+            }
+            _ => {
+                let factor = (pick % 10) as f64 / 20.0;
+                cluster
+                    .set_degradation(pick % SERVERS, factor, i as f64)
+                    .expect("server index in range");
+            }
+        }
+    }
+    live
+}
+
+/// Every observable of `a` and `b` at time `t`, compared bit for bit.
+/// One shared query-RNG seed per cluster: if either storage skipped or
+/// reordered a single draw, the streams diverge and the compare fails.
+fn assert_observables_match(a: &Cluster, b: &Cluster, t: f64, seed: u64) {
+    let ids_a: Vec<VmId> = a.vm_ids().collect();
+    let ids_b: Vec<VmId> = b.vm_ids().collect();
+    assert_eq!(ids_a, ids_b, "live VM sets diverged");
+
+    let mut rng_a = StdRng::seed_from_u64(seed);
+    let mut rng_b = StdRng::seed_from_u64(seed);
+    for &id in &ids_a {
+        let ia = a.interference_on(id, t, &mut rng_a).expect("vm is live");
+        let ib = b.interference_on(id, t, &mut rng_b).expect("vm is live");
+        assert_eq!(ia, ib, "interference diverged for {id:?} at t={t}");
+        let sa = a
+            .cache_sweep_response(id, 0.5, t, &mut rng_a)
+            .expect("vm is live");
+        let sb = b
+            .cache_sweep_response(id, 0.5, t, &mut rng_b)
+            .expect("vm is live");
+        assert_eq!(sa.to_bits(), sb.to_bits(), "sweep diverged for {id:?}");
+        let pa = a.performance_of(id, t, &mut rng_a).expect("vm is live");
+        let pb = b.performance_of(id, t, &mut rng_b).expect("vm is live");
+        assert_eq!(
+            (pa.0.to_bits(), pa.1.to_bits()),
+            (pb.0.to_bits(), pb.1.to_bits()),
+            "performance diverged"
+        );
+        let ca = a
+            .interference_on_core(id, 0, t, &mut rng_a)
+            .expect("core 0");
+        let cb = b
+            .interference_on_core(id, 0, t, &mut rng_b)
+            .expect("core 0");
+        assert_eq!(ca, cb, "per-core interference diverged for {id:?}");
+    }
+    for server in 0..SERVERS {
+        let ua = a.cpu_utilization(server, t, &mut rng_a).expect("in range");
+        let ub = b.cpu_utilization(server, t, &mut rng_b).expect("in range");
+        assert_eq!(ua.to_bits(), ub.to_bits(), "utilization diverged");
+        assert_eq!(a.vms_on(server), b.vms_on(server), "residency diverged");
+    }
+    // The streams themselves must be in the same state afterwards.
+    assert_eq!(
+        rng_a.gen::<u64>(),
+        rng_b.gen::<u64>(),
+        "query RNG streams diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The indexed storage and the reference full scan agree on every
+    /// observable after any churn schedule.
+    #[test]
+    fn indexed_storage_matches_reference_scan(
+        seed in 0u64..500,
+        ops in proptest::collection::vec((0u8..8, 0usize..64), 1..40),
+        t in 0.0f64..500.0,
+    ) {
+        let isolation = IsolationConfig::cloud_default();
+        let mut indexed = Cluster::new(SERVERS, ServerSpec::xeon(), isolation).expect("cluster");
+        let mut reference = Cluster::new(SERVERS, ServerSpec::xeon(), isolation).expect("cluster");
+        reference.set_reference_scan(true);
+
+        apply_ops(&mut indexed, &ops, seed);
+        apply_ops(&mut reference, &ops, seed);
+        prop_assert_eq!(indexed.events(), reference.events(), "traces diverged");
+
+        assert_observables_match(&indexed, &reference, t, seed ^ 0xC0FFEE);
+        // Query twice: the second pass hits the aggregate cache on the
+        // indexed cluster and must still match the reference rescans.
+        assert_observables_match(&indexed, &reference, t, seed ^ 0xC0FFEE);
+    }
+
+    /// Chaos plans (the churn engine behind the robustness suite) apply
+    /// identically to both storages.
+    #[test]
+    fn chaos_churn_is_storage_agnostic(
+        seed in 0u64..200,
+        intensity in 0.1f64..1.0,
+    ) {
+        let isolation = IsolationConfig::cloud_default();
+        let mut indexed = Cluster::new(SERVERS, ServerSpec::xeon(), isolation).expect("cluster");
+        let mut reference = Cluster::new(SERVERS, ServerSpec::xeon(), isolation).expect("cluster");
+        reference.set_reference_scan(true);
+
+        let ops: Vec<(u8, usize)> = (0..12).map(|i| (0u8, i)).collect();
+        apply_ops(&mut indexed, &ops, seed);
+        apply_ops(&mut reference, &ops, seed);
+
+        let config = ChaosConfig::with_intensity(intensity);
+        let mut plan_a = FaultPlan::compile(&config, seed, 0, 0.0, 300.0);
+        let mut plan_b = FaultPlan::compile(&config, seed, 0, 0.0, 300.0);
+        for step in 1..=5 {
+            let t = step as f64 * 60.0;
+            let na = plan_a.apply_due(&mut indexed, t).expect("plan applies");
+            let nb = plan_b.apply_due(&mut reference, t).expect("plan applies");
+            prop_assert_eq!(na, nb, "fault application diverged");
+            assert_observables_match(&indexed, &reference, t, seed ^ 0xBEEF);
+        }
+        prop_assert_eq!(indexed.events(), reference.events(), "traces diverged");
+    }
+}
+
+/// Locality regression: probing a tenant visits only its own host's
+/// co-residents — packing the *other* servers must not change the visit
+/// count. Under the old full-arena scan, `visits(b)` grew with every
+/// extra tenant anywhere in the region.
+#[test]
+fn neighbor_visits_ignore_other_servers() {
+    let build = |other_servers_tenants: usize| -> (Cluster, VmId) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut c = Cluster::new(
+            SERVERS,
+            ServerSpec::xeon(),
+            IsolationConfig::cloud_default(),
+        )
+        .expect("cluster");
+        let observer = c
+            .launch_on(0, profile(1, &mut rng), VmRole::Adversarial, 0.0)
+            .expect("fits");
+        for k in 0..3 {
+            c.launch_on(0, profile(k, &mut rng), VmRole::Friendly, 0.0)
+                .expect("fits");
+        }
+        for server in 1..SERVERS {
+            for k in 0..other_servers_tenants {
+                // One-vCPU tenants so eight of them pack onto each host.
+                c.launch_on(
+                    server,
+                    profile(k, &mut rng).with_vcpus(1),
+                    VmRole::Friendly,
+                    0.0,
+                )
+                .expect("fits");
+            }
+        }
+        (c, observer)
+    };
+
+    let visits = |tenants_elsewhere: usize| -> u64 {
+        let (c, observer) = build(tenants_elsewhere);
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = c.storage_stats().neighbor_visits;
+        c.interference_on(observer, 42.0, &mut rng)
+            .expect("probe runs");
+        c.storage_stats().neighbor_visits - before
+    };
+
+    let sparse = visits(0);
+    let packed = visits(8);
+    assert!(sparse > 0, "the probe visited its own co-residents");
+    assert_eq!(
+        sparse, packed,
+        "a probe's visit count must not depend on other servers' tenants"
+    );
+}
+
+/// Snapshots start with an empty trace and leave the original's trace
+/// alone — pinned here because detection snapshots cross threads and an
+/// O(history) copy (or a shared buffer) would be a scaling regression.
+#[test]
+fn snapshot_takes_empty_event_buffer() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut c =
+        Cluster::new(2, ServerSpec::xeon(), IsolationConfig::cloud_default()).expect("cluster");
+    let vm = c
+        .launch_on(0, profile(0, &mut rng), VmRole::Friendly, 0.0)
+        .expect("fits");
+    c.migrate(vm, 1).expect("room on server 1");
+
+    let snap = c.snapshot();
+    assert!(
+        snap.events().is_empty(),
+        "snapshot must not copy the event log"
+    );
+    assert_eq!(c.events().len(), 2, "original trace untouched");
+    assert_eq!(
+        snap.vm_ids().collect::<Vec<_>>(),
+        c.vm_ids().collect::<Vec<_>>(),
+        "snapshot carries the placement"
+    );
+
+    // A snapshot of a drained cluster is empty too, and draining the
+    // original after snapshotting does not reach into the snapshot.
+    let drained = c.take_events();
+    assert_eq!(drained.len(), 2);
+    assert!(c.snapshot().events().is_empty());
+    assert!(snap.events().is_empty());
+}

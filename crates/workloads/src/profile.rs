@@ -225,6 +225,16 @@ impl WorkloadProfile {
         self.vcpus = vcpus.max(1);
         self
     }
+
+    /// Returns a copy with a different relative noise (clamped to
+    /// `[0, 0.5]` like the constructor). Region-scale sweeps model their
+    /// background tenants with `with_noise(0.0)` so every emission is a
+    /// pure function of time and the simulator can memoize per-server
+    /// aggregates; a zero-noise profile draws nothing from the RNG.
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        self.noise = noise.clamp(0.0, 0.5);
+        self
+    }
 }
 
 /// Applies bounded multiplicative jitter to a pressure vector — used by the

@@ -42,6 +42,9 @@ cargo bench --no-run -p bolt-bench --bench table1_mrc_ablation
 echo "==> fit-cache bench harness compiles"
 cargo bench --no-run -p bolt-bench --bench crit_fit_cache
 
+echo "==> region-scale bench harnesses compile"
+cargo bench --no-run -p bolt-bench --bench region_scale --bench crit_region_scale
+
 echo "==> mrc_extension example smoke run"
 cargo run --release -q --example mrc_extension > /dev/null
 
@@ -62,5 +65,18 @@ echo "==> fit cache is output-invariant (cache on vs --no-fit-cache)"
 cargo run --release -q -- detect --servers 4 --victims 6 --seed 42 \
   --no-fit-cache > "$REPLAY_DIR/uncached.txt"
 cmp "$REPLAY_DIR/out1.txt" "$REPLAY_DIR/uncached.txt"
+
+echo "==> region smoke (5k servers / 50k VMs must step within the budget)"
+REGION_START=$SECONDS
+cargo run --release -q -- region --servers 5000 --vms-per-server 10 --steps 5 \
+  > "$REPLAY_DIR/region.txt"
+REGION_ELAPSED=$((SECONDS - REGION_START))
+grep -q "^| vms  *| 50000" "$REPLAY_DIR/region.txt" \
+  || { echo "region smoke: expected 50000 tenants"; cat "$REPLAY_DIR/region.txt"; exit 1; }
+# Budget covers the whole invocation (including cargo dispatch); the run
+# itself is ~0.2s — a linear-cost regression at this scale blows past 60s.
+if [ "$REGION_ELAPSED" -gt 60 ]; then
+  echo "region smoke: took ${REGION_ELAPSED}s (budget 60s)"; exit 1
+fi
 
 echo "OK: all checks passed"

@@ -56,6 +56,7 @@ fn main() -> ExitCode {
         "rfa" => cmd_rfa(&flags),
         "coresidency" => cmd_coresidency(&flags),
         "robustness" => cmd_robustness(&flags),
+        "region" => cmd_region(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -86,12 +87,15 @@ COMMANDS:
     rfa           the resource-freeing attacks (Table 2)
     coresidency   locate a SQL victim in the cluster (Sec. 5.3)
     robustness    detection accuracy and graceful degradation under churn
+    region        region-scale stress: thousands of hosts under churn + probing
 
 FLAGS (all optional):
     --servers N       cluster size            (default 20)
     --victims N       victim workloads        (default 48)
     --instances N     user-study instances    (default 40)
     --jobs N          user-study jobs         (default 120)
+    --vms-per-server N  region tenants per host (default 10)
+    --steps N         region simulation steps (default 20)
     --seed S          RNG seed                (default experiment-specific)
     --mrc             enable the miss-rate-curve detection channel (default off)
     --no-fit-cache    retrain the recommender at every use instead of caching fits
@@ -660,6 +664,31 @@ fn cmd_robustness(flags: &Flags) -> Result<(), String> {
             "CONTRACT VIOLATED"
         }
     );
+    write_telemetry(flags, &log)?;
+    Ok(())
+}
+
+fn cmd_region(flags: &Flags) -> Result<(), String> {
+    use bolt::region::{run_region_telemetry, RegionConfig};
+
+    let mut config = RegionConfig {
+        servers: flags.usize("servers", 1000)?,
+        vms_per_server: flags.usize("vms-per-server", 10)?,
+        steps: flags.usize("steps", 20)?,
+        ..RegionConfig::default()
+    };
+    if let Some(seed) = flags.u64("seed")? {
+        config.seed = seed;
+    }
+    eprintln!(
+        "stepping a {}-server region ({} tenants/host target, {} steps)...",
+        config.servers, config.vms_per_server, config.steps
+    );
+    let mut telemetry = Telemetry::for_unit(0);
+    let report = run_region_telemetry(&config, &mut telemetry).map_err(|e| e.to_string())?;
+    println!("{}", report.table().render());
+    let mut log = TelemetryLog::new();
+    log.merge(telemetry);
     write_telemetry(flags, &log)?;
     Ok(())
 }
