@@ -1,0 +1,118 @@
+//! The probes-vs-accuracy frontier of the anytime detector: the
+//! controlled experiment with the fixed-shape window (baseline) against
+//! the iterative-deepening window at a sweep of confidence thresholds.
+//!
+//! The anytime engine's claim (EXPERIMENTS.md) is that most detections
+//! never needed the fixed window's full two-sweep budget: ordering
+//! probes by expected information gain and stopping at a stable,
+//! above-threshold verdict should cut the median probes-per-hunt by
+//! well over 2x while holding Table-1 accuracy. The baseline row must
+//! stay byte-identical to the shipped Table 1 numbers — the anytime
+//! flag off means the fixed pipeline runs untouched.
+
+use bolt::experiment::{run_experiment_cache_telemetry, ExperimentConfig};
+use bolt::report::{pct, Table};
+use bolt::telemetry::{Counter, TelemetryEvent, TelemetryLog};
+use bolt::FitCache;
+use bolt_bench::{emit, full_scale};
+use bolt_sim::LeastLoaded;
+
+fn base() -> ExperimentConfig {
+    if full_scale() {
+        ExperimentConfig::default() // 40 servers, 108 victims
+    } else {
+        ExperimentConfig {
+            servers: 16,
+            victims: 40,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Per-hunt probe-sample totals (unit 0 is the training/fit unit, not a
+/// hunt), sorted ascending for the median.
+fn probes_per_hunt(log: &TelemetryLog) -> Vec<u64> {
+    let mut per_unit: std::collections::BTreeMap<usize, u64> = Default::default();
+    for e in log.events() {
+        if let TelemetryEvent::Count {
+            counter: Counter::ProbeSamples,
+            unit,
+            delta,
+            ..
+        } = e
+        {
+            if *unit > 0 {
+                *per_unit.entry(*unit).or_default() += delta;
+            }
+        }
+    }
+    let mut counts: Vec<u64> = per_unit.into_values().collect();
+    counts.sort_unstable();
+    counts
+}
+
+fn main() {
+    let mut table = Table::new(vec![
+        "configuration",
+        "label accuracy",
+        "characteristics accuracy",
+        "median probes/hunt",
+        "mean probes/hunt",
+        "probes saved",
+    ]);
+
+    // The anytime flag only changes detection, never training, so every
+    // variant reuses the baseline's trained recommender through one cache.
+    let cache = FitCache::new();
+    let mut run = |name: &str, config: &ExperimentConfig| {
+        eprintln!("running probes-vs-accuracy variant: {name}...");
+        let (results, log) =
+            run_experiment_cache_telemetry(config, &LeastLoaded, &cache).expect("runs");
+        let counts = probes_per_hunt(&log);
+        let median = counts.get(counts.len() / 2).copied().unwrap_or(0);
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
+        table.row(vec![
+            name.to_string(),
+            pct(results.label_accuracy()),
+            pct(results.characteristics_accuracy()),
+            median.to_string(),
+            format!("{mean:.1}"),
+            log.counter_total(Counter::ProbesSaved).to_string(),
+        ]);
+        (results.label_accuracy(), median)
+    };
+
+    let (base_acc, base_median) = run("fixed window (baseline)", &base());
+    let mut frontier: Vec<(f64, f64, u64)> = Vec::new();
+    for threshold in [0.5, 0.7, 0.9] {
+        let mut config = ExperimentConfig {
+            anytime: true,
+            ..base()
+        };
+        config.detector.confidence_threshold = threshold;
+        let (acc, median) = run(&format!("anytime, threshold {threshold}"), &config);
+        frontier.push((threshold, acc, median));
+    }
+
+    emit(
+        "probes_vs_accuracy",
+        "anytime deepening cuts median probes-per-hunt >=2x at equal Table-1 accuracy",
+        &table,
+    );
+
+    let (_, any_acc, any_median) = frontier
+        .iter()
+        .copied()
+        .find(|&(thr, _, _)| thr == 0.7)
+        .expect("0.7 in the sweep");
+    let speedup = base_median as f64 / (any_median.max(1)) as f64;
+    let acc_delta = (any_acc - base_acc) * 100.0;
+    println!(
+        "median probes {base_median} -> {any_median} ({speedup:.1}x), label accuracy {acc_delta:+.1} points — {}",
+        if speedup >= 2.0 && acc_delta > -1.0 {
+            "the anytime window pays for itself"
+        } else {
+            "BELOW TARGET (investigate the exit criterion)"
+        }
+    );
+}

@@ -76,18 +76,16 @@ fn main() {
         &table,
     );
 
+    // Raw accuracy may move either way under churn — retries re-measure
+    // windows the frozen run accepted at face value, which can *raise* it.
+    // The robustness contract below is about silent failures instead.
     let calm = &points[0];
     let stormy = points.last().expect("nonempty sweep");
     println!(
-        "accuracy {} -> {} at full intensity ({} faults) — {}",
+        "accuracy {} -> {} at full intensity ({} faults)",
         pct(calm.label_accuracy),
         pct(stormy.label_accuracy),
         stormy.faults_injected,
-        if stormy.label_accuracy <= calm.label_accuracy + 1e-9 {
-            "shape holds"
-        } else {
-            "MISMATCH"
-        }
     );
     // The frozen-cluster silent rate is the detector's baseline error;
     // the contract bounds what churn *adds* on top of it.

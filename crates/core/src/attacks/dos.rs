@@ -381,6 +381,7 @@ mod tests {
                 confidence,
                 degraded,
                 mrc: None,
+                anytime: None,
             }
         };
 

@@ -264,6 +264,7 @@ mod tests {
             confidence: 0.9,
             degraded: None,
             mrc: None,
+            anytime: None,
         };
         assert_eq!(
             plan_helper_target(&detection, 0.6).unwrap(),

@@ -112,6 +112,24 @@ pub struct DetectorConfig {
     pub mrc_channel: bool,
     /// Allocation levels per cache sweep when the channel is on.
     pub mrc_points: usize,
+    /// Enables the anytime iterative-deepening window: probes are taken
+    /// one batch at a time in expected-information order, the
+    /// decomposition is refined after each batch, and the window returns
+    /// the moment its confidence crosses
+    /// [`DetectorConfig::confidence_threshold`]. Off by default — the
+    /// fixed-shape window is the paper baseline and stays byte-identical.
+    pub anytime: bool,
+    /// Confidence at which an anytime window stops deepening.
+    pub confidence_threshold: f64,
+    /// Probe budget per anytime window (individual microbenchmark runs,
+    /// including the seed snapshot). The default matches the fixed
+    /// window's nominal two-sweep cost, so a window that never converges
+    /// ends up with the same signal quality the baseline gets — the
+    /// savings come entirely from early exits, never from a ceiling on
+    /// hard cases.
+    pub anytime_max_probes: usize,
+    /// Probes taken between decomposition refinements when deepening.
+    pub anytime_batch: usize,
 }
 
 impl Default for DetectorConfig {
@@ -130,6 +148,10 @@ impl Default for DetectorConfig {
             enable_differencing: true,
             mrc_channel: false,
             mrc_points: 8,
+            anytime: false,
+            confidence_threshold: 0.7,
+            anytime_max_probes: 20,
+            anytime_batch: 1,
         }
     }
 }
@@ -162,6 +184,10 @@ pub struct Detection {
     /// channel ran this window. `None` whenever the channel is off or
     /// the window ended before the sweep (idle, blackout, no signal).
     pub mrc: Option<MrcFingerprint>,
+    /// Deepening statistics when the anytime engine produced this
+    /// detection; `None` on the fixed-shape window.
+    #[serde(default)]
+    pub anytime: Option<crate::anytime::AnytimeInfo>,
 }
 
 impl Detection {
@@ -221,7 +247,7 @@ pub struct PhaseSample {
 /// zero mean "cannot see", not "the co-resident is idle there" — pinning
 /// them as observations would poison the completed profile, so they are
 /// dropped and the core resources are left to the completion stage.
-fn usable_observations(snapshot: &Snapshot) -> Vec<(bolt_workloads::Resource, f64)> {
+pub(crate) fn usable_observations(snapshot: &Snapshot) -> Vec<(bolt_workloads::Resource, f64)> {
     let blind_cores = !core_signal_usable(snapshot);
     snapshot
         .observations()
@@ -233,7 +259,7 @@ fn usable_observations(snapshot: &Snapshot) -> Vec<(bolt_workloads::Resource, f6
 /// Orients a sweep difference toward the load increase and drops the
 /// noise floor: the result is (approximately) Δload × the changing
 /// application's fingerprint.
-fn orient_difference(
+pub(crate) fn orient_difference(
     before: &[(bolt_workloads::Resource, f64)],
     after: &[(bolt_workloads::Resource, f64)],
 ) -> Vec<(bolt_workloads::Resource, f64)> {
@@ -281,9 +307,9 @@ fn window_contaminated(
 /// a usable signal. Static core sharing produces readings well above this;
 /// scheduler-float leakage under weak visibility (VMs) sits below it and
 /// would only feed noise into the disentangler.
-const CORE_SIGNAL_FLOOR: f64 = 12.0;
+pub(crate) const CORE_SIGNAL_FLOOR: f64 = 12.0;
 
-fn core_signal_usable(snapshot: &Snapshot) -> bool {
+pub(crate) fn core_signal_usable(snapshot: &Snapshot) -> bool {
     snapshot
         .readings
         .iter()
@@ -295,7 +321,7 @@ fn core_signal_usable(snapshot: &Snapshot) -> bool {
 /// *between* the window's two sweeps — genuine mid-window contamination.
 /// The `Fixed` arm makes every hook a no-op, so chaos-off detection runs
 /// the exact pre-chaos instruction sequence.
-enum ProbeWorld<'a> {
+pub(crate) enum ProbeWorld<'a> {
     /// A frozen cluster (the pre-chaos behavior).
     Fixed(&'a Cluster),
     /// A live cluster evolved by a compiled fault plan.
@@ -309,7 +335,7 @@ enum ProbeWorld<'a> {
 }
 
 impl ProbeWorld<'_> {
-    fn cluster(&self) -> &Cluster {
+    pub(crate) fn cluster(&self) -> &Cluster {
         match self {
             ProbeWorld::Fixed(c) => c,
             ProbeWorld::Live { cluster, .. } => cluster,
@@ -318,7 +344,7 @@ impl ProbeWorld<'_> {
 
     /// Applies every fault due by simulated time `t`; returns how many
     /// were injected. No-op (and no RNG use) on a fixed world.
-    fn advance(&mut self, t: f64) -> Result<u64, BoltError> {
+    pub(crate) fn advance(&mut self, t: f64) -> Result<u64, BoltError> {
         match self {
             ProbeWorld::Fixed(_) => Ok(0),
             ProbeWorld::Live { cluster, plan, .. } => Ok(plan.apply_due(cluster, t)?),
@@ -326,7 +352,7 @@ impl ProbeWorld<'_> {
     }
 
     /// The probe-level fault verdict for this window, if any.
-    fn probe_fault(&self) -> Option<ProbeFaultKind> {
+    pub(crate) fn probe_fault(&self) -> Option<ProbeFaultKind> {
         match self {
             ProbeWorld::Fixed(_) => None,
             ProbeWorld::Live { plan, window, .. } => plan.probe_fault(*window),
@@ -337,7 +363,7 @@ impl ProbeWorld<'_> {
     /// live worlds: on a frozen cluster an inter-sweep discontinuity *is*
     /// the victim's load-pattern phase change — exactly the signal temporal
     /// differencing exists to read, never evidence of churn.
-    fn is_live(&self) -> bool {
+    pub(crate) fn is_live(&self) -> bool {
         matches!(self, ProbeWorld::Live { .. })
     }
 }
@@ -350,9 +376,9 @@ impl ProbeWorld<'_> {
 /// and all `Parallelism::Threads(n)` hunt workers read the same fit.
 #[derive(Debug, Clone)]
 pub struct Detector {
-    recommender: Arc<HybridRecommender>,
-    profiler: Profiler,
-    config: DetectorConfig,
+    pub(crate) recommender: Arc<HybridRecommender>,
+    pub(crate) profiler: Profiler,
+    pub(crate) config: DetectorConfig,
 }
 
 impl Detector {
@@ -515,6 +541,9 @@ impl Detector {
     /// The shared window pipeline behind both `detect*` families. The
     /// `Fixed` world keeps every chaos hook a no-op so the legacy paths
     /// stay byte-identical; the `Live` world mutates between sweeps.
+    /// With [`DetectorConfig::anytime`] set, the fixed-shape pipeline is
+    /// replaced wholesale by the iterative-deepening window in
+    /// [`crate::anytime`].
     fn detect_window<R: Rng>(
         &self,
         world: &mut ProbeWorld<'_>,
@@ -524,6 +553,9 @@ impl Detector {
         rng: &mut R,
         telemetry: &mut Telemetry,
     ) -> Result<Detection, BoltError> {
+        if self.config.anytime {
+            return self.detect_anytime_window(world, adversary, t, baseline, rng, telemetry);
+        }
         // Faults scheduled before the window begins are already history.
         let pre_faults = world.advance(t)?;
         telemetry.count(Counter::FaultsInjected, pre_faults);
@@ -546,6 +578,7 @@ impl Detector {
                 confidence: 1.0,
                 degraded: None,
                 mrc: None,
+                anytime: None,
             });
         }
 
@@ -602,6 +635,7 @@ impl Detector {
                         confidence: 0.0,
                         degraded: Some(DegradedReason::InsufficientSamples),
                         mrc: None,
+                        anytime: None,
                     });
                 }
                 ProbeFaultKind::DroppedSample => {
@@ -662,6 +696,7 @@ impl Detector {
                 confidence: 0.0,
                 degraded: None,
                 mrc: None,
+                anytime: None,
             });
         }
 
@@ -923,6 +958,7 @@ impl Detector {
             confidence,
             degraded,
             mrc: mrc_fp,
+            anytime: None,
         })
     }
 
@@ -1102,7 +1138,11 @@ impl Detector {
         let mut window: u64 = 0;
         let mut retries_left = policy.max_retries;
         let mut backoff_s = policy.initial_backoff_s.max(0.0);
-        let mut spent_s = 0.0;
+        // Probe time and backoff time both charge the budget, but only
+        // probe time is "probed seconds" — keep them apart so the
+        // exhaustion report stays honest.
+        let mut probed_s = 0.0;
+        let mut backoff_spent_s = 0.0;
         let mut t = start_t;
         let mut i = 0;
         let mut churn_observed = false;
@@ -1124,7 +1164,7 @@ impl Detector {
                 telemetry.cluster_event(event);
             }
             telemetry.span(Phase::DetectionIteration, t, d.duration_s, iteration_clock);
-            spent_s += d.duration_s;
+            probed_s += d.duration_s;
 
             let contaminated = matches!(
                 d.degraded,
@@ -1132,7 +1172,11 @@ impl Detector {
             );
             if contaminated {
                 churn_observed = true;
-                if retries_left > 0 && spent_s + backoff_s < policy.probe_budget_s {
+                // Inclusive boundary: a retry whose backoff lands exactly
+                // on the budget is still affordable.
+                if retries_left > 0
+                    && probed_s + backoff_spent_s + backoff_s <= policy.probe_budget_s
+                {
                     // Discard the window and re-probe after backing off;
                     // the iteration is not consumed and the contaminated
                     // sweep never becomes a baseline.
@@ -1142,7 +1186,7 @@ impl Detector {
                         // Blackouts already count themselves at the probe.
                         telemetry.count(Counter::WindowsDiscarded, 1);
                     }
-                    spent_s += backoff_s;
+                    backoff_spent_s += backoff_s;
                     t += d.duration_s + backoff_s;
                     backoff_s *= policy.backoff_mult.max(1.0);
                     continue;
@@ -1151,31 +1195,46 @@ impl Detector {
                 // keep whatever verdict this window produced, but mark it
                 // so consumers know not to act on it blindly.
                 let reason = format!(
-                    "retry budget exhausted after {} retries at t={:.0}s \
-                     ({:.0}s probed of {:.0}s allowed)",
+                    "retry budget exhausted after {} retries, {:.0}s into the hunt \
+                     ({:.0}s probed + {:.0}s backoff of {:.0}s allowed)",
                     policy.max_retries - retries_left,
-                    t,
-                    spent_s,
+                    t + d.duration_s - start_t,
+                    probed_s,
+                    backoff_spent_s,
                     policy.probe_budget_s
                 );
                 if policy.abort_on_exhaustion {
                     return Err(BoltError::DetectionAborted { reason });
                 }
-                d.confidence *= 0.5;
+                // The anytime window already returns its honest
+                // best-so-far confidence at the budget edge; halving it
+                // again would double-penalize. The fixed-shape window has
+                // no such notion, so its contaminated verdict is damped.
+                if !self.config.anytime {
+                    d.confidence *= 0.5;
+                }
                 d.degraded = Some(DegradedReason::BudgetExhausted);
+            } else {
+                // A clean window proves the burst passed: the next retry
+                // (if any) should start from the initial backoff again
+                // rather than inherit an earlier burst's inflated wait.
+                backoff_s = policy.initial_backoff_s.max(0.0);
             }
 
             let done = accept(&d);
             if !d.sweep.is_empty() {
                 baseline = Some(d.sweep.clone());
             }
+            let duration_s = d.duration_s;
             last = Some((d, i + 1));
             if done {
                 accepted = true;
                 break;
             }
             i += 1;
-            t += self.config.interval_s;
+            // The next window starts one interval after this one *ended*:
+            // probe time is wall-clock too, same as on the retry path.
+            t += duration_s + self.config.interval_s;
         }
         let (mut d, iterations) = last.expect("at least one window ran");
         // A hunt that saw churn and still never converged cannot vouch for
@@ -1363,5 +1422,368 @@ mod tests {
         let d = detector().detect(&cluster, adv, 0.0, &mut r).unwrap();
         // One full sweep plus the temporal-differencing sweep and gap.
         assert!(d.duration_s > 0.0 && d.duration_s < 120.0);
+    }
+
+    // ---- retry-loop accounting regressions -------------------------------
+    //
+    // The probe-fault draw is a pure hash of (seed, window), so a plan
+    // whose windows fault in a prescribed pattern can be found by seed
+    // scan — fully deterministic, no RNG state consumed.
+
+    use crate::telemetry::TelemetryEvent;
+    use bolt_sim::ChaosConfig;
+
+    fn fault_plan_matching(pattern: &[Option<ProbeFaultKind>]) -> FaultPlan {
+        let cfg = ChaosConfig {
+            intensity: 1.0,
+            probe_fault_rate: 0.5,
+            ..ChaosConfig::none()
+        };
+        for seed in 0..500_000u64 {
+            let plan = FaultPlan::compile(&cfg, seed, 0, 0.0, 5000.0);
+            if pattern
+                .iter()
+                .enumerate()
+                .all(|(w, want)| plan.probe_fault(w as u64) == *want)
+            {
+                return plan;
+            }
+        }
+        panic!("no fault-plan seed matches {pattern:?}");
+    }
+
+    /// The `(sim_start_s, sim_duration_s)` of every detection window, in
+    /// execution order — the observable the accounting fixes are pinned by.
+    fn window_spans(events: &[TelemetryEvent]) -> Vec<(f64, f64)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span {
+                    phase: Phase::DetectionIteration,
+                    sim_start_s,
+                    sim_duration_s,
+                    ..
+                } => Some((*sim_start_s, *sim_duration_s)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn churn_setup() -> (Cluster, VmId, StdRng) {
+        let mut r = rng();
+        let victim = catalog::memcached::profile(&catalog::memcached::Variant::ReadHeavyKb, &mut r)
+            .with_vcpus(8);
+        let (cluster, adv) = cluster_with_victims(vec![victim], &mut r);
+        (cluster, adv, StdRng::seed_from_u64(0xB0FF))
+    }
+
+    #[test]
+    fn clean_window_resets_the_backoff() {
+        // Windows: blackout → clean → blackout. The second retry must wait
+        // `initial_backoff_s` again, not the doubled backoff the first
+        // burst left behind.
+        let (mut cluster, adv, mut r) = churn_setup();
+        let mut plan = fault_plan_matching(&[
+            Some(ProbeFaultKind::Blackout),
+            None,
+            Some(ProbeFaultKind::Blackout),
+            None,
+        ]);
+        let det = Detector::new(
+            detector().recommender_arc(),
+            DetectorConfig {
+                max_iterations: 2,
+                ..DetectorConfig::default()
+            },
+        );
+        let policy = RetryPolicy {
+            max_retries: 4,
+            initial_backoff_s: 15.0,
+            backoff_mult: 2.0,
+            ..RetryPolicy::default()
+        };
+        let mut telemetry = Telemetry::for_unit(0);
+        det.detect_until_churn_telemetry(
+            &mut cluster,
+            &mut plan,
+            &policy,
+            adv,
+            30.0,
+            |_| false,
+            &mut r,
+            &mut telemetry,
+        )
+        .unwrap();
+        let spans = window_spans(&telemetry.into_events());
+        assert_eq!(spans.len(), 4, "2 iterations + 2 retries");
+        let (s0, d0) = spans[0];
+        let (s1, d1) = spans[1];
+        let (s2, d2) = spans[2];
+        let (s3, _) = spans[3];
+        assert_eq!(s0, 30.0);
+        // Retry after the first blackout: probe time + initial backoff.
+        assert!((s1 - (s0 + d0 + 15.0)).abs() < 1e-9, "{s1} vs {}", s0 + d0);
+        // Accepted (clean) window: the next iteration starts one interval
+        // after the window *ended* — probe time is wall-clock here too.
+        assert!((s2 - (s1 + d1 + 20.0)).abs() < 1e-9, "{s2} vs {}", s1 + d1);
+        // The clean window reset the backoff: 15 s again, not 30 s.
+        assert!((s3 - (s2 + d2 + 15.0)).abs() < 1e-9, "{s3} vs {}", s2 + d2);
+    }
+
+    #[test]
+    fn budget_boundary_is_inclusive() {
+        let pattern = [
+            Some(ProbeFaultKind::Blackout),
+            Some(ProbeFaultKind::Blackout),
+        ];
+        let policy = RetryPolicy {
+            max_retries: 1,
+            initial_backoff_s: 10.0,
+            ..RetryPolicy::default()
+        };
+        // One iteration only: both windows of the pattern, nothing after.
+        let det = Detector::new(
+            detector().recommender_arc(),
+            DetectorConfig {
+                max_iterations: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        // First pass: unlimited budget, to learn the window's probe cost.
+        let (mut cluster, adv, mut r) = churn_setup();
+        let mut plan = fault_plan_matching(&pattern);
+        let mut telemetry = Telemetry::for_unit(0);
+        det.detect_until_churn_telemetry(
+            &mut cluster,
+            &mut plan,
+            &policy,
+            adv,
+            30.0,
+            |_| false,
+            &mut r,
+            &mut telemetry,
+        )
+        .unwrap();
+        let spans = window_spans(&telemetry.into_events());
+        assert_eq!(spans.len(), 2, "one retry under an unlimited budget");
+        let d0 = spans[0].1;
+
+        // Second pass: a budget of exactly probe-cost + backoff. The
+        // boundary is inclusive, so the retry must still happen.
+        let (mut cluster, adv, mut r) = churn_setup();
+        let mut plan = fault_plan_matching(&pattern);
+        let exact = RetryPolicy {
+            probe_budget_s: d0 + 10.0,
+            ..policy
+        };
+        let mut telemetry = Telemetry::for_unit(0);
+        let (d, _) = det
+            .detect_until_churn_telemetry(
+                &mut cluster,
+                &mut plan,
+                &exact,
+                adv,
+                30.0,
+                |_| false,
+                &mut r,
+                &mut telemetry,
+            )
+            .unwrap();
+        let events = telemetry.into_events();
+        assert_eq!(
+            window_spans(&events).len(),
+            2,
+            "a retry landing exactly on the budget is affordable"
+        );
+        // The second window faults too and no retries remain: the hunt
+        // degrades to a budget-exhausted best effort.
+        assert_eq!(d.degraded, Some(DegradedReason::BudgetExhausted));
+
+        // Just under the exact cost, the retry is no longer affordable.
+        let (mut cluster, adv, mut r) = churn_setup();
+        let mut plan = fault_plan_matching(&pattern);
+        let under = RetryPolicy {
+            probe_budget_s: d0 + 10.0 - 1e-6,
+            ..policy
+        };
+        let mut telemetry = Telemetry::for_unit(0);
+        let (d, _) = det
+            .detect_until_churn_telemetry(
+                &mut cluster,
+                &mut plan,
+                &under,
+                adv,
+                30.0,
+                |_| false,
+                &mut r,
+                &mut telemetry,
+            )
+            .unwrap();
+        assert_eq!(window_spans(&telemetry.into_events()).len(), 1);
+        assert_eq!(d.degraded, Some(DegradedReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_retries_degrade_without_reprobing() {
+        let (mut cluster, adv, mut r) = churn_setup();
+        let mut plan = fault_plan_matching(&[Some(ProbeFaultKind::Blackout)]);
+        let det = Detector::new(
+            detector().recommender_arc(),
+            DetectorConfig {
+                max_iterations: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        let mut telemetry = Telemetry::for_unit(0);
+        let (d, iters) = det
+            .detect_until_churn_telemetry(
+                &mut cluster,
+                &mut plan,
+                &policy,
+                adv,
+                30.0,
+                |_| false,
+                &mut r,
+                &mut telemetry,
+            )
+            .unwrap();
+        let events = telemetry.into_events();
+        assert_eq!(window_spans(&events).len(), 1);
+        assert_eq!(iters, 1);
+        assert_eq!(d.degraded, Some(DegradedReason::BudgetExhausted));
+        let retries: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Count {
+                    counter: Counter::DetectionRetries,
+                    delta,
+                    ..
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn zero_budget_blocks_every_retry() {
+        let (mut cluster, adv, mut r) = churn_setup();
+        let mut plan = fault_plan_matching(&[Some(ProbeFaultKind::Blackout)]);
+        let det = Detector::new(
+            detector().recommender_arc(),
+            DetectorConfig {
+                max_iterations: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        let policy = RetryPolicy {
+            max_retries: 2,
+            probe_budget_s: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut telemetry = Telemetry::for_unit(0);
+        let (d, _) = det
+            .detect_until_churn_telemetry(
+                &mut cluster,
+                &mut plan,
+                &policy,
+                adv,
+                30.0,
+                |_| false,
+                &mut r,
+                &mut telemetry,
+            )
+            .unwrap();
+        assert_eq!(window_spans(&telemetry.into_events()).len(), 1);
+        assert_eq!(d.degraded, Some(DegradedReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn shrinking_backoff_mult_clamps_to_one() {
+        // backoff_mult < 1 must not shrink the wait between retries.
+        let (mut cluster, adv, mut r) = churn_setup();
+        let mut plan = fault_plan_matching(&[
+            Some(ProbeFaultKind::Blackout),
+            Some(ProbeFaultKind::Blackout),
+            None,
+        ]);
+        let det = Detector::new(
+            detector().recommender_arc(),
+            DetectorConfig {
+                max_iterations: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        let policy = RetryPolicy {
+            max_retries: 2,
+            initial_backoff_s: 15.0,
+            backoff_mult: 0.5,
+            ..RetryPolicy::default()
+        };
+        let mut telemetry = Telemetry::for_unit(0);
+        det.detect_until_churn_telemetry(
+            &mut cluster,
+            &mut plan,
+            &policy,
+            adv,
+            30.0,
+            |_| false,
+            &mut r,
+            &mut telemetry,
+        )
+        .unwrap();
+        let spans = window_spans(&telemetry.into_events());
+        assert_eq!(spans.len(), 3);
+        let (s0, d0) = spans[0];
+        let (s1, d1) = spans[1];
+        let (s2, _) = spans[2];
+        assert!((s1 - (s0 + d0 + 15.0)).abs() < 1e-9);
+        // Clamped: still 15 s, never 7.5 s.
+        assert!((s2 - (s1 + d1 + 15.0)).abs() < 1e-9, "{s2} vs {}", s1 + d1);
+    }
+
+    #[test]
+    fn exhaustion_report_separates_probe_and_backoff_time() {
+        let (mut cluster, adv, mut r) = churn_setup();
+        let mut plan = fault_plan_matching(&[Some(ProbeFaultKind::Blackout)]);
+        let policy = RetryPolicy {
+            max_retries: 0,
+            abort_on_exhaustion: true,
+            ..RetryPolicy::default()
+        };
+        let err = detector()
+            .detect_until_churn_telemetry(
+                &mut cluster,
+                &mut plan,
+                &policy,
+                adv,
+                30.0,
+                |_| false,
+                &mut r,
+                &mut Telemetry::disabled(),
+            )
+            .unwrap_err();
+        let BoltError::DetectionAborted { reason } = err else {
+            panic!("expected DetectionAborted, got {err}");
+        };
+        // The report names the retries taken, how far into the hunt (not
+        // the absolute clock: the hunt started at t=30), and splits probed
+        // seconds from backoff seconds instead of lumping them together.
+        assert!(reason.contains("after 0 retries"), "{reason}");
+        assert!(reason.contains("s probed + 0s backoff"), "{reason}");
+        let into_hunt: f64 = reason
+            .split("retries, ")
+            .nth(1)
+            .and_then(|s| s.split("s into the hunt").next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("parsable hunt offset");
+        assert!(
+            into_hunt < 100.0,
+            "offset must be hunt-relative, not absolute: {reason}"
+        );
     }
 }

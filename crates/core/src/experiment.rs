@@ -66,6 +66,11 @@ pub struct ExperimentConfig {
     /// default so pre-existing runs stay byte-identical.
     #[serde(default)]
     pub mrc_channel: bool,
+    /// Enables the anytime iterative-deepening window on every hunt
+    /// (equivalent to setting [`DetectorConfig::anytime`]); off by
+    /// default so pre-existing runs stay byte-identical.
+    #[serde(default)]
+    pub anytime: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -83,6 +88,7 @@ impl Default for ExperimentConfig {
             chaos: ChaosConfig::none(),
             retry: RetryPolicy::default(),
             mrc_channel: false,
+            anytime: false,
         }
     }
 }
@@ -529,6 +535,7 @@ fn build_testbed_inner<S: Scheduler>(
         recommender,
         DetectorConfig {
             mrc_channel: config.detector.mrc_channel || config.mrc_channel,
+            anytime: config.detector.anytime || config.anytime,
             ..config.detector
         },
     );

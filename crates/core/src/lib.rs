@@ -68,6 +68,7 @@
 
 #![warn(missing_docs)]
 
+pub mod anytime;
 pub mod attacks;
 pub mod detector;
 mod error;
@@ -82,6 +83,7 @@ pub mod sensitivity;
 pub mod telemetry;
 pub mod user_study;
 
+pub use anytime::AnytimeInfo;
 pub use bolt_recommender::{FitCache, FitCacheStats};
 pub use detector::{DegradedReason, Detection, Detector, DetectorConfig, RetryPolicy};
 pub use error::BoltError;

@@ -183,11 +183,15 @@ mod tests {
             stormy.faults_injected > 0,
             "full intensity must inject faults"
         );
+        // Raw accuracy may move either way at this scale: retries (with
+        // honest probe-time accounting between windows) convert silent
+        // mislabels into correct labels or loud degradations. The
+        // robustness contract is about *silent* failures, asserted below.
         assert!(
-            stormy.label_accuracy <= calm.label_accuracy + 1e-9,
-            "churn must not improve accuracy ({} -> {})",
-            calm.label_accuracy,
-            stormy.label_accuracy
+            stormy.silent_mislabel_rate <= calm.silent_mislabel_rate + 1e-9,
+            "churn must not add silent mislabels ({} -> {})",
+            calm.silent_mislabel_rate,
+            stormy.silent_mislabel_rate
         );
         assert!(stormy.degraded_rate > 0.0, "some hunts must degrade loudly");
         assert!(

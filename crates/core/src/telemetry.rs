@@ -67,6 +67,9 @@ pub enum Phase {
     MrcSweep,
     /// Mixture decomposition (pair pursuit) over averaged observations.
     Decomposition,
+    /// The anytime window's deepening loop: gain-ordered probes
+    /// interleaved with incremental decomposition refinements.
+    AnytimeDeepen,
     /// One full detect iteration (probe + recommend + verdict).
     DetectionIteration,
     /// An attack program run (DoS, RFA, co-residency hunt).
@@ -75,7 +78,7 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::RecommenderFit,
         Phase::ProbeSweep,
         Phase::ShutterCapture,
@@ -83,6 +86,7 @@ impl Phase {
         Phase::ContentMatch,
         Phase::MrcSweep,
         Phase::Decomposition,
+        Phase::AnytimeDeepen,
         Phase::DetectionIteration,
         Phase::AttackExecution,
     ];
@@ -97,6 +101,7 @@ impl Phase {
             Phase::ContentMatch => "content-match",
             Phase::MrcSweep => "mrc-sweep",
             Phase::Decomposition => "decomposition",
+            Phase::AnytimeDeepen => "anytime-deepen",
             Phase::DetectionIteration => "detection-iteration",
             Phase::AttackExecution => "attack-execution",
         }
@@ -160,11 +165,15 @@ pub enum Counter {
     /// queries. With the residency index this scales with co-residents
     /// per query, independent of total cluster size.
     NeighborVisits,
+    /// Probe measurements the anytime window did *not* take compared to
+    /// the fixed-shape window's nominal two-sweep cost — the quantity
+    /// the probes-vs-accuracy frontier sums.
+    ProbesSaved,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 19] = [
         Counter::SgdIterations,
         Counter::ShortlistPairHits,
         Counter::ExactPairSearches,
@@ -183,6 +192,7 @@ impl Counter {
         Counter::AggregateCacheHit,
         Counter::AggregateCacheMiss,
         Counter::NeighborVisits,
+        Counter::ProbesSaved,
     ];
 
     /// Stable wire name.
@@ -206,6 +216,7 @@ impl Counter {
             Counter::AggregateCacheHit => "aggregate-cache-hit",
             Counter::AggregateCacheMiss => "aggregate-cache-miss",
             Counter::NeighborVisits => "neighbor-visits",
+            Counter::ProbesSaved => "probes-saved",
         }
     }
 

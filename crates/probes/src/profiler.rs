@@ -200,6 +200,37 @@ impl Profiler {
         }
         Ok(())
     }
+
+    /// Probes one *named* resource and appends the reading to `snapshot`
+    /// — the partial-sweep primitive of the anytime detector, which
+    /// chooses the resource itself (by expected information gain) instead
+    /// of drawing it from a shuffled pool. The measurement starts where
+    /// the snapshot left off (`t + snapshot.duration_s`) and the
+    /// snapshot's clock advances by the probe's cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownVm`] if `observer` is not placed.
+    pub fn probe_resource<R: Rng>(
+        &self,
+        cluster: &Cluster,
+        observer: VmId,
+        t: f64,
+        resource: Resource,
+        snapshot: &mut Snapshot,
+        rng: &mut R,
+    ) -> Result<(), SimError> {
+        let reading = Microbenchmark::new(resource).measure(
+            cluster,
+            observer,
+            t + snapshot.duration_s,
+            &self.config.ramp,
+            rng,
+        )?;
+        snapshot.duration_s += reading.duration_s;
+        snapshot.readings.push(reading);
+        Ok(())
+    }
 }
 
 impl Default for Profiler {

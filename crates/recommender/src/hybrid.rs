@@ -120,6 +120,58 @@ impl RecommenderStats {
     }
 }
 
+/// Which atom dictionary a warm shortlist was built over. Atom indices
+/// are only comparable across refinement rounds when the dictionary
+/// layout is unchanged; a path or float-regime switch invalidates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DictTag {
+    /// Uncore-only dictionary (one atom per training example).
+    UncoreOnly,
+    /// Joint core/uncore dictionary, two hypotheses per example.
+    Joint,
+    /// Joint dictionary with the scheduler-float hypothesis (three
+    /// hypotheses per example).
+    JointWithFloat,
+}
+
+/// Carry-over state for iterative-deepening decomposition: the pruned
+/// atom shortlist of the previous refinement round. A fresh (or
+/// dictionary-switched) state makes the next decomposition search the
+/// full dictionary, exactly like the non-warm entry points; afterwards
+/// each round refines among the previous round's survivors only, which
+/// is what keeps per-probe re-decomposition affordable.
+#[derive(Debug, Clone, Default)]
+pub struct WarmShortlist {
+    atoms: Vec<usize>,
+    tag: Option<DictTag>,
+}
+
+impl WarmShortlist {
+    /// A fresh, empty warm state.
+    pub fn new() -> Self {
+        WarmShortlist::default()
+    }
+
+    /// Number of atoms carried over from the previous round.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when no shortlist is carried (the next search is full).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Tags the state with the dictionary about to be searched, clearing
+    /// the carried shortlist when the layout changed.
+    fn enter(&mut self, tag: DictTag) {
+        if self.tag != Some(tag) {
+            self.atoms.clear();
+            self.tag = Some(tag);
+        }
+    }
+}
+
 /// One entry of the similarity distribution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimilarityScore {
@@ -578,6 +630,16 @@ impl HybridRecommender {
         self.info_weights[j]
     }
 
+    /// Per-resource information values, indexed by
+    /// [`Resource::index`]: how much retained-concept energy loads on
+    /// each dimension, discounted by its Wiener channel reliability.
+    /// The anytime detector orders candidate probes by these weights —
+    /// the same weights every subspace match and decomposition applies —
+    /// so "expected information gain" and "fit influence" agree.
+    pub fn information_weights(&self) -> [f64; RESOURCE_COUNT] {
+        self.info_weights
+    }
+
     /// Identifies the co-runner sharing the adversary's physical core by
     /// combining the core-subspace shape match with a *mixture
     /// consistency* check on the uncore readings: co-resident pressure is
@@ -701,6 +763,47 @@ impl HybridRecommender {
         stats: &mut RecommenderStats,
     ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
         let _ = consistency;
+        self.decompose_mixture_impl(observations, max_components, mrc_observed, None, stats)
+    }
+
+    /// [`HybridRecommender::decompose_mixture_mrc`] with a warm-started
+    /// shortlist for iterative deepening: when `warm` carries the atom
+    /// shortlist of a previous refinement round over the *same*
+    /// dictionary, the single-fit ranking runs over those atoms alone
+    /// instead of the full dictionary, and the pruned shortlist of this
+    /// round is written back for the next. An empty (or path-switched)
+    /// `warm` searches the full dictionary, identically to the plain
+    /// decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::decompose_mixture`].
+    pub fn decompose_mixture_warm(
+        &self,
+        observations: &[(Resource, f64)],
+        max_components: usize,
+        mrc_observed: Option<&[f64]>,
+        warm: &mut WarmShortlist,
+        stats: &mut RecommenderStats,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        warm.enter(DictTag::UncoreOnly);
+        self.decompose_mixture_impl(
+            observations,
+            max_components,
+            mrc_observed,
+            Some(&mut warm.atoms),
+            stats,
+        )
+    }
+
+    fn decompose_mixture_impl(
+        &self,
+        observations: &[(Resource, f64)],
+        max_components: usize,
+        mrc_observed: Option<&[f64]>,
+        warm: Option<&mut Vec<usize>>,
+        stats: &mut RecommenderStats,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
         validate_obs(observations)?;
         let dims: Vec<usize> = observations.iter().map(|&(r, _)| r.index()).collect();
         let weights: Vec<f64> = dims.iter().map(|&j| self.information_weight(j)).collect();
@@ -714,7 +817,7 @@ impl HybridRecommender {
             values.extend(dims.iter().map(|&j| m[(i, j)]));
         }
         let mrc = self.mrc_context(mrc_observed);
-        Ok(pair_pursuit(
+        Ok(pair_pursuit_warm(
             &weights,
             &target,
             &indices,
@@ -722,6 +825,7 @@ impl HybridRecommender {
             self.config.pair_shortlist,
             max_components,
             mrc.as_ref(),
+            warm,
             stats,
         ))
     }
@@ -801,6 +905,65 @@ impl HybridRecommender {
         mrc_observed: Option<&[f64]>,
         stats: &mut RecommenderStats,
     ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        self.decompose_with_core_impl(
+            core_obs,
+            uncore_obs,
+            float_visibility,
+            max_components,
+            mrc_observed,
+            None,
+            stats,
+        )
+    }
+
+    /// [`HybridRecommender::decompose_with_core_mrc`] with a warm-started
+    /// shortlist, exactly as in
+    /// [`HybridRecommender::decompose_mixture_warm`]. The visibility-
+    /// hypothesis dictionary layout depends on whether scheduler float is
+    /// visible, so the warm state resets itself whenever the float regime
+    /// (or the uncore-only/joint path) changes between rounds.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridRecommender::decompose_with_core`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn decompose_with_core_warm(
+        &self,
+        core_obs: &[(Resource, f64)],
+        uncore_obs: &[(Resource, f64)],
+        float_visibility: f64,
+        max_components: usize,
+        mrc_observed: Option<&[f64]>,
+        warm: &mut WarmShortlist,
+        stats: &mut RecommenderStats,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
+        warm.enter(if float_visibility > 0.0 {
+            DictTag::JointWithFloat
+        } else {
+            DictTag::Joint
+        });
+        self.decompose_with_core_impl(
+            core_obs,
+            uncore_obs,
+            float_visibility,
+            max_components,
+            mrc_observed,
+            Some(&mut warm.atoms),
+            stats,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decompose_with_core_impl(
+        &self,
+        core_obs: &[(Resource, f64)],
+        uncore_obs: &[(Resource, f64)],
+        float_visibility: f64,
+        max_components: usize,
+        mrc_observed: Option<&[f64]>,
+        warm: Option<&mut Vec<usize>>,
+        stats: &mut RecommenderStats,
+    ) -> Result<Vec<(usize, f64, f64)>, LinalgError> {
         let all: Vec<(Resource, f64)> = core_obs.iter().chain(uncore_obs).copied().collect();
         validate_obs(&all)?;
         let dims: Vec<usize> = all.iter().map(|&(r, _)| r.index()).collect();
@@ -836,7 +999,7 @@ impl HybridRecommender {
             }
         }
         let mrc = self.mrc_context(mrc_observed);
-        Ok(pair_pursuit(
+        Ok(pair_pursuit_warm(
             &weights,
             &target,
             &indices,
@@ -844,6 +1007,7 @@ impl HybridRecommender {
             self.config.pair_shortlist,
             max_components,
             mrc.as_ref(),
+            warm,
             stats,
         ))
     }
@@ -1109,6 +1273,9 @@ impl MrcContext {
 /// pressure-only pursuit.
 ///
 /// Returns `(example index, scale, explained fraction)` per component.
+// Production paths thread the warm pool through `pair_pursuit_warm`;
+// this plain entry stays as the reference the unit tests pin against.
+#[cfg_attr(not(test), allow(dead_code))]
 #[allow(clippy::too_many_arguments)]
 fn pair_pursuit(
     weights: &[f64],
@@ -1118,6 +1285,36 @@ fn pair_pursuit(
     shortlist: usize,
     max_components: usize,
     mrc: Option<&MrcContext>,
+    stats: &mut RecommenderStats,
+) -> Vec<(usize, f64, f64)> {
+    pair_pursuit_warm(
+        weights,
+        target,
+        indices,
+        values,
+        shortlist,
+        max_components,
+        mrc,
+        None,
+        stats,
+    )
+}
+
+/// [`pair_pursuit`] with an optional warm-started atom pool: when `warm`
+/// carries a non-empty shortlist from a previous round, the single-fit
+/// ranking runs over those atoms alone, and the pair-search candidate
+/// set of this round is written back for the next. `None` (and an empty
+/// list) is byte-identical to the plain pursuit.
+#[allow(clippy::too_many_arguments)]
+fn pair_pursuit_warm(
+    weights: &[f64],
+    target: &[f64],
+    indices: &[usize],
+    values: &[f64],
+    shortlist: usize,
+    max_components: usize,
+    mrc: Option<&MrcContext>,
+    mut warm: Option<&mut Vec<usize>>,
     stats: &mut RecommenderStats,
 ) -> Vec<(usize, f64, f64)> {
     let total_energy: f64 = (0..target.len())
@@ -1167,10 +1364,15 @@ fn pair_pursuit(
     };
 
     // Single-atom fits: pick the best single explanation and rank every
-    // usable atom for the pair-search shortlist.
-    let mut single_fit: Vec<(usize, f64)> = Vec::with_capacity(n);
+    // usable atom for the pair-search shortlist. A warm pool restricts
+    // the ranking to the previous round's survivors.
+    let pool: Vec<usize> = match warm.as_deref() {
+        Some(w) if !w.is_empty() => w.iter().copied().filter(|&a| a < n).collect(),
+        _ => (0..n).collect(),
+    };
+    let mut single_fit: Vec<(usize, f64)> = Vec::with_capacity(pool.len());
     let mut best_single: Option<(usize, f64, f64)> = None;
-    for a in 0..n {
+    for a in pool {
         if self_sq[a] == 0.0 {
             continue;
         }
@@ -1237,6 +1439,10 @@ fn pair_pursuit(
         stats.exact_searches += 1;
         single_fit.into_iter().map(|(a, _)| a).collect()
     };
+    if let Some(w) = warm.as_deref_mut() {
+        w.clear();
+        w.extend_from_slice(&candidates);
+    }
 
     // Pair search with jointly-optimal clamped scales.
     let mut best_pair: Option<(usize, f64, usize, f64, f64)> = None;

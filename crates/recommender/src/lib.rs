@@ -31,4 +31,5 @@ pub use cache::{fingerprint, ContentHasher, Fingerprint, FitCache, FitCacheStats
 pub use dataset::{TrainingData, TrainingExample};
 pub use hybrid::{
     HybridRecommender, Recommendation, RecommenderConfig, RecommenderStats, SimilarityScore,
+    WarmShortlist,
 };

@@ -45,6 +45,12 @@ cargo bench --no-run -p bolt-bench --bench crit_fit_cache
 echo "==> region-scale bench harnesses compile"
 cargo bench --no-run -p bolt-bench --bench region_scale --bench crit_region_scale
 
+echo "==> anytime contracts (off is byte-invisible, on is deterministic & monotone)"
+cargo test -q -p bolt --test anytime
+
+echo "==> probes-vs-accuracy bench harness compiles"
+cargo bench --no-run -p bolt-bench --bench probes_vs_accuracy
+
 echo "==> mrc_extension example smoke run"
 cargo run --release -q --example mrc_extension > /dev/null
 
@@ -65,6 +71,13 @@ echo "==> fit cache is output-invariant (cache on vs --no-fit-cache)"
 cargo run --release -q -- detect --servers 4 --victims 6 --seed 42 \
   --no-fit-cache > "$REPLAY_DIR/uncached.txt"
 cmp "$REPLAY_DIR/out1.txt" "$REPLAY_DIR/uncached.txt"
+
+echo "==> anytime smoke (--anytime runs deterministically, flag off unchanged)"
+for i in 1 2; do
+  cargo run --release -q -- detect --servers 4 --victims 6 --seed 42 --anytime \
+    --confidence-threshold 0.7 > "$REPLAY_DIR/any$i.txt"
+done
+cmp "$REPLAY_DIR/any1.txt" "$REPLAY_DIR/any2.txt"
 
 echo "==> region smoke (5k servers / 50k VMs must step within the budget)"
 REGION_START=$SECONDS

@@ -98,12 +98,14 @@ FLAGS (all optional):
     --steps N         region simulation steps (default 20)
     --seed S          RNG seed                (default experiment-specific)
     --mrc             enable the miss-rate-curve detection channel (default off)
+    --anytime         enable the anytime iterative-deepening window (default off)
+    --confidence-threshold X  anytime early-exit confidence (default 0.7)
     --no-fit-cache    retrain the recommender at every use instead of caching fits
     --telemetry PATH  write a JSONL telemetry trace of the run to PATH";
 
 /// Flags that take no value: `--mrc` alone means `--mrc true`, while an
 /// explicit `--mrc false` (or `=false`) still parses.
-const BOOLEAN_FLAGS: [&str; 2] = ["mrc", "no-fit-cache"];
+const BOOLEAN_FLAGS: [&str; 3] = ["mrc", "anytime", "no-fit-cache"];
 
 /// Parsed `--flag value` pairs (also accepts `--flag=value`). Values stay
 /// strings until a command asks for them, so path-valued flags like
@@ -125,6 +127,17 @@ impl Flags {
     /// The flag as a count, with a default.
     fn usize(&self, name: &str, default: usize) -> Result<usize, String> {
         Ok(self.u64(name)?.map(|v| v as usize).unwrap_or(default))
+    }
+
+    /// The flag as a float, if present.
+    fn f64(&self, name: &str) -> Result<Option<f64>, String> {
+        self.0
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} needs a number, got `{v}`"))
+            })
+            .transpose()
     }
 
     /// The flag as a boolean, defaulting to `false` when absent.
@@ -201,10 +214,14 @@ fn experiment_config(flags: &Flags) -> Result<ExperimentConfig, String> {
         servers: flags.usize("servers", 20)?,
         victims: flags.usize("victims", 48)?,
         mrc_channel: flags.bool("mrc")?,
+        anytime: flags.bool("anytime")?,
         ..ExperimentConfig::default()
     };
     if let Some(seed) = flags.u64("seed")? {
         config.seed = seed;
+    }
+    if let Some(threshold) = flags.f64("confidence-threshold")? {
+        config.detector.confidence_threshold = threshold;
     }
     Ok(config)
 }
@@ -752,5 +769,13 @@ mod tests {
         )
         .unwrap();
         assert!(flags.bool("no-fit-cache").unwrap());
+        let flags = parse_flags(
+            ["--anytime", "--confidence-threshold", "0.8"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(flags.bool("anytime").unwrap());
+        assert_eq!(flags.f64("confidence-threshold").unwrap(), Some(0.8));
     }
 }
