@@ -690,10 +690,13 @@ fn stale_fill(
         fresh[r.resource.index()] = true;
     }
     base.iter()
-        .filter(|(r, _)| !fresh[r.index()] && !(r.is_core() && !core_usable))
+        .filter(|(r, _)| !fresh[r.index()] && (!r.is_core() || core_usable))
         .copied()
         .collect()
 }
+
+/// One sweep's worth of per-resource pressure samples.
+type SweepSamples = Vec<(Resource, f64)>;
 
 /// Splits the resources sampled more than once into a (first reading,
 /// latest reading) pair of sweeps. Because repeats only start once every
@@ -702,9 +705,7 @@ fn stale_fill(
 /// window's sweep1/sweep2 for temporal differencing. Returns `None`
 /// until at least two resources have repeats (a one-dimensional
 /// difference cannot be matched).
-fn repeat_split(
-    snapshot: &bolt_probes::Snapshot,
-) -> Option<(Vec<(Resource, f64)>, Vec<(Resource, f64)>)> {
+fn repeat_split(snapshot: &bolt_probes::Snapshot) -> Option<(SweepSamples, SweepSamples)> {
     let blind_cores = !core_signal_usable(snapshot);
     let mut first: Vec<(Resource, f64)> = Vec::new();
     let mut latest: Vec<(Resource, f64)> = Vec::new();
@@ -718,7 +719,7 @@ fn repeat_split(
             .filter(|x| x.resource == r)
             .map(|x| x.pressure);
         if let Some(head) = samples.next() {
-            if let Some(tail) = samples.last() {
+            if let Some(tail) = samples.next_back() {
                 first.push((r, head));
                 latest.push((r, tail));
             }

@@ -44,6 +44,12 @@ pub enum DegradedReason {
     /// The window produced too few usable samples (e.g. a measurement
     /// blackout) to attempt matching at all.
     InsufficientSamples,
+    /// The hunt experienced injected probe faults (dropped samples, noise
+    /// bursts) even though the final window passed the validity screen;
+    /// the verdict may rest on contaminated measurements. Set by the
+    /// service layer, which refuses to pass fault-touched verdicts off as
+    /// clean completions.
+    FaultTainted,
 }
 
 impl std::fmt::Display for DegradedReason {
@@ -52,6 +58,7 @@ impl std::fmt::Display for DegradedReason {
             DegradedReason::ChurnDetected => "churn detected mid-window",
             DegradedReason::BudgetExhausted => "probe budget exhausted",
             DegradedReason::InsufficientSamples => "insufficient usable samples",
+            DegradedReason::FaultTainted => "probe faults touched the hunt",
         })
     }
 }
@@ -1125,10 +1132,42 @@ impl Detector {
         policy: &RetryPolicy,
         adversary: VmId,
         start_t: f64,
-        mut accept: F,
+        accept: F,
         rng: &mut R,
         telemetry: &mut Telemetry,
     ) -> Result<(Detection, usize), BoltError>
+    where
+        R: Rng,
+        F: FnMut(&Detection) -> bool,
+    {
+        self.detect_until_churn_elapsed_telemetry(
+            cluster, plan, policy, adversary, start_t, accept, rng, telemetry,
+        )
+        .map(|(d, iterations, _)| (d, iterations))
+    }
+
+    /// [`Detector::detect_until_churn_telemetry`], additionally returning
+    /// the total virtual time the hunt consumed — probe windows, retry
+    /// backoffs, and inter-iteration intervals included — measured from
+    /// `start_t` to the end of the last window. The service loop charges
+    /// this against the request's deadline; `Detection::duration_s` alone
+    /// covers only the final window.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::detect_until_churn`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn detect_until_churn_elapsed_telemetry<R, F>(
+        &self,
+        cluster: &mut Cluster,
+        plan: &mut FaultPlan,
+        policy: &RetryPolicy,
+        adversary: VmId,
+        start_t: f64,
+        mut accept: F,
+        rng: &mut R,
+        telemetry: &mut Telemetry,
+    ) -> Result<(Detection, usize, f64), BoltError>
     where
         R: Rng,
         F: FnMut(&Detection) -> bool,
@@ -1144,6 +1183,7 @@ impl Detector {
         let mut probed_s = 0.0;
         let mut backoff_spent_s = 0.0;
         let mut t = start_t;
+        let mut end_t = start_t;
         let mut i = 0;
         let mut churn_observed = false;
         let mut accepted = false;
@@ -1165,6 +1205,7 @@ impl Detector {
             }
             telemetry.span(Phase::DetectionIteration, t, d.duration_s, iteration_clock);
             probed_s += d.duration_s;
+            end_t = t + d.duration_s;
 
             let contaminated = matches!(
                 d.degraded,
@@ -1245,7 +1286,7 @@ impl Detector {
             d.confidence *= 0.4;
             d.degraded = Some(DegradedReason::ChurnDetected);
         }
-        Ok((d, iterations))
+        Ok((d, iterations, end_t - start_t))
     }
 
     /// Tracks the co-resident's label over a time horizon, one detection

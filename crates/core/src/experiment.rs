@@ -404,7 +404,7 @@ pub fn observed_training(
 /// by `training_seed`, and [`observe_through`] folds in nothing but the
 /// per-resource isolation attenuations — so two configs sharing those
 /// bits share the training set, however much the rest differs.
-fn training_data_key(training_seed: u64, isolation: &IsolationConfig) -> u64 {
+pub(crate) fn training_data_key(training_seed: u64, isolation: &IsolationConfig) -> u64 {
     let mut h = ContentHasher::new();
     h.write_u64(training_seed);
     for r in Resource::ALL {

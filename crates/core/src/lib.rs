@@ -20,6 +20,9 @@
 //!   accuracy and graceful-degradation rates versus chaos intensity.
 //! * [`region`] — region-scale stress: thousands of hosts under churn
 //!   and probing, with storage-layer telemetry and the scaling curve.
+//! * [`service`] — detection as a service: a streaming request loop with
+//!   admission control, deadlines, circuit breakers, and replayable
+//!   request storms.
 //! * [`user_study`] — the §4 EC2 multi-user study behind Figs. 11–12.
 //! * [`attacks`] — the §5 attacks: internal DoS, RFA, co-residency
 //!   detection.
@@ -80,6 +83,7 @@ pub mod region;
 pub mod report;
 pub mod robustness;
 pub mod sensitivity;
+pub mod service;
 pub mod telemetry;
 pub mod user_study;
 
@@ -94,5 +98,11 @@ pub use isolation_study::{run_isolation_study, run_isolation_study_cache, Isolat
 pub use parallel::Parallelism;
 pub use region::{run_region, run_region_telemetry, RegionConfig, RegionReport, ScalePoint};
 pub use robustness::{churn_sweep, churn_sweep_cache, churn_sweep_telemetry, RobustnessPoint};
-pub use telemetry::{Counter, Phase, Telemetry, TelemetryEvent, TelemetryLog};
+pub use service::{
+    compile_trace, run_service, run_service_cache_telemetry, run_service_telemetry, BreakerConfig,
+    Request, RequestOutcome, RequestRecord, ServiceConfig, ServiceReport, ShedPolicy, ShedReason,
+};
+pub use telemetry::{
+    Counter, LatencySummary, Phase, ServiceMetric, Telemetry, TelemetryEvent, TelemetryLog,
+};
 pub use user_study::{run_user_study, run_user_study_cache, UserStudyConfig, UserStudyResults};

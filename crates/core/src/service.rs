@@ -1,0 +1,1156 @@
+//! Bolt-as-a-service: a fault-tolerant streaming detection loop.
+//!
+//! The batch drivers ([`crate::experiment`], [`crate::region`]) answer "what
+//! can Bolt learn from a fixed victim set?". This module answers the
+//! operational question: what happens when detection requests *stream in*
+//! against a live cluster, faster than the probe workers can serve them,
+//! while probes stall and co-residents churn?
+//!
+//! The loop is built from four robustness mechanisms:
+//!
+//! 1. **Admission control** — a bounded queue estimator sheds or degrades
+//!    requests *before* they consume probe time ([`ShedPolicy`]).
+//! 2. **Deadline enforcement** — every admitted request carries a deadline;
+//!    a request that cannot finish in time ends as an honest
+//!    [`RequestOutcome::TimedOut`], never as a silently stale label. When
+//!    the remaining deadline is short, the hunt degrades to the anytime
+//!    window with a probe budget shrunk proportionally.
+//! 3. **Circuit breakers** — repeated faulty hunts against one server trip
+//!    a per-server breaker ([`BreakerConfig`]); further requests shed fast
+//!    until a cooldown re-probe succeeds.
+//! 4. **Replayable fault injection** — request storms, probe stalls, and
+//!    churn bursts come from a compiled [`StormPlan`], so Serial and
+//!    `Threads(n)` runs replay identical faults.
+//!
+//! # Determinism
+//!
+//! The service runs entirely on **virtual time**: arrivals, deadlines,
+//! stalls, and probe durations are simulated seconds; wall-clock never
+//! feeds a decision. The admission pass is sequential; execution fans out
+//! over per-worker *lanes* fixed at admission, each lane replaying its
+//! requests in order with request-id-derived RNG streams and fault plans.
+//! Reports and normalized telemetry are therefore byte-identical for every
+//! [`Parallelism`] setting.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use bolt_recommender::{FitCache, FitOutcome, HybridRecommender, RecommenderConfig, TrainingData};
+use bolt_sim::vm::VmRole;
+use bolt_sim::{
+    ChaosConfig, Cluster, FaultPlan, IsolationConfig, ServerSpec, StormConfig, StormPlan, VmId,
+};
+use bolt_workloads::catalog::memcached;
+use bolt_workloads::training::training_set;
+use bolt_workloads::{AppLabel, PressureVector};
+
+use crate::anytime::FIXED_WINDOW_NOMINAL_PROBES;
+use crate::detector::{DegradedReason, Detector, DetectorConfig, RetryPolicy};
+use crate::experiment::{observed_training, shared_recommender, training_data_key, victim_set};
+use crate::parallel::{split_seed, sweep, Parallelism};
+use crate::telemetry::{Counter, LatencySummary, Phase, ServiceMetric, Telemetry, TelemetryLog};
+use crate::BoltError;
+
+/// What to do with an arrival when the admission queue is saturated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// Reject outright once the queue estimate reaches capacity.
+    Reject,
+    /// Keep admitting past capacity — but flag the request for the anytime
+    /// degraded path — until the estimate reaches twice capacity, then
+    /// shed. Low-priority arrivals degrade earlier, at half capacity.
+    #[default]
+    DegradeToAnytime,
+}
+
+/// Per-server circuit-breaker policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive faulty hunts (degraded verdict or deadline overrun)
+    /// against one server before its breaker opens.
+    pub fault_threshold: usize,
+    /// Seconds a tripped breaker stays open before a half-open re-probe
+    /// is allowed through.
+    pub cooldown_s: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            fault_threshold: 3,
+            cooldown_s: 240.0,
+        }
+    }
+}
+
+/// Streaming-service configuration. The cluster mirrors the §3.4 testbed
+/// (one quiet adversarial VM per server, victims placed round-robin); the
+/// request trace, storms, and chaos are all pure functions of `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Servers in the service cluster.
+    pub servers: usize,
+    /// Friendly victim VMs per server (the detection targets).
+    pub vms_per_server: usize,
+    /// Baseline request count (storms inject extras on top).
+    pub requests: usize,
+    /// Mean request arrivals per simulated minute (exponential gaps).
+    pub arrival_rate_per_min: f64,
+    /// Deadline of every request, in simulated seconds from arrival.
+    pub deadline_s: f64,
+    /// Admission-queue capacity used by the load-shedding estimator.
+    pub queue_capacity: usize,
+    /// Probe-worker lanes executing admitted requests.
+    pub workers: usize,
+    /// Estimated simulated seconds per hunt — the unit of the queue
+    /// estimator and the scale for degraded probe budgets.
+    pub nominal_service_s: f64,
+    /// Overload response.
+    pub shed: ShedPolicy,
+    /// Per-server circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// RNG seed; fixes the cluster draw, the trace, storms, and chaos.
+    pub seed: u64,
+    /// Training-set seed (kept distinct from `seed`, as in
+    /// [`crate::experiment::ExperimentConfig`]).
+    pub training_seed: u64,
+    /// Cluster-wide isolation configuration.
+    pub isolation: IsolationConfig,
+    /// Recommender configuration.
+    pub recommender: RecommenderConfig,
+    /// Detection-engine configuration. The service default caps
+    /// `max_iterations` at 2: a streaming hunt refines on the *next*
+    /// request rather than camping on the probe worker.
+    pub detector: DetectorConfig,
+    /// Retry/backoff policy; its probe budget is additionally clamped to
+    /// each request's remaining deadline.
+    pub retry: RetryPolicy,
+    /// Cluster churn applied (privately, per request) during hunts.
+    pub chaos: ChaosConfig,
+    /// Service-layer fault injector (storms, stalls, churn bursts).
+    pub storm: StormConfig,
+    /// Thread fan-out over worker lanes. Results are byte-identical for
+    /// every setting.
+    pub parallelism: Parallelism,
+    /// Fit through [`FitCache::fit_warm`]: seed SGD from the nearest
+    /// same-config cached model ([`Counter::FitWarmStarts`]). Off by
+    /// default — the cold path is the byte-identity baseline.
+    pub warm_refit: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            servers: 8,
+            vms_per_server: 2,
+            requests: 200,
+            arrival_rate_per_min: 2.0,
+            deadline_s: 240.0,
+            queue_capacity: 6,
+            workers: 3,
+            nominal_service_s: 60.0,
+            shed: ShedPolicy::default(),
+            breaker: BreakerConfig::default(),
+            seed: 0x5EC7,
+            training_seed: 7,
+            isolation: IsolationConfig::cloud_default(),
+            recommender: RecommenderConfig::default(),
+            detector: DetectorConfig {
+                max_iterations: 2,
+                ..DetectorConfig::default()
+            },
+            retry: RetryPolicy::default(),
+            chaos: ChaosConfig::none(),
+            storm: StormConfig::none(),
+            parallelism: Parallelism::default(),
+            warm_refit: false,
+        }
+    }
+}
+
+/// One detection request in the replayable trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Trace-order id (arrival-sorted, dense from 0). Hunt RNG streams and
+    /// fault plans derive from it, so outcomes are lane-assignment
+    /// invariant.
+    pub id: usize,
+    /// Arrival tick, in simulated seconds.
+    pub arrival_s: f64,
+    /// Server whose co-residents the requester wants identified.
+    pub target_server: usize,
+    /// Deadline, in simulated seconds from arrival.
+    pub deadline_s: f64,
+    /// 1 = high priority, 0 = best-effort (degrades first under load).
+    pub priority: u8,
+    /// True when injected by a storm burst rather than the base trace.
+    pub from_storm: bool,
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// Queue estimate at capacity under [`ShedPolicy::Reject`].
+    QueueFull,
+    /// Queue estimate at twice capacity — even the degraded path is full.
+    Overloaded,
+    /// The target server's circuit breaker was open at pickup.
+    BreakerOpen,
+}
+
+/// Terminal state of a request. Every traced request ends in exactly one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Clean detection inside the deadline.
+    Completed {
+        /// Arrival-to-verdict simulated seconds.
+        latency_s: f64,
+        /// Detection confidence.
+        confidence: f64,
+        /// Primary label, if any match cleared the threshold.
+        label: Option<AppLabel>,
+        /// True when some verdict names the workload family of a victim
+        /// actually on the server.
+        correct: bool,
+    },
+    /// Best-effort verdict delivered inside the deadline, honestly flagged.
+    /// Confidence is capped at the detector's acceptance threshold: a
+    /// degraded verdict never outranks a clean one.
+    Degraded {
+        /// Arrival-to-verdict simulated seconds.
+        latency_s: f64,
+        /// Capped detection confidence.
+        confidence: f64,
+        /// Why the verdict is degraded.
+        reason: DegradedReason,
+        /// Primary label, if any match cleared the threshold.
+        label: Option<AppLabel>,
+        /// True when some verdict names the workload family of a victim
+        /// actually on the server.
+        correct: bool,
+    },
+    /// Never executed: shed at admission or by an open breaker.
+    Shed {
+        /// Why.
+        reason: ShedReason,
+    },
+    /// Admitted but could not finish in time; no label is reported.
+    TimedOut {
+        /// Simulated seconds from arrival until the service gave up.
+        latency_s: f64,
+    },
+}
+
+/// One request's full ledger entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Trace id.
+    pub id: usize,
+    /// Arrival tick.
+    pub arrival_s: f64,
+    /// Target server.
+    pub target_server: usize,
+    /// Request priority.
+    pub priority: u8,
+    /// Storm-injected?
+    pub from_storm: bool,
+    /// Admitted onto the degraded (anytime, shrunken-budget) path?
+    pub admitted_degraded: bool,
+    /// How it ended.
+    pub outcome: RequestOutcome,
+}
+
+/// Aggregate service-run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Per-request ledger, in trace order.
+    pub records: Vec<RequestRecord>,
+    /// Requests offered (base trace + storm injections).
+    pub offered: usize,
+    /// Of which storm-injected.
+    pub storm_injected: usize,
+    /// Requests past admission control.
+    pub admitted: usize,
+    /// Clean completions.
+    pub completed: usize,
+    /// Honest degraded verdicts.
+    pub degraded: usize,
+    /// Shed before admission (queue full / overloaded).
+    pub shed_at_admission: usize,
+    /// Shed after admission (open breaker at pickup).
+    pub shed_after_admission: usize,
+    /// Deadline misses.
+    pub timed_out: usize,
+    /// Simulated seconds from first arrival to the last lane going idle.
+    pub makespan_s: f64,
+    /// Correct clean completions per simulated minute of makespan.
+    pub goodput_per_min: f64,
+    /// Latency distribution over executed requests
+    /// ([`Phase::ServiceRequest`] spans); `None` when nothing executed.
+    pub latency: Option<LatencySummary>,
+    /// Degraded verdicts over admitted requests.
+    pub degraded_rate: f64,
+    /// Clean completions whose label is wrong, over admitted requests —
+    /// the silent failure mode the degraded path exists to absorb.
+    pub silent_mislabel_rate: f64,
+}
+
+impl ServiceReport {
+    /// The conservation law of the loop: every admitted request terminates
+    /// in exactly one executed outcome.
+    pub fn balanced(&self) -> bool {
+        self.admitted == self.completed + self.degraded + self.shed_after_admission + self.timed_out
+    }
+}
+
+/// Salt for the trace RNG (arrival gaps, targets, priorities).
+const TRACE_SALT: u64 = 0x0077_ACE5;
+/// Salt for the storm-plan seed.
+const STORM_SALT: u64 = 0x570A;
+/// Salt for per-request hunt RNG streams.
+const HUNT_SALT: u64 = 0x5E4C;
+/// Salt for per-request fault-plan seeds.
+const PLAN_SALT: u64 = 0x00C4_A05E;
+
+/// The simulated horizon storms are compiled over: the expected span of
+/// the base trace plus slack for the tail.
+fn service_horizon_s(config: &ServiceConfig) -> f64 {
+    config.requests as f64 * 60.0 / config.arrival_rate_per_min.max(1e-9) + 120.0
+}
+
+/// Compiles the replayable request trace: base arrivals with exponential
+/// gaps, plus storm-burst injections, arrival-sorted with dense ids. Pure
+/// function of `config` — replaying it is how a service run is reproduced.
+pub fn compile_trace(config: &ServiceConfig) -> Vec<Request> {
+    let storm = StormPlan::compile(
+        &config.storm,
+        config.seed ^ STORM_SALT,
+        service_horizon_s(config),
+    );
+    compile_trace_with(config, &storm)
+}
+
+fn compile_trace_with(config: &ServiceConfig, storm: &StormPlan) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ TRACE_SALT);
+    let mean_gap = 60.0 / config.arrival_rate_per_min.max(1e-9);
+    let mut out = Vec::with_capacity(config.requests);
+    let mut t = 0.0;
+    for _ in 0..config.requests {
+        t += -mean_gap * (1.0 - rng.gen::<f64>()).ln();
+        out.push(Request {
+            id: 0,
+            arrival_s: t,
+            target_server: rng.gen_range(0..config.servers),
+            deadline_s: config.deadline_s,
+            priority: u8::from(rng.gen::<f64>() < 0.3),
+            from_storm: false,
+        });
+    }
+    // Storm bursts land half a second apart: a thundering herd, not a tie.
+    for &(at, size) in storm.bursts() {
+        for j in 0..size {
+            out.push(Request {
+                id: 0,
+                arrival_s: at + 0.5 * j as f64,
+                target_server: rng.gen_range(0..config.servers),
+                deadline_s: config.deadline_s,
+                priority: 0,
+                from_storm: true,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.arrival_s
+            .partial_cmp(&b.arrival_s)
+            .expect("arrival ticks are finite")
+    });
+    for (i, r) in out.iter_mut().enumerate() {
+        r.id = i;
+    }
+    out
+}
+
+/// Runs the service loop with a fresh fit cache, discarding telemetry.
+///
+/// # Errors
+///
+/// Returns [`BoltError::InvalidExperiment`] on a degenerate configuration
+/// and propagates simulator/numerical errors.
+pub fn run_service(config: &ServiceConfig) -> Result<ServiceReport, BoltError> {
+    run_service_inner(config, &FitCache::new()).map(|(report, _)| report)
+}
+
+/// [`run_service`] returning the merged telemetry stream. Unit 0 carries
+/// setup (fit, launches) and the admission pass (queue-depth gauges,
+/// admit/shed counters); lane `i` records as unit `i + 1`. The stream is
+/// identical for every [`Parallelism`] setting after
+/// [`TelemetryLog::normalized`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_service`].
+pub fn run_service_telemetry(
+    config: &ServiceConfig,
+) -> Result<(ServiceReport, TelemetryLog), BoltError> {
+    run_service_inner(config, &FitCache::new())
+}
+
+/// [`run_service_telemetry`] fitting through a shared [`FitCache`] — with
+/// [`ServiceConfig::warm_refit`] set, a cold miss seeds SGD from the
+/// nearest same-config cached model instead of random factors.
+///
+/// # Errors
+///
+/// Same conditions as [`run_service`].
+pub fn run_service_cache_telemetry(
+    config: &ServiceConfig,
+    cache: &FitCache,
+) -> Result<(ServiceReport, TelemetryLog), BoltError> {
+    run_service_inner(config, cache)
+}
+
+/// The service's fit path: [`shared_recommender`] unless `warm_refit`
+/// routes through [`FitCache::fit_warm`].
+fn service_recommender(
+    config: &ServiceConfig,
+    cache: &FitCache,
+    telemetry: &mut Telemetry,
+) -> Result<Arc<HybridRecommender>, BoltError> {
+    if !config.warm_refit {
+        return shared_recommender(
+            config.training_seed,
+            &config.isolation,
+            config.recommender,
+            cache,
+            telemetry,
+        );
+    }
+    let key = training_data_key(config.training_seed, &config.isolation);
+    let data = cache.training_data(key, || {
+        TrainingData::from_examples(observed_training(
+            &training_set(config.training_seed),
+            &config.isolation,
+        ))
+    })?;
+    let clock = telemetry.begin();
+    let (model, outcome) = cache.fit_warm(&data, config.recommender, key, true)?;
+    match outcome {
+        FitOutcome::Hit => telemetry.count(Counter::FitCacheHit, 1),
+        FitOutcome::Warm => {
+            telemetry.count(Counter::FitCacheMiss, 1);
+            telemetry.count(Counter::FitWarmStarts, 1);
+            telemetry.span(Phase::RecommenderFit, 0.0, 0.0, clock);
+        }
+        FitOutcome::Cold => {
+            telemetry.count(Counter::FitCacheMiss, 1);
+            telemetry.span(Phase::RecommenderFit, 0.0, 0.0, clock);
+        }
+    }
+    Ok(model)
+}
+
+/// The built service cluster: one quiet adversary per server, victims
+/// round-robin, and the ground-truth labels per server.
+struct ServiceCluster {
+    cluster: Cluster,
+    adversaries: Vec<VmId>,
+    server_vms: Vec<Vec<VmId>>,
+    truths: Vec<Vec<AppLabel>>,
+}
+
+fn build_service_cluster(config: &ServiceConfig) -> Result<ServiceCluster, BoltError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cluster = Cluster::new(config.servers, ServerSpec::xeon(), config.isolation)?;
+    let core_iso = cluster.isolation().mechanisms.core_isolation;
+
+    let mut adversaries = Vec::with_capacity(config.servers);
+    for s in 0..config.servers {
+        let profile = memcached::profile(&memcached::Variant::Mixed, &mut rng).with_vcpus(4);
+        let id = cluster.launch_on(s, profile, VmRole::Adversarial, 0.0)?;
+        cluster.set_pressure_override(id, Some(PressureVector::zero()))?;
+        adversaries.push(id);
+    }
+
+    let profiles = victim_set(config.servers * config.vms_per_server, &mut rng);
+    let mut server_vms = vec![Vec::new(); config.servers];
+    let mut truths = vec![Vec::new(); config.servers];
+    for (i, p) in profiles.into_iter().enumerate() {
+        let server = i % config.servers;
+        if !cluster.server(server)?.can_host(p.vcpus(), core_iso) {
+            return Err(BoltError::InvalidExperiment {
+                reason: format!(
+                    "service cluster too small: {} victims per server do not fit",
+                    config.vms_per_server
+                ),
+            });
+        }
+        truths[server].push(p.label().clone());
+        let id = cluster.launch_on(server, p, VmRole::Friendly, 0.0)?;
+        server_vms[server].push(id);
+    }
+
+    Ok(ServiceCluster {
+        cluster,
+        adversaries,
+        server_vms,
+        truths,
+    })
+}
+
+/// A request the admission pass planned onto a lane.
+#[derive(Debug, Clone)]
+struct Planned {
+    req: Request,
+    degraded_admit: bool,
+}
+
+fn finish(planned: &Planned, outcome: RequestOutcome) -> RequestRecord {
+    RequestRecord {
+        id: planned.req.id,
+        arrival_s: planned.req.arrival_s,
+        target_server: planned.req.target_server,
+        priority: planned.req.priority,
+        from_storm: planned.req.from_storm,
+        admitted_degraded: planned.degraded_admit,
+        outcome,
+    }
+}
+
+/// Per-server breaker state (lane-local, so lanes never share mutable
+/// state and thread-count invariance is structural).
+#[derive(Debug, Clone, Copy, Default)]
+struct Breaker {
+    fails: usize,
+    open_until: Option<f64>,
+}
+
+fn run_service_inner(
+    config: &ServiceConfig,
+    cache: &FitCache,
+) -> Result<(ServiceReport, TelemetryLog), BoltError> {
+    if config.servers == 0
+        || config.workers == 0
+        || config.queue_capacity == 0
+        || config.nominal_service_s <= 0.0
+        || config.arrival_rate_per_min <= 0.0
+        || config.deadline_s <= 0.0
+    {
+        return Err(BoltError::InvalidExperiment {
+            reason: "service config needs servers, workers, queue capacity, and positive \
+                     rate/deadline/nominal-service time"
+                .to_string(),
+        });
+    }
+
+    let storm = StormPlan::compile(
+        &config.storm,
+        config.seed ^ STORM_SALT,
+        service_horizon_s(config),
+    );
+    let trace = compile_trace_with(config, &storm);
+    let storm_injected = trace.iter().filter(|r| r.from_storm).count();
+
+    // Unit 0: setup + admission. Telemetry is always recorded internally —
+    // the report's latency summary reads the ServiceRequest spans.
+    let mut unit0 = Telemetry::for_unit(0);
+    let mut built = build_service_cluster(config)?;
+    unit0.cluster_events(built.cluster.take_events());
+    let ServiceCluster {
+        cluster,
+        adversaries,
+        server_vms,
+        truths,
+    } = built;
+    let model = service_recommender(config, cache, &mut unit0)?;
+    unit0.count(Counter::StormArrivals, storm_injected as u64);
+
+    // Sequential admission pass: a queue estimator (one slot of
+    // `nominal_service_s` per admitted request) decides shed/degrade and
+    // pins each admitted request to the least-loaded lane. Done before any
+    // execution so lane fan-out cannot perturb admission.
+    let soft = config.queue_capacity.div_ceil(2);
+    let mut est_free = vec![0.0f64; config.workers];
+    let mut est_starts: Vec<f64> = Vec::new();
+    let mut lanes: Vec<Vec<Planned>> = vec![Vec::new(); config.workers];
+    let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.len());
+    let mut admitted = 0usize;
+    for req in &trace {
+        let depth = est_starts.iter().filter(|&&s| s > req.arrival_s).count();
+        unit0.service_gauge(ServiceMetric::QueueDepth, req.arrival_s, depth as f64);
+        let decision = if depth >= config.queue_capacity {
+            match config.shed {
+                ShedPolicy::Reject => Some(ShedReason::QueueFull),
+                ShedPolicy::DegradeToAnytime if depth >= 2 * config.queue_capacity => {
+                    Some(ShedReason::Overloaded)
+                }
+                ShedPolicy::DegradeToAnytime => None,
+            }
+        } else {
+            None
+        };
+        if let Some(reason) = decision {
+            unit0.count(Counter::RequestsShed, 1);
+            records.push(finish(
+                &Planned {
+                    req: req.clone(),
+                    degraded_admit: false,
+                },
+                RequestOutcome::Shed { reason },
+            ));
+            continue;
+        }
+        let degraded_admit = depth >= config.queue_capacity
+            || (depth >= soft && req.priority == 0 && config.shed == ShedPolicy::DegradeToAnytime);
+        unit0.count(Counter::RequestsAdmitted, 1);
+        admitted += 1;
+        let lane = est_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("lane clocks are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let est_start = est_free[lane].max(req.arrival_s);
+        est_free[lane] = est_start + config.nominal_service_s;
+        est_starts.push(est_start);
+        lanes[lane].push(Planned {
+            req: req.clone(),
+            degraded_admit,
+        });
+    }
+
+    // Lane execution: each lane replays its requests in order on its own
+    // virtual clock, with lane-local breakers. Hunt RNG and fault plans
+    // derive from the request id, so results are lane-schedule invariant.
+    let outcomes = sweep(&lanes, config.parallelism, |lane_idx, lane| {
+        let mut telemetry = Telemetry::for_unit(lane_idx + 1);
+        let result = run_lane(
+            config,
+            &cluster,
+            &model,
+            &adversaries,
+            &server_vms,
+            &truths,
+            &storm,
+            lane,
+            &mut telemetry,
+        );
+        result.map(|(recs, clock)| (recs, clock, telemetry.into_events()))
+    });
+
+    let mut log = TelemetryLog::new();
+    log.merge(unit0);
+    let mut makespan = trace.last().map_or(0.0, |r| r.arrival_s);
+    for outcome in outcomes {
+        let (recs, clock, events) = outcome?;
+        makespan = makespan.max(clock);
+        records.extend(recs);
+        log.extend(events);
+    }
+    records.sort_by_key(|r| r.id);
+
+    let count =
+        |f: &dyn Fn(&RequestOutcome) -> bool| records.iter().filter(|r| f(&r.outcome)).count();
+    let completed = count(&|o| matches!(o, RequestOutcome::Completed { .. }));
+    let degraded = count(&|o| matches!(o, RequestOutcome::Degraded { .. }));
+    let timed_out = count(&|o| matches!(o, RequestOutcome::TimedOut { .. }));
+    let shed_at_admission = count(&|o| {
+        matches!(
+            o,
+            RequestOutcome::Shed {
+                reason: ShedReason::QueueFull | ShedReason::Overloaded,
+            }
+        )
+    });
+    let shed_after_admission = count(&|o| {
+        matches!(
+            o,
+            RequestOutcome::Shed {
+                reason: ShedReason::BreakerOpen,
+            }
+        )
+    });
+    let completed_correct =
+        count(&|o| matches!(o, RequestOutcome::Completed { correct: true, .. }));
+    let silent_mislabels = count(&|o| {
+        matches!(
+            o,
+            RequestOutcome::Completed {
+                label: Some(_),
+                correct: false,
+                ..
+            }
+        )
+    });
+    let denom = admitted.max(1) as f64;
+    let report = ServiceReport {
+        offered: trace.len(),
+        storm_injected,
+        admitted,
+        completed,
+        degraded,
+        shed_at_admission,
+        shed_after_admission,
+        timed_out,
+        makespan_s: makespan,
+        goodput_per_min: completed_correct as f64 * 60.0 / makespan.max(1.0),
+        latency: log.latency_summary(Phase::ServiceRequest),
+        degraded_rate: degraded as f64 / denom,
+        silent_mislabel_rate: silent_mislabels as f64 / denom,
+        records,
+    };
+    Ok((report, log))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_lane(
+    config: &ServiceConfig,
+    cluster: &Cluster,
+    model: &Arc<HybridRecommender>,
+    adversaries: &[VmId],
+    server_vms: &[Vec<VmId>],
+    truths: &[Vec<AppLabel>],
+    storm: &StormPlan,
+    lane: &[Planned],
+    telemetry: &mut Telemetry,
+) -> Result<(Vec<RequestRecord>, f64), BoltError> {
+    let mut clock = 0.0f64;
+    let mut breakers = vec![Breaker::default(); config.servers];
+    let mut records = Vec::with_capacity(lane.len());
+    for planned in lane {
+        let req = &planned.req;
+        let span_clock = telemetry.begin();
+        let start = clock.max(req.arrival_s);
+        let wait = start - req.arrival_s;
+
+        // Expired in the queue: the deadline passed before pickup. The
+        // request is discarded instantly, so the lane clock does not move.
+        if wait >= req.deadline_s {
+            telemetry.count(Counter::RequestsTimedOut, 1);
+            telemetry.span(
+                Phase::ServiceRequest,
+                req.arrival_s,
+                req.deadline_s,
+                span_clock,
+            );
+            records.push(finish(
+                planned,
+                RequestOutcome::TimedOut {
+                    latency_s: req.deadline_s,
+                },
+            ));
+            continue;
+        }
+
+        // Circuit breaker: open → shed fast; past cooldown → half-open
+        // trial probe that re-opens immediately on failure.
+        let trial = match breakers[req.target_server].open_until {
+            Some(until) if start < until => {
+                telemetry.count(Counter::RequestsShed, 1);
+                records.push(finish(
+                    planned,
+                    RequestOutcome::Shed {
+                        reason: ShedReason::BreakerOpen,
+                    },
+                ));
+                continue;
+            }
+            Some(_) => true,
+            None => false,
+        };
+
+        let mut remaining = req.deadline_s - wait;
+        let stall = storm.stall_at(start).unwrap_or(0.0);
+        if stall > 0.0 {
+            telemetry.count(Counter::ProbeStalls, 1);
+            remaining -= stall;
+        }
+        if remaining <= 0.0 {
+            clock = start + stall;
+            telemetry.count(Counter::RequestsTimedOut, 1);
+            telemetry.span(
+                Phase::ServiceRequest,
+                req.arrival_s,
+                wait + stall,
+                span_clock,
+            );
+            records.push(finish(
+                planned,
+                RequestOutcome::TimedOut {
+                    latency_s: wait + stall,
+                },
+            ));
+            continue;
+        }
+
+        // Degrade to the anytime window when admitted degraded or when the
+        // remaining deadline cannot fit a nominal hunt; the probe budget
+        // shrinks with the remaining fraction.
+        let degraded_hunt = planned.degraded_admit || remaining < config.nominal_service_s;
+        let mut dcfg = config.detector;
+        if degraded_hunt {
+            dcfg.anytime = true;
+            let scale = (remaining / config.nominal_service_s).min(1.0);
+            dcfg.anytime_max_probes =
+                ((FIXED_WINDOW_NOMINAL_PROBES as f64 * scale) as usize).max(4);
+        }
+        let mut retry = config.retry;
+        retry.probe_budget_s = retry.probe_budget_s.min(remaining);
+        let mut chaos = config.chaos;
+        if let Some(boost) = storm.churn_boost(start) {
+            chaos.intensity = (chaos.intensity * boost).min(1.0);
+        }
+
+        let probe_start = start + stall;
+        let mut live = cluster.snapshot();
+        let horizon_s = dcfg.max_iterations.max(1) as f64 * (dcfg.interval_s + 120.0) + 600.0;
+        let mut plan = FaultPlan::compile(
+            &chaos,
+            config.seed ^ PLAN_SALT,
+            req.id as u64,
+            probe_start,
+            horizon_s,
+        );
+        let mut protected = vec![adversaries[req.target_server]];
+        protected.extend(server_vms[req.target_server].iter().copied());
+        plan.protect(&protected);
+
+        let threshold = dcfg.confidence_threshold;
+        let detector = Detector::new(Arc::clone(model), dcfg);
+        let mut rng = StdRng::seed_from_u64(split_seed(config.seed ^ HUNT_SALT, req.id as u64));
+        let faults_before = telemetry.counter_so_far(Counter::FaultsInjected);
+        let (detection, _iterations, elapsed) = detector.detect_until_churn_elapsed_telemetry(
+            &mut live,
+            &mut plan,
+            &retry,
+            adversaries[req.target_server],
+            probe_start,
+            |d| d.confidence >= threshold,
+            &mut rng,
+            telemetry,
+        )?;
+        let hunt_faulted = telemetry.counter_so_far(Counter::FaultsInjected) > faults_before;
+
+        let service_s = stall + elapsed;
+        let end = start + service_s;
+        clock = end;
+        let latency = end - req.arrival_s;
+        let truth = &truths[req.target_server];
+        // Family-level scoring: the service's product is "what kind of
+        // workload lives there" — variant confusion inside a family is a
+        // near-miss, not the silent mislabel the degraded path guards
+        // against.
+        let correct = truth.iter().any(|t| detection.matches_family(t));
+        let label = detection.label().cloned();
+        let outcome = if latency > req.deadline_s {
+            telemetry.count(Counter::RequestsTimedOut, 1);
+            RequestOutcome::TimedOut { latency_s: latency }
+        } else if let Some(reason) = detection.degraded {
+            telemetry.count(Counter::RequestsDegraded, 1);
+            RequestOutcome::Degraded {
+                latency_s: latency,
+                confidence: detection.confidence.min(threshold),
+                reason,
+                label,
+                correct,
+            }
+        } else if hunt_faulted {
+            // The validity screen passed, but injected probe faults touched
+            // this hunt; a confident verdict built on contaminated samples
+            // is exactly the silent mislabel the service promises not to
+            // emit, so announce it as degraded instead.
+            telemetry.count(Counter::RequestsDegraded, 1);
+            RequestOutcome::Degraded {
+                latency_s: latency,
+                confidence: detection.confidence.min(threshold),
+                reason: DegradedReason::FaultTainted,
+                label,
+                correct,
+            }
+        } else {
+            telemetry.count(Counter::RequestsCompleted, 1);
+            RequestOutcome::Completed {
+                latency_s: latency,
+                confidence: detection.confidence,
+                label,
+                correct,
+            }
+        };
+
+        let fault = matches!(
+            outcome,
+            RequestOutcome::TimedOut { .. } | RequestOutcome::Degraded { .. }
+        );
+        let breaker = &mut breakers[req.target_server];
+        if fault {
+            breaker.fails += 1;
+            if trial || breaker.fails >= config.breaker.fault_threshold {
+                breaker.open_until = Some(end + config.breaker.cooldown_s);
+                breaker.fails = 0;
+                telemetry.count(Counter::BreakerTrips, 1);
+            }
+        } else {
+            if breaker.open_until.take().is_some() {
+                telemetry.count(Counter::BreakerResets, 1);
+            }
+            breaker.fails = 0;
+        }
+        let open = breakers
+            .iter()
+            .filter(|b| b.open_until.is_some_and(|u| u > clock))
+            .count();
+        telemetry.service_gauge(ServiceMetric::BreakersOpen, clock, open as f64);
+        telemetry.span(Phase::ServiceRequest, req.arrival_s, latency, span_clock);
+        records.push(finish(planned, outcome));
+    }
+    Ok((records, clock))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ServiceConfig {
+        ServiceConfig {
+            servers: 4,
+            vms_per_server: 2,
+            requests: 24,
+            arrival_rate_per_min: 3.0,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_sorted_dense_and_pure() {
+        let config = ServiceConfig {
+            storm: StormConfig::with_intensity(1.0),
+            ..quick_config()
+        };
+        let a = compile_trace(&config);
+        let b = compile_trace(&config);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|r| r.from_storm), "storm injected nothing");
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.id, i);
+            if i > 0 {
+                assert!(r.arrival_s >= a[i - 1].arrival_s);
+            }
+            assert!(r.target_server < config.servers);
+        }
+    }
+
+    #[test]
+    fn every_offered_request_terminates_exactly_once() {
+        let config = ServiceConfig {
+            storm: StormConfig::with_intensity(1.0),
+            chaos: ChaosConfig::with_intensity(0.5),
+            arrival_rate_per_min: 6.0,
+            ..quick_config()
+        };
+        let report = run_service(&config).unwrap();
+        assert_eq!(report.records.len(), report.offered);
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.id, i, "ledger must be dense in trace order");
+        }
+        assert!(report.balanced(), "count identity violated: {report:?}");
+        assert_eq!(
+            report.offered,
+            report.admitted + report.shed_at_admission,
+            "admission must partition the offered load"
+        );
+    }
+
+    #[test]
+    fn serial_and_threaded_runs_are_byte_identical() {
+        let base = ServiceConfig {
+            storm: StormConfig::with_intensity(1.0),
+            chaos: ChaosConfig::with_intensity(0.4),
+            arrival_rate_per_min: 5.0,
+            ..quick_config()
+        };
+        let serial = ServiceConfig {
+            parallelism: Parallelism::Serial,
+            ..base
+        };
+        let threaded = ServiceConfig {
+            parallelism: Parallelism::Threads(3),
+            ..base
+        };
+        let (report_s, log_s) = run_service_telemetry(&serial).unwrap();
+        let (report_t, log_t) = run_service_telemetry(&threaded).unwrap();
+        assert_eq!(report_s, report_t);
+        assert_eq!(log_s.normalized(), log_t.normalized());
+    }
+
+    #[test]
+    fn unloaded_service_matches_direct_detection() {
+        // Slow arrivals, no storms, no chaos, generous deadline: every
+        // request starts at its arrival tick, so the service outcome must
+        // reproduce a direct detector hunt byte-for-byte.
+        let config = ServiceConfig {
+            requests: 6,
+            arrival_rate_per_min: 0.25,
+            deadline_s: 100_000.0,
+            ..quick_config()
+        };
+        let (report, _) = run_service_telemetry(&config).unwrap();
+        assert_eq!(report.admitted, report.offered);
+
+        let built = build_service_cluster(&config).unwrap();
+        let data = TrainingData::from_examples(observed_training(
+            &training_set(config.training_seed),
+            &config.isolation,
+        ))
+        .unwrap();
+        let model = Arc::new(HybridRecommender::fit(data, config.recommender).unwrap());
+        for (req, record) in compile_trace(&config).iter().zip(&report.records) {
+            let mut live = built.cluster.snapshot();
+            let horizon_s = config.detector.max_iterations.max(1) as f64
+                * (config.detector.interval_s + 120.0)
+                + 600.0;
+            let mut plan = FaultPlan::compile(
+                &config.chaos,
+                config.seed ^ PLAN_SALT,
+                req.id as u64,
+                req.arrival_s,
+                horizon_s,
+            );
+            let mut protected = vec![built.adversaries[req.target_server]];
+            protected.extend(built.server_vms[req.target_server].iter().copied());
+            plan.protect(&protected);
+            let mut retry = config.retry;
+            retry.probe_budget_s = retry.probe_budget_s.min(req.deadline_s);
+            let threshold = config.detector.confidence_threshold;
+            let detector = Detector::new(Arc::clone(&model), config.detector);
+            let mut rng = StdRng::seed_from_u64(split_seed(config.seed ^ HUNT_SALT, req.id as u64));
+            let (detection, _, elapsed) = detector
+                .detect_until_churn_elapsed_telemetry(
+                    &mut live,
+                    &mut plan,
+                    &retry,
+                    built.adversaries[req.target_server],
+                    req.arrival_s,
+                    |d| d.confidence >= threshold,
+                    &mut rng,
+                    &mut Telemetry::disabled(),
+                )
+                .unwrap();
+            match &record.outcome {
+                RequestOutcome::Completed {
+                    latency_s,
+                    confidence,
+                    label,
+                    ..
+                } => {
+                    assert_eq!(*latency_s, elapsed, "request {} waited in queue", req.id);
+                    assert_eq!(*confidence, detection.confidence);
+                    assert_eq!(label.as_ref(), detection.label());
+                }
+                other => panic!("unloaded request {} should complete, got {other:?}", req.id),
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_trips_and_sheds_under_forced_faults() {
+        // Full-intensity chaos on a single server with a hair-trigger
+        // breaker: faults repeat, the breaker opens, later requests shed.
+        let config = ServiceConfig {
+            servers: 1,
+            vms_per_server: 2,
+            requests: 30,
+            arrival_rate_per_min: 10.0,
+            deadline_s: 90.0,
+            nominal_service_s: 45.0,
+            workers: 1,
+            breaker: BreakerConfig {
+                fault_threshold: 1,
+                cooldown_s: 5_000.0,
+            },
+            chaos: ChaosConfig::with_intensity(1.0),
+            ..ServiceConfig::default()
+        };
+        let (report, log) = run_service_telemetry(&config).unwrap();
+        assert!(report.balanced());
+        assert!(
+            log.counter_total(Counter::BreakerTrips) >= 1,
+            "full-intensity chaos never tripped the breaker: {report:?}"
+        );
+        assert!(
+            report.shed_after_admission > 0,
+            "an open breaker with a long cooldown must shed pickups: {report:?}"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_loudly_not_silently() {
+        let base = ServiceConfig {
+            arrival_rate_per_min: 60.0,
+            requests: 40,
+            queue_capacity: 3,
+            workers: 2,
+            ..quick_config()
+        };
+        let reject = run_service(&ServiceConfig {
+            shed: ShedPolicy::Reject,
+            ..base
+        })
+        .unwrap();
+        assert!(
+            reject.shed_at_admission > 0,
+            "60 req/min into 2 workers must shed under Reject: {reject:?}"
+        );
+        assert!(reject.records.iter().any(|r| matches!(
+            r.outcome,
+            RequestOutcome::Shed {
+                reason: ShedReason::QueueFull
+            }
+        )));
+
+        let degrade = run_service(&ServiceConfig {
+            shed: ShedPolicy::DegradeToAnytime,
+            ..base
+        })
+        .unwrap();
+        assert!(
+            degrade.records.iter().any(|r| r.admitted_degraded),
+            "degrade policy must route overload onto the anytime path"
+        );
+        assert!(
+            degrade.admitted >= reject.admitted,
+            "degrading must never admit less than rejecting"
+        );
+        // Honesty under overload: silent mislabels stay within the
+        // explicitly-flagged degraded rate.
+        assert!(
+            degrade.silent_mislabel_rate <= degrade.degraded_rate.max(0.05),
+            "silent mislabels must not outpace honest degradation: {degrade:?}"
+        );
+    }
+
+    #[test]
+    fn queue_gauges_and_latency_summary_are_recorded() {
+        let config = ServiceConfig {
+            storm: StormConfig::with_intensity(1.0),
+            arrival_rate_per_min: 8.0,
+            ..quick_config()
+        };
+        let (report, log) = run_service_telemetry(&config).unwrap();
+        let gauges = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::telemetry::TelemetryEvent::ServiceGauge { metric, .. } if *metric == ServiceMetric::QueueDepth))
+            .count();
+        assert_eq!(gauges, report.offered, "one queue-depth sample per arrival");
+        let latency = report
+            .latency
+            .expect("executed requests must yield latency");
+        assert!(latency.p50 <= latency.p99 && latency.p99 <= latency.max);
+        assert_eq!(
+            log.counter_total(Counter::StormArrivals),
+            report.storm_injected as u64
+        );
+    }
+}

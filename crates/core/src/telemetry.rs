@@ -74,11 +74,16 @@ pub enum Phase {
     DetectionIteration,
     /// An attack program run (DoS, RFA, co-residency hunt).
     AttackExecution,
+    /// One admitted service request, end to end: queue wait plus the hunt.
+    /// `sim_start_s` is the arrival tick and `sim_duration_s` the request
+    /// latency, so [`TelemetryLog::latency_summary`] over this phase yields
+    /// the service p50/p99.
+    ServiceRequest,
 }
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::RecommenderFit,
         Phase::ProbeSweep,
         Phase::ShutterCapture,
@@ -89,6 +94,7 @@ impl Phase {
         Phase::AnytimeDeepen,
         Phase::DetectionIteration,
         Phase::AttackExecution,
+        Phase::ServiceRequest,
     ];
 
     /// Stable wire name.
@@ -104,6 +110,7 @@ impl Phase {
             Phase::AnytimeDeepen => "anytime-deepen",
             Phase::DetectionIteration => "detection-iteration",
             Phase::AttackExecution => "attack-execution",
+            Phase::ServiceRequest => "service-request",
         }
     }
 
@@ -169,11 +176,37 @@ pub enum Counter {
     /// the fixed-shape window's nominal two-sweep cost — the quantity
     /// the probes-vs-accuracy frontier sums.
     ProbesSaved,
+    /// Service requests accepted by the admission queue (at full or
+    /// degraded budget).
+    RequestsAdmitted,
+    /// Service requests shed with an explicit reason (queue full, circuit
+    /// breaker open) — never silently dropped.
+    RequestsShed,
+    /// Admitted requests that missed their deadline and reported
+    /// `TimedOut` instead of a verdict.
+    RequestsTimedOut,
+    /// Admitted requests that completed with an honest `Degraded` flag.
+    RequestsDegraded,
+    /// Admitted requests that completed cleanly within deadline.
+    RequestsCompleted,
+    /// Per-server circuit breakers tripped open by repeated degraded or
+    /// faulted hunts.
+    BreakerTrips,
+    /// Circuit breakers closed again after a successful cooldown re-probe.
+    BreakerResets,
+    /// Extra requests injected by storm bursts on top of the base arrival
+    /// process.
+    StormArrivals,
+    /// Probes that paid a slow-probe stall penalty from the storm plan.
+    ProbeStalls,
+    /// Recommender fits warm-started from a cached neighbor model instead
+    /// of training from scratch.
+    FitWarmStarts,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 29] = [
         Counter::SgdIterations,
         Counter::ShortlistPairHits,
         Counter::ExactPairSearches,
@@ -193,6 +226,16 @@ impl Counter {
         Counter::AggregateCacheMiss,
         Counter::NeighborVisits,
         Counter::ProbesSaved,
+        Counter::RequestsAdmitted,
+        Counter::RequestsShed,
+        Counter::RequestsTimedOut,
+        Counter::RequestsDegraded,
+        Counter::RequestsCompleted,
+        Counter::BreakerTrips,
+        Counter::BreakerResets,
+        Counter::StormArrivals,
+        Counter::ProbeStalls,
+        Counter::FitWarmStarts,
     ];
 
     /// Stable wire name.
@@ -217,11 +260,48 @@ impl Counter {
             Counter::AggregateCacheMiss => "aggregate-cache-miss",
             Counter::NeighborVisits => "neighbor-visits",
             Counter::ProbesSaved => "probes-saved",
+            Counter::RequestsAdmitted => "requests-admitted",
+            Counter::RequestsShed => "requests-shed",
+            Counter::RequestsTimedOut => "requests-timed-out",
+            Counter::RequestsDegraded => "requests-degraded",
+            Counter::RequestsCompleted => "requests-completed",
+            Counter::BreakerTrips => "breaker-trips",
+            Counter::BreakerResets => "breaker-resets",
+            Counter::StormArrivals => "storm-arrivals",
+            Counter::ProbeStalls => "probe-stalls",
+            Counter::FitWarmStarts => "fit-warm-starts",
         }
     }
 
     fn parse(s: &str) -> Option<Counter> {
         Counter::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+/// A service-loop quantity sampled at a simulated instant, as opposed to
+/// the per-resource pressure [`TelemetryEvent::Gauge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceMetric {
+    /// Requests waiting in the admission queue at an arrival tick.
+    QueueDepth,
+    /// Per-server circuit breakers currently open.
+    BreakersOpen,
+}
+
+impl ServiceMetric {
+    /// All service metrics.
+    pub const ALL: [ServiceMetric; 2] = [ServiceMetric::QueueDepth, ServiceMetric::BreakersOpen];
+
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceMetric::QueueDepth => "queue-depth",
+            ServiceMetric::BreakersOpen => "breakers-open",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ServiceMetric> {
+        ServiceMetric::ALL.into_iter().find(|m| m.as_str() == s)
     }
 }
 
@@ -268,6 +348,18 @@ pub enum TelemetryEvent {
         /// The simulator event.
         event: TraceEvent,
     },
+    /// A service-loop sample (queue depth, open breakers) at a simulated
+    /// instant. Fully deterministic: the timestamp is virtual time.
+    ServiceGauge {
+        /// Which quantity.
+        metric: ServiceMetric,
+        /// The recording unit.
+        unit: usize,
+        /// Simulated time of the sample (seconds).
+        at_s: f64,
+        /// The sampled value.
+        value: f64,
+    },
 }
 
 impl TelemetryEvent {
@@ -277,7 +369,8 @@ impl TelemetryEvent {
             TelemetryEvent::Span { unit, .. }
             | TelemetryEvent::Count { unit, .. }
             | TelemetryEvent::Gauge { unit, .. }
-            | TelemetryEvent::Cluster { unit, .. } => *unit,
+            | TelemetryEvent::Cluster { unit, .. }
+            | TelemetryEvent::ServiceGauge { unit, .. } => *unit,
         }
     }
 
@@ -304,6 +397,14 @@ impl TelemetryEvent {
                 format!("{} = {value:.1}", resource.short_name())
             }
             TelemetryEvent::Cluster { event, .. } => event.describe(),
+            TelemetryEvent::ServiceGauge {
+                metric,
+                at_s,
+                value,
+                ..
+            } => {
+                format!("{} t={at_s:.1}s = {value:.1}", metric.as_str())
+            }
         }
     }
 
@@ -353,6 +454,19 @@ impl TelemetryEvent {
                     out,
                     "{{\"type\":\"cluster\",\"unit\":{unit},\"event\":{}}}",
                     trace_event_json(event)
+                );
+            }
+            TelemetryEvent::ServiceGauge {
+                metric,
+                unit,
+                at_s,
+                value,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"service-gauge\",\"metric\":\"{}\",\"unit\":{unit},\
+                     \"at_s\":{at_s},\"value\":{value}}}",
+                    metric.as_str()
                 );
             }
         }
@@ -521,6 +635,19 @@ fn decode_event(value: &json::Json) -> Result<TelemetryEvent, BoltError> {
             Ok(TelemetryEvent::Cluster {
                 unit,
                 event: decode_trace_event(event)?,
+            })
+        }
+        "service-gauge" => {
+            let metric = value
+                .field("metric")
+                .and_then(json::Json::as_str)
+                .and_then(ServiceMetric::parse)
+                .ok_or_else(|| bad("service-gauge with unknown \"metric\""))?;
+            Ok(TelemetryEvent::ServiceGauge {
+                metric,
+                unit,
+                at_s: require_f64(value, "at_s")?,
+                value: require_f64(value, "value")?,
             })
         }
         other => Err(bad(format!("unknown event type {other:?}"))),
@@ -715,6 +842,18 @@ impl Telemetry {
         }
     }
 
+    /// Records a service-loop sample at simulated time `at_s`.
+    pub fn service_gauge(&mut self, metric: ServiceMetric, at_s: f64, value: f64) {
+        if let Some(rec) = &mut self.inner {
+            rec.events.push(TelemetryEvent::ServiceGauge {
+                metric,
+                unit: rec.unit,
+                at_s,
+                value,
+            });
+        }
+    }
+
     /// Folds one simulator lifecycle event into the stream.
     pub fn cluster_event(&mut self, event: TraceEvent) {
         if let Some(rec) = &mut self.inner {
@@ -734,6 +873,25 @@ impl Telemetry {
         }
     }
 
+    /// Total delta buffered so far for `counter` (0 when disabled).
+    ///
+    /// Lets a caller that shares the handle with a nested routine measure
+    /// how many increments that routine recorded, by differencing totals
+    /// taken before and after the call.
+    pub fn counter_so_far(&self, counter: Counter) -> u64 {
+        self.inner.as_ref().map_or(0, |rec| {
+            rec.events
+                .iter()
+                .filter_map(|e| match e {
+                    TelemetryEvent::Count {
+                        counter: c, delta, ..
+                    } if *c == counter => Some(*delta),
+                    _ => None,
+                })
+                .sum()
+        })
+    }
+
     /// Consumes the handle, yielding its buffered events in record order.
     pub fn into_events(self) -> Vec<TelemetryEvent> {
         self.inner.map(|rec| rec.events).unwrap_or_default()
@@ -750,6 +908,23 @@ impl EventSink<TraceEvent> for Telemetry {
     fn enabled(&self) -> bool {
         self.is_enabled()
     }
+}
+
+/// Order statistics over the simulated durations of one phase's spans —
+/// the first-class latency summary the service report prints. Built by
+/// [`TelemetryLog::latency_summary`] on `bolt_linalg::stats::percentile`
+/// (linear interpolation), so p50 of a two-sample log is their midpoint
+/// and a single-sample log reports that sample everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median simulated duration (seconds).
+    pub p50: f64,
+    /// 90th-percentile simulated duration (seconds).
+    pub p90: f64,
+    /// 99th-percentile simulated duration (seconds).
+    pub p99: f64,
+    /// Worst simulated duration (seconds).
+    pub max: f64,
 }
 
 /// A merged, ordered telemetry stream — the unit buffers of one run,
@@ -812,6 +987,36 @@ impl TelemetryLog {
                 _ => None,
             })
             .sum()
+    }
+
+    /// Order statistics over the simulated durations of `phase`'s spans,
+    /// or `None` when the log holds no such span. Uses only `sim_duration_s`
+    /// — never wall time — so the summary is byte-identical across thread
+    /// counts.
+    pub fn latency_summary(&self, phase: Phase) -> Option<LatencySummary> {
+        let mut durations: Vec<f64> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span {
+                    phase: p,
+                    sim_duration_s,
+                    ..
+                } if *p == phase => Some(*sim_duration_s),
+                _ => None,
+            })
+            .collect();
+        if durations.is_empty() {
+            return None;
+        }
+        durations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| bolt_linalg::stats::percentile(&durations, p).unwrap_or(f64::NAN);
+        Some(LatencySummary {
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p99: pct(99.0),
+            max: *durations.last().unwrap(),
+        })
     }
 
     /// A copy with every nondeterministic field (wall-clock durations)
@@ -966,6 +1171,27 @@ impl TelemetryLog {
                     format!("gauge {}", resource.short_name()),
                     values.len().to_string(),
                     format!("mean {mean:.1}"),
+                ]);
+            }
+        }
+        for metric in ServiceMetric::ALL {
+            let values: Vec<f64> = self
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    TelemetryEvent::ServiceGauge {
+                        metric: m, value, ..
+                    } if *m == metric => Some(*value),
+                    _ => None,
+                })
+                .collect();
+            if !values.is_empty() {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let peak = values.iter().cloned().fold(f64::MIN, f64::max);
+                t.row(vec![
+                    format!("service {}", metric.as_str()),
+                    values.len().to_string(),
+                    format!("mean {mean:.1}, peak {peak:.1}"),
                 ]);
             }
         }
@@ -1438,6 +1664,72 @@ mod tests {
         }
         assert_eq!(Phase::parse("nope"), None);
         assert_eq!(Counter::parse("nope"), None);
+    }
+
+    #[test]
+    fn service_gauges_round_trip_and_render() {
+        let mut t = Telemetry::for_unit(3);
+        t.service_gauge(ServiceMetric::QueueDepth, 120.0, 7.0);
+        t.service_gauge(ServiceMetric::BreakersOpen, 180.0, 1.0);
+        t.count(Counter::RequestsShed, 2);
+        let mut log = TelemetryLog::new();
+        log.merge(t);
+        let text = log.to_jsonl();
+        assert!(text.contains("\"type\":\"service-gauge\""));
+        assert!(text.contains("\"metric\":\"queue-depth\""));
+        let back = TelemetryLog::from_jsonl(&text).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.to_jsonl(), text);
+        assert_eq!(back.counter_total(Counter::RequestsShed), 2);
+        let timeline = log.timeline_table().render();
+        assert!(timeline.contains("queue-depth t=120.0s = 7.0"));
+        let summary = log.summary_table().render();
+        assert!(summary.contains("service queue-depth"));
+        assert!(summary.contains("counter requests-shed"));
+        for metric in ServiceMetric::ALL {
+            assert_eq!(ServiceMetric::parse(metric.as_str()), Some(metric));
+        }
+    }
+
+    #[test]
+    fn latency_summary_interpolates_a_known_distribution() {
+        let mut t = Telemetry::for_unit(0);
+        // Durations 1..=100, recorded out of order to prove sorting.
+        for d in (1..=100).rev() {
+            let clock = t.begin();
+            t.span(Phase::ServiceRequest, 0.0, d as f64, clock);
+        }
+        let mut log = TelemetryLog::new();
+        log.merge(t);
+        let s = log.latency_summary(Phase::ServiceRequest).unwrap();
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn latency_summary_single_sample_and_all_equal() {
+        let mut t = Telemetry::for_unit(0);
+        let clock = t.begin();
+        t.span(Phase::ServiceRequest, 5.0, 42.0, clock);
+        let mut log = TelemetryLog::new();
+        log.merge(t);
+        let s = log.latency_summary(Phase::ServiceRequest).unwrap();
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (42.0, 42.0, 42.0, 42.0));
+
+        let mut t = Telemetry::for_unit(0);
+        for _ in 0..7 {
+            let clock = t.begin();
+            t.span(Phase::ProbeSweep, 0.0, 3.5, clock);
+        }
+        let mut log = TelemetryLog::new();
+        log.merge(t);
+        let s = log.latency_summary(Phase::ProbeSweep).unwrap();
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (3.5, 3.5, 3.5, 3.5));
+        // No spans of some other phase → no summary.
+        assert_eq!(log.latency_summary(Phase::MrcSweep), None);
+        assert_eq!(TelemetryLog::new().latency_summary(Phase::ProbeSweep), None);
     }
 
     #[test]

@@ -448,6 +448,193 @@ impl FaultPlan {
     }
 }
 
+/// Knobs for the service-layer fault injector: request storms, slow-probe
+/// stalls, and burst churn. Like [`ChaosConfig`], this is pure data — rates
+/// are specified at `intensity = 1.0` and scale linearly with
+/// [`StormConfig::intensity`]; zero intensity disables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StormConfig {
+    /// Master dial in `[0, 1]`. Zero disables the injector entirely.
+    pub intensity: f64,
+    /// Request-storm bursts per simulated minute at full intensity.
+    pub bursts_per_min: f64,
+    /// Extra requests injected per burst at full intensity.
+    pub burst_size: usize,
+    /// Slow-probe stall windows per simulated minute at full intensity.
+    pub stalls_per_min: f64,
+    /// Extra seconds a probe pays when it starts inside a stall window.
+    pub stall_s: f64,
+    /// Length of each stall window, in seconds.
+    pub stall_window_s: f64,
+    /// Burst-churn windows per simulated minute at full intensity.
+    pub churn_bursts_per_min: f64,
+    /// Multiplier applied to the chaos intensity inside a churn burst.
+    pub churn_burst_factor: f64,
+    /// Length of each churn-burst window, in seconds.
+    pub churn_burst_s: f64,
+    /// Salt mixed into the seed so storm draws never alias chaos or
+    /// experiment draws.
+    pub salt: u64,
+}
+
+impl StormConfig {
+    /// The disabled configuration: compiles to an empty plan, injects
+    /// nothing, and is guaranteed zero-cost.
+    pub fn none() -> Self {
+        StormConfig {
+            intensity: 0.0,
+            bursts_per_min: 0.0,
+            burst_size: 0,
+            stalls_per_min: 0.0,
+            stall_s: 0.0,
+            stall_window_s: 0.0,
+            churn_bursts_per_min: 0.0,
+            churn_burst_factor: 1.0,
+            churn_burst_s: 0.0,
+            salt: 0,
+        }
+    }
+
+    /// A representative storm mix scaled by `intensity`: a request burst
+    /// roughly every five minutes, occasional minute-long probe stalls, and
+    /// short windows where churn triples.
+    pub fn with_intensity(intensity: f64) -> Self {
+        StormConfig {
+            intensity: intensity.clamp(0.0, 1.0),
+            bursts_per_min: 0.2,
+            burst_size: 6,
+            stalls_per_min: 0.3,
+            stall_s: 30.0,
+            stall_window_s: 60.0,
+            churn_bursts_per_min: 0.2,
+            churn_burst_factor: 3.0,
+            churn_burst_s: 90.0,
+            salt: 0x57_08AA,
+        }
+    }
+
+    /// Whether the injector is disabled.
+    pub fn is_none(&self) -> bool {
+        self.intensity <= 0.0
+    }
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig::none()
+    }
+}
+
+/// A compiled, time-sorted storm schedule covering `[0, horizon_s]`.
+///
+/// The sim layer stays request-agnostic: a burst is just `(at, extra)` — how
+/// the service loop turns that into admissions is its business. Stalls and
+/// churn bursts are half-open windows `[start, end)` queried by time, so the
+/// plan holds no cursor and lookups are pure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormPlan {
+    bursts: Vec<(f64, usize)>,
+    stalls: Vec<(f64, f64, f64)>,
+    churn_bursts: Vec<(f64, f64, f64)>,
+}
+
+impl StormPlan {
+    /// Compiles `config` into a concrete schedule covering `[0, horizon_s]`.
+    /// Pure: the result depends only on the arguments, so Serial and
+    /// `Threads(n)` service runs replay identical storms.
+    pub fn compile(config: &StormConfig, seed: u64, horizon_s: f64) -> Self {
+        let mut plan = StormPlan {
+            bursts: Vec::new(),
+            stalls: Vec::new(),
+            churn_bursts: Vec::new(),
+        };
+        if config.is_none() || horizon_s <= 0.0 {
+            return plan;
+        }
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ config.salt, 0));
+        let minutes = horizon_s / 60.0;
+        let draw_count = |rng: &mut StdRng, expected: f64| -> usize {
+            if expected <= 0.0 {
+                return 0;
+            }
+            let base = expected.floor();
+            let frac = expected - base;
+            base as usize + usize::from(rng.gen::<f64>() < frac)
+        };
+
+        let n = draw_count(&mut rng, config.bursts_per_min * config.intensity * minutes);
+        for _ in 0..n {
+            let at = rng.gen::<f64>() * horizon_s;
+            let size = ((config.burst_size as f64) * config.intensity).round() as usize;
+            if size > 0 {
+                plan.bursts.push((at, size));
+            }
+        }
+        let n = draw_count(&mut rng, config.stalls_per_min * config.intensity * minutes);
+        for _ in 0..n {
+            let start = rng.gen::<f64>() * horizon_s;
+            if config.stall_s > 0.0 && config.stall_window_s > 0.0 {
+                plan.stalls
+                    .push((start, start + config.stall_window_s, config.stall_s));
+            }
+        }
+        let n = draw_count(
+            &mut rng,
+            config.churn_bursts_per_min * config.intensity * minutes,
+        );
+        for _ in 0..n {
+            let start = rng.gen::<f64>() * horizon_s;
+            if config.churn_burst_factor > 1.0 && config.churn_burst_s > 0.0 {
+                plan.churn_bursts.push((
+                    start,
+                    start + config.churn_burst_s,
+                    config.churn_burst_factor,
+                ));
+            }
+        }
+        let by_start = |a: &(f64, f64, f64), b: &(f64, f64, f64)| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        };
+        plan.bursts
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        plan.stalls.sort_by(by_start);
+        plan.churn_bursts.sort_by(by_start);
+        plan
+    }
+
+    /// The scheduled request bursts as `(at_s, extra_requests)`, time-sorted.
+    pub fn bursts(&self) -> &[(f64, usize)] {
+        &self.bursts
+    }
+
+    /// Extra probe seconds paid by a probe starting at `t`, if `t` falls in
+    /// a stall window. Overlapping windows sum.
+    pub fn stall_at(&self, t: f64) -> Option<f64> {
+        let total: f64 = self
+            .stalls
+            .iter()
+            .filter(|&&(start, end, _)| t >= start && t < end)
+            .map(|&(_, _, s)| s)
+            .sum();
+        (total > 0.0).then_some(total)
+    }
+
+    /// Churn-intensity multiplier in effect at `t`, if `t` falls in a
+    /// churn-burst window. Overlapping windows take the max factor.
+    pub fn churn_boost(&self, t: f64) -> Option<f64> {
+        self.churn_bursts
+            .iter()
+            .filter(|&&(start, end, _)| t >= start && t < end)
+            .map(|&(_, _, f)| f)
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Whether the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.bursts.is_empty() && self.stalls.is_empty() && self.churn_bursts.is_empty()
+    }
+}
+
 /// The same splitmix64 finalizer the experiment engine uses for per-unit
 /// seed derivation, duplicated here because `bolt-sim` sits below
 /// `bolt-core` in the crate graph.
@@ -590,5 +777,64 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn storm_none_compiles_to_an_empty_plan() {
+        let plan = StormPlan::compile(&StormConfig::none(), 0xDEAD, 3600.0);
+        assert!(plan.is_empty());
+        assert_eq!(plan.bursts().len(), 0);
+        assert_eq!(plan.stall_at(100.0), None);
+        assert_eq!(plan.churn_boost(100.0), None);
+    }
+
+    #[test]
+    fn storm_plans_are_pure_functions_of_their_seed() {
+        let config = StormConfig::with_intensity(1.0);
+        let a = StormPlan::compile(&config, 42, 3600.0);
+        let b = StormPlan::compile(&config, 42, 3600.0);
+        assert_eq!(a, b);
+        let c = StormPlan::compile(&config, 43, 3600.0);
+        assert_ne!(a, c, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn storm_schedules_are_time_sorted_and_in_horizon() {
+        let config = StormConfig::with_intensity(1.0);
+        let plan = StormPlan::compile(&config, 9, 3600.0);
+        assert!(!plan.is_empty(), "full intensity over an hour must fire");
+        for pair in plan.bursts().windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        for &(at, size) in plan.bursts() {
+            assert!((0.0..=3600.0).contains(&at));
+            assert!(size > 0);
+        }
+    }
+
+    #[test]
+    fn stall_and_churn_windows_answer_by_time() {
+        let config = StormConfig::with_intensity(1.0);
+        let plan = StormPlan::compile(&config, 21, 7200.0);
+        let stalled = (0..7200)
+            .map(|t| plan.stall_at(t as f64))
+            .filter(|s| s.is_some())
+            .count();
+        assert!(stalled > 0, "an hour-plus of full storms must stall probes");
+        if let Some(s) = (0..7200).find_map(|t| plan.stall_at(t as f64)) {
+            assert!(s > 0.0);
+        }
+        let boosted: Vec<f64> = (0..7200)
+            .filter_map(|t| plan.churn_boost(t as f64))
+            .collect();
+        assert!(!boosted.is_empty());
+        assert!(boosted.iter().all(|&f| f > 1.0));
+    }
+
+    #[test]
+    fn storm_intensity_scales_the_schedule() {
+        let heavy = StormPlan::compile(&StormConfig::with_intensity(1.0), 5, 36_000.0);
+        let light = StormPlan::compile(&StormConfig::with_intensity(0.2), 5, 36_000.0);
+        assert!(heavy.bursts().len() > light.bursts().len());
     }
 }

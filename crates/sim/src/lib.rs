@@ -50,7 +50,7 @@ pub mod telemetry;
 pub mod trace;
 pub mod vm;
 
-pub use chaos::{ChaosConfig, ChaosEvent, FaultPlan, PlannedFault};
+pub use chaos::{ChaosConfig, ChaosEvent, FaultPlan, PlannedFault, StormConfig, StormPlan};
 pub use cluster::{Cluster, StorageStats};
 pub use error::SimError;
 pub use isolation::{IsolationConfig, Mechanisms, OsSetting};

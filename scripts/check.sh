@@ -79,6 +79,29 @@ for i in 1 2; do
 done
 cmp "$REPLAY_DIR/any1.txt" "$REPLAY_DIR/any2.txt"
 
+echo "==> service-loop smoke (storms on: Serial vs Threads(3) must move no bytes)"
+cargo test -q -p bolt --test service_honesty
+cargo bench --no-run -p bolt-bench --bench service_overload
+SERVE_START=$SECONDS
+cargo run --release -q -- serve --requests 200 --storm 0.6 --chaos-intensity 0.3 \
+  --threads 1 --telemetry "$REPLAY_DIR/serve1.jsonl" > "$REPLAY_DIR/serve1.txt"
+cargo run --release -q -- serve --requests 200 --storm 0.6 --chaos-intensity 0.3 \
+  --threads 3 --telemetry "$REPLAY_DIR/serve3.jsonl" > "$REPLAY_DIR/serve3.txt"
+SERVE_ELAPSED=$((SECONDS - SERVE_START))
+cmp "$REPLAY_DIR/serve1.txt" "$REPLAY_DIR/serve3.txt"
+for i in 1 3; do
+  sed -E 's/"wall_ns":[0-9]+/"wall_ns":0/g' "$REPLAY_DIR/serve$i.jsonl" \
+    > "$REPLAY_DIR/serve_norm$i.jsonl"
+done
+cmp "$REPLAY_DIR/serve_norm1.jsonl" "$REPLAY_DIR/serve_norm3.jsonl"
+grep -q "failures are announced" "$REPLAY_DIR/serve1.txt" \
+  || { echo "service smoke: honesty contract violated"; cat "$REPLAY_DIR/serve1.txt"; exit 1; }
+# The 200-request loop itself is sub-second in release; a long-tail
+# regression in the lane scheduler blows past this budget immediately.
+if [ "$SERVE_ELAPSED" -gt 60 ]; then
+  echo "service smoke: took ${SERVE_ELAPSED}s (budget 60s)"; exit 1
+fi
+
 echo "==> region smoke (5k servers / 50k VMs must step within the budget)"
 REGION_START=$SECONDS
 cargo run --release -q -- region --servers 5000 --vms-per-server 10 --steps 5 \

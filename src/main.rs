@@ -57,6 +57,7 @@ fn main() -> ExitCode {
         "coresidency" => cmd_coresidency(&flags),
         "robustness" => cmd_robustness(&flags),
         "region" => cmd_region(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -88,6 +89,8 @@ COMMANDS:
     coresidency   locate a SQL victim in the cluster (Sec. 5.3)
     robustness    detection accuracy and graceful degradation under churn
     region        region-scale stress: thousands of hosts under churn + probing
+    serve         streaming detection service: admission control, deadlines,
+                  circuit breakers, replayable request storms
 
 FLAGS (all optional):
     --servers N       cluster size            (default 20)
@@ -101,11 +104,21 @@ FLAGS (all optional):
     --anytime         enable the anytime iterative-deepening window (default off)
     --confidence-threshold X  anytime early-exit confidence (default 0.7)
     --no-fit-cache    retrain the recommender at every use instead of caching fits
+    --requests N      service requests in the base trace      (default 200)
+    --rate X          service arrivals per simulated minute   (default 2.0)
+    --workers N       service probe-worker lanes              (default 3)
+    --queue-cap N     service admission-queue capacity        (default 6)
+    --deadline X      per-request deadline, simulated seconds (default 240)
+    --shed POLICY     overload response: degrade | reject     (default degrade)
+    --storm X         storm-injector intensity in [0,1]       (default 0)
+    --chaos-intensity X  cluster-churn intensity in [0,1]     (default 0)
+    --threads N       worker-lane thread fan-out (byte-identical at any N)
+    --warm-refit      seed recommender refits from cached same-config models
     --telemetry PATH  write a JSONL telemetry trace of the run to PATH";
 
 /// Flags that take no value: `--mrc` alone means `--mrc true`, while an
 /// explicit `--mrc false` (or `=false`) still parses.
-const BOOLEAN_FLAGS: [&str; 3] = ["mrc", "anytime", "no-fit-cache"];
+const BOOLEAN_FLAGS: [&str; 4] = ["mrc", "anytime", "no-fit-cache", "warm-refit"];
 
 /// Parsed `--flag value` pairs (also accepts `--flag=value`). Values stay
 /// strings until a command asks for them, so path-valued flags like
@@ -706,6 +719,140 @@ fn cmd_region(flags: &Flags) -> Result<(), String> {
     println!("{}", report.table().render());
     let mut log = TelemetryLog::new();
     log.merge(telemetry);
+    write_telemetry(flags, &log)?;
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use bolt::service::{run_service_cache_telemetry, ServiceConfig, ShedPolicy};
+    use bolt::Parallelism;
+    use bolt_sim::{ChaosConfig, StormConfig};
+
+    let mut config = ServiceConfig {
+        servers: flags.usize("servers", 8)?,
+        vms_per_server: flags.usize("vms-per-server", 2)?,
+        requests: flags.usize("requests", 200)?,
+        workers: flags.usize("workers", 3)?,
+        queue_capacity: flags.usize("queue-cap", 6)?,
+        warm_refit: flags.bool("warm-refit")?,
+        ..ServiceConfig::default()
+    };
+    if let Some(rate) = flags.f64("rate")? {
+        config.arrival_rate_per_min = rate;
+    }
+    if let Some(deadline) = flags.f64("deadline")? {
+        config.deadline_s = deadline;
+    }
+    if let Some(seed) = flags.u64("seed")? {
+        config.seed = seed;
+    }
+    if let Some(storm) = flags.f64("storm")? {
+        config.storm = StormConfig::with_intensity(storm);
+    }
+    if let Some(chaos) = flags.f64("chaos-intensity")? {
+        config.chaos = ChaosConfig::with_intensity(chaos);
+    }
+    if let Some(threads) = flags.u64("threads")? {
+        config.parallelism = if threads <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(threads as usize)
+        };
+    }
+    if let Some(policy) = flags.0.get("shed") {
+        config.shed = match policy.as_str() {
+            "degrade" => ShedPolicy::DegradeToAnytime,
+            "reject" => ShedPolicy::Reject,
+            other => return Err(format!("--shed needs degrade or reject, got `{other}`")),
+        };
+    }
+
+    eprintln!(
+        "serving {} requests at {:.1}/min over {} lanes ({} servers, storm {:.2}, chaos {:.2})...",
+        config.requests,
+        config.arrival_rate_per_min,
+        config.workers,
+        config.servers,
+        config.storm.intensity,
+        config.chaos.intensity
+    );
+    let (report, log) =
+        run_service_cache_telemetry(&config, &flags.fit_cache()?).map_err(|e| e.to_string())?;
+
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["offered".into(), report.offered.to_string()]);
+    table.row(vec![
+        "storm-injected".into(),
+        report.storm_injected.to_string(),
+    ]);
+    table.row(vec!["admitted".into(), report.admitted.to_string()]);
+    table.row(vec!["completed".into(), report.completed.to_string()]);
+    table.row(vec!["degraded".into(), report.degraded.to_string()]);
+    table.row(vec![
+        "shed (admission)".into(),
+        report.shed_at_admission.to_string(),
+    ]);
+    table.row(vec![
+        "shed (breaker)".into(),
+        report.shed_after_admission.to_string(),
+    ]);
+    table.row(vec!["timed out".into(), report.timed_out.to_string()]);
+    table.row(vec![
+        "goodput/min".into(),
+        format!("{:.2}", report.goodput_per_min),
+    ]);
+    if let Some(latency) = report.latency {
+        table.row(vec![
+            "latency p50/p99/max (s)".into(),
+            format!(
+                "{:.1} / {:.1} / {:.1}",
+                latency.p50, latency.p99, latency.max
+            ),
+        ]);
+    }
+    table.row(vec!["degraded rate".into(), pct(report.degraded_rate)]);
+    table.row(vec![
+        "silent mislabels".into(),
+        pct(report.silent_mislabel_rate),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "conservation: admitted {} = completed {} + degraded {} + breaker-shed {} + timed-out {} — {}",
+        report.admitted,
+        report.completed,
+        report.degraded,
+        report.shed_after_admission,
+        report.timed_out,
+        if report.balanced() { "ok" } else { "VIOLATED" }
+    );
+    // The calm-cluster twin (same trace and load, no injected faults) is
+    // the detector's intrinsic error floor; the service contract is that
+    // everything faults *add* on top arrives announced — degraded, shed,
+    // or timed out — never as extra silent mislabels.
+    let calm_silent = if config.chaos.is_none() && config.storm.is_none() {
+        report.silent_mislabel_rate
+    } else {
+        let calm = ServiceConfig {
+            chaos: ChaosConfig::none(),
+            storm: StormConfig::none(),
+            ..config
+        };
+        run_service_cache_telemetry(&calm, &flags.fit_cache()?)
+            .map_err(|e| e.to_string())?
+            .0
+            .silent_mislabel_rate
+    };
+    let added_silent = (report.silent_mislabel_rate - calm_silent).max(0.0);
+    println!(
+        "honesty: +{} silent mislabels over the calm baseline vs {} announced degradation — {}",
+        pct(added_silent),
+        pct(report.degraded_rate),
+        if added_silent <= report.degraded_rate + 1e-9 {
+            "failures are announced"
+        } else {
+            "CONTRACT VIOLATED"
+        }
+    );
     write_telemetry(flags, &log)?;
     Ok(())
 }
