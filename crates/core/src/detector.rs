@@ -14,6 +14,13 @@
 //!
 //! Detection repeats every `interval_s` (default 20 s, Fig. 10a) to track
 //! application phases (Fig. 8).
+//!
+//! Hunts are oblivious to probe batching: when the cluster snapshot they
+//! probe carries a shared sweep memo (`Cluster::share_sweeps`, used by the
+//! region-scale service), repeated sweeps against the same server are
+//! answered from another hunt's memoized result with byte-identical
+//! values, so nothing in this engine changes between batched and
+//! unbatched execution.
 
 use std::sync::Arc;
 

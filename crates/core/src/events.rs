@@ -1,0 +1,194 @@
+//! A deterministic next-event queue for virtual-time simulation loops.
+//!
+//! The streaming service ([`crate::service`]) runs on virtual time: what
+//! matters is never "the current tick" but "the next thing that happens"
+//! — an arrival, a queue slot opening, a breaker cooldown expiring. An
+//! [`EventQueue`] orders those moments so a loop can jump straight from
+//! event to event, making its cost proportional to the number of events
+//! rather than to the simulated horizon: a trace with hour-long idle gaps
+//! between arrivals costs exactly as much as one with none.
+//!
+//! Determinism is load-bearing here. Two events at the same virtual time
+//! must pop in the same order on every run and every thread count, so the
+//! queue totally orders entries by `(time, rank, insertion sequence)`:
+//! `f64::total_cmp` on time (no NaN panics, `-0.0 < +0.0`), then an
+//! explicit caller-chosen rank for semantic tie-breaks (e.g. a queue slot
+//! that opens exactly when a request arrives must be counted *before* the
+//! arrival measures queue depth), then FIFO on insertion.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry. Ordered for a **min**-heap via reversed
+/// comparisons, so `BinaryHeap::pop` yields the earliest event.
+#[derive(Debug)]
+struct Scheduled<T> {
+    time: f64,
+    rank: u8,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the BinaryHeap is a max-heap, we want the minimum
+        // (time, rank, seq) on top.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.rank.cmp(&self.rank))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-ordered event queue over virtual time.
+///
+/// `pop` yields events in `(time, rank, insertion order)` order;
+/// [`EventQueue::pop_through`] drains only the prefix at or before a
+/// given instant, which is how a loop advances its clock event-to-event.
+/// The queue counts every pop ([`EventQueue::processed`]) so drivers can
+/// report how much virtual-time work a run actually did.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+    processed: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Schedules `payload` at virtual `time`. `rank` breaks same-time
+    /// ties (lower pops first); entries equal in both pop FIFO.
+    pub fn push(&mut self, time: f64, rank: u8, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            rank,
+            seq,
+            payload,
+        });
+    }
+
+    /// The earliest scheduled time, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|s| {
+            self.processed += 1;
+            (s.time, s.payload)
+        })
+    }
+
+    /// Pops the earliest event if it is scheduled at or before `t` —
+    /// the drain primitive for "handle everything due by this instant".
+    pub fn pop_through(&mut self, t: f64) -> Option<(f64, T)> {
+        if self.peek_time().is_some_and(|next| next <= t) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Events remaining in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_rank_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, 1, "late");
+        q.push(1.0, 1, "early-b");
+        q.push(1.0, 0, "early-a-rank"); // same time, lower rank wins
+        q.push(1.0, 1, "early-c"); // same time+rank, FIFO after early-b
+        q.push(-0.0, 0, "neg-zero"); // total_cmp: -0.0 sorts before +0.0
+        q.push(0.0, 0, "pos-zero");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(
+            order,
+            [
+                "neg-zero",
+                "pos-zero",
+                "early-a-rank",
+                "early-b",
+                "early-c",
+                "late"
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_through_drains_only_the_due_prefix() {
+        let mut q = EventQueue::new();
+        q.push(10.0, 0, 'a');
+        q.push(20.0, 0, 'b');
+        q.push(30.0, 0, 'c');
+        assert_eq!(q.pop_through(5.0), None);
+        assert_eq!(q.pop_through(20.0), Some((10.0, 'a')));
+        assert_eq!(q.pop_through(20.0), Some((20.0, 'b'))); // boundary is inclusive
+        assert_eq!(q.pop_through(20.0), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.processed(), 2);
+        assert_eq!(q.peek_time(), Some(30.0));
+    }
+
+    #[test]
+    fn insertion_order_is_deterministic_across_identical_runs() {
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..50u64 {
+                q.push((i % 7) as f64, (i % 3) as u8, i);
+            }
+            std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -75,6 +75,7 @@ pub mod anytime;
 pub mod attacks;
 pub mod detector;
 mod error;
+pub mod events;
 pub mod experiment;
 pub mod fingerprint;
 pub mod isolation_study;

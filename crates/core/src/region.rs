@@ -146,7 +146,7 @@ pub struct ScalePoint {
 /// per 16-thread host), and strips the stochastic noise term so the
 /// deterministic aggregate path stays engaged; the profiles otherwise
 /// keep their catalog pressure shapes.
-fn tenant_profile<R: Rng>(i: usize, rng: &mut R) -> WorkloadProfile {
+pub(crate) fn tenant_profile<R: Rng>(i: usize, rng: &mut R) -> WorkloadProfile {
     let p = match i % 4 {
         0 => catalog::memcached::profile(&catalog::memcached::Variant::Mixed, rng),
         1 => catalog::speccpu::profile(&catalog::speccpu::Benchmark::Gobmk, rng),

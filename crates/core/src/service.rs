@@ -41,16 +41,19 @@ use serde::{Deserialize, Serialize};
 use bolt_recommender::{FitCache, FitOutcome, HybridRecommender, RecommenderConfig, TrainingData};
 use bolt_sim::vm::VmRole;
 use bolt_sim::{
-    ChaosConfig, Cluster, FaultPlan, IsolationConfig, ServerSpec, StormConfig, StormPlan, VmId,
+    ChaosConfig, Cluster, FaultPlan, IsolationConfig, ServerSpec, StormConfig, StormPlan,
+    SweepMemo, VmId,
 };
 use bolt_workloads::catalog::memcached;
 use bolt_workloads::training::training_set;
-use bolt_workloads::{AppLabel, PressureVector};
+use bolt_workloads::{AppLabel, LoadPattern, PressureVector, WorkloadProfile};
 
 use crate::anytime::FIXED_WINDOW_NOMINAL_PROBES;
 use crate::detector::{DegradedReason, Detector, DetectorConfig, RetryPolicy};
+use crate::events::EventQueue;
 use crate::experiment::{observed_training, shared_recommender, training_data_key, victim_set};
 use crate::parallel::{split_seed, sweep, Parallelism};
+use crate::region::{tenant_profile, RegionConfig};
 use crate::telemetry::{Counter, LatencySummary, Phase, ServiceMetric, Telemetry, TelemetryLog};
 use crate::BoltError;
 
@@ -139,6 +142,26 @@ pub struct ServiceConfig {
     /// same-config cached model ([`Counter::FitWarmStarts`]). Off by
     /// default — the cold path is the byte-identity baseline.
     pub warm_refit: bool,
+    /// Populate victims with region-scale tenants
+    /// ([`crate::region`]'s zero-noise, one-vCPU catalog rotation)
+    /// instead of the §3.4 testbed victim set. This is what lets the
+    /// service cluster reach thousands of servers: small deterministic
+    /// tenants keep the aggregate-cache and sweep-memo fast paths
+    /// engaged, and their constant-load profiles make hunt outcomes
+    /// invariant to when a request arrives.
+    pub region_tenants: bool,
+    /// Attach one cross-hunt [`SweepMemo`] to the service cluster:
+    /// concurrent hunts targeting the same server share each
+    /// deterministic probe sweep instead of recomputing it per snapshot.
+    /// Byte-invisible in every report — only the `sweeps-shared`
+    /// telemetry counter observes it.
+    pub share_sweeps: bool,
+    /// Probability that a base request is duplicated by a co-arriving
+    /// request for the same target — independent users asking about the
+    /// same server at the same instant, the workload batched probe
+    /// scheduling exploits. `0.0` (the default) draws no extra RNG, so
+    /// pre-existing traces replay byte-identically.
+    pub duplicate_rate: f64,
 }
 
 impl Default for ServiceConfig {
@@ -167,6 +190,34 @@ impl Default for ServiceConfig {
             storm: StormConfig::none(),
             parallelism: Parallelism::default(),
             warm_refit: false,
+            region_tenants: false,
+            share_sweeps: false,
+            duplicate_rate: 0.0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The region-scale service preset: serve detection requests against
+    /// a full [`RegionConfig`]-sized cluster instead of the testbed.
+    ///
+    /// Takes the region's host count, tenant density, and seed; switches
+    /// the victim population to region tenants; turns on cross-hunt sweep
+    /// sharing; and injects co-arriving duplicate requests (20% of the
+    /// base trace) so the batched scheduling has something to batch. More
+    /// worker lanes and a deeper admission queue match the wider target
+    /// set. Everything else keeps the service defaults.
+    pub fn for_region(region: &RegionConfig) -> ServiceConfig {
+        ServiceConfig {
+            servers: region.servers,
+            vms_per_server: region.vms_per_server,
+            seed: region.seed,
+            region_tenants: true,
+            share_sweeps: true,
+            duplicate_rate: 0.2,
+            workers: 8,
+            queue_capacity: 16,
+            ..ServiceConfig::default()
         }
     }
 }
@@ -349,6 +400,24 @@ fn compile_trace_with(config: &ServiceConfig, storm: &StormPlan) -> Vec<Request>
             from_storm: false,
         });
     }
+    // Co-arriving duplicates: independent users asking about the same
+    // target at the same instant. Drawn only when the knob is on, so a
+    // rate-0 config replays the pre-knob trace byte-identically.
+    if config.duplicate_rate > 0.0 {
+        let base = out.clone();
+        for r in &base {
+            if rng.gen::<f64>() < config.duplicate_rate {
+                out.push(Request {
+                    id: 0,
+                    arrival_s: r.arrival_s,
+                    target_server: r.target_server,
+                    deadline_s: config.deadline_s,
+                    priority: r.priority,
+                    from_storm: false,
+                });
+            }
+        }
+    }
     // Storm bursts land half a second apart: a thundering herd, not a tie.
     for &(at, size) in storm.bursts() {
         for j in 0..size {
@@ -474,7 +543,17 @@ fn build_service_cluster(config: &ServiceConfig) -> Result<ServiceCluster, BoltE
         adversaries.push(id);
     }
 
-    let profiles = victim_set(config.servers * config.vms_per_server, &mut rng);
+    let profiles: Vec<WorkloadProfile> = if config.region_tenants {
+        // Steady load on top of the region catalog's zero noise: the
+        // tenants' pressures become pure functions of placement, never of
+        // the virtual instant a probe lands — the invariant behind both
+        // idle-gap-invariant verdicts and cross-hunt sweep sharing.
+        (0..config.servers * config.vms_per_server)
+            .map(|i| tenant_profile(i, &mut rng).with_load(LoadPattern::steady()))
+            .collect()
+    } else {
+        victim_set(config.servers * config.vms_per_server, &mut rng)
+    };
     let mut server_vms = vec![Vec::new(); config.servers];
     let mut truths = vec![Vec::new(); config.servers];
     for (i, p) in profiles.into_iter().enumerate() {
@@ -519,28 +598,49 @@ fn finish(planned: &Planned, outcome: RequestOutcome) -> RequestRecord {
     }
 }
 
-/// Per-server breaker state (lane-local, so lanes never share mutable
-/// state and thread-count invariance is structural).
-#[derive(Debug, Clone, Copy, Default)]
-struct Breaker {
-    fails: usize,
-    open_until: Option<f64>,
+/// Per-server circuit breaker (lane-local, so lanes never share mutable
+/// state and thread-count invariance is structural). The explicit state
+/// machine makes the re-arm rule auditable: trips only happen from
+/// [`BreakerState::Closed`] or [`BreakerState::HalfOpen`] — states with
+/// no pending cooldown expiry — so a breaker can never carry a stale
+/// expiry, and a failed half-open trial re-arms the cooldown from the
+/// trial's own end rather than inheriting the original expiry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    /// Healthy: counting consecutive faults toward the trip threshold.
+    Closed {
+        /// Consecutive faulted hunts against this server.
+        fails: usize,
+    },
+    /// Tripped: pickups strictly before `until` shed instantly.
+    Open {
+        /// Virtual instant the cooldown expires.
+        until: f64,
+    },
+    /// Cooldown expired: the next pickup runs as a trial probe.
+    HalfOpen,
 }
 
 fn run_service_inner(
     config: &ServiceConfig,
     cache: &FitCache,
 ) -> Result<(ServiceReport, TelemetryLog), BoltError> {
+    // `is_finite` guards matter: a NaN rate or deadline slips through a
+    // plain `<= 0.0` comparison and would otherwise surface much later as
+    // a nonsense trace or a poisoned lane clock. Degenerate configs are
+    // errors at the door, never panics downstream.
+    let positive_finite = |x: f64| x.is_finite() && x > 0.0;
     if config.servers == 0
         || config.workers == 0
         || config.queue_capacity == 0
-        || config.nominal_service_s <= 0.0
-        || config.arrival_rate_per_min <= 0.0
-        || config.deadline_s <= 0.0
+        || !positive_finite(config.nominal_service_s)
+        || !positive_finite(config.arrival_rate_per_min)
+        || !positive_finite(config.deadline_s)
+        || !(0.0..=1.0).contains(&config.duplicate_rate)
     {
         return Err(BoltError::InvalidExperiment {
-            reason: "service config needs servers, workers, queue capacity, and positive \
-                     rate/deadline/nominal-service time"
+            reason: "service config needs servers, workers, queue capacity, finite positive \
+                     rate/deadline/nominal-service time, and a duplicate rate in [0, 1]"
                 .to_string(),
         });
     }
@@ -558,6 +658,17 @@ fn run_service_inner(
     let mut unit0 = Telemetry::for_unit(0);
     let mut built = build_service_cluster(config)?;
     unit0.cluster_events(built.cluster.take_events());
+    // Batched probe scheduling: one memo attached to the base cluster,
+    // inherited by every per-request snapshot. A snapshot that mutates
+    // (chaos churn) detaches itself; the base placement never mutates
+    // during the run, so unmutated hunts keep sharing.
+    let memo = if config.share_sweeps {
+        let memo = Arc::new(SweepMemo::new());
+        built.cluster.share_sweeps(Arc::clone(&memo));
+        Some(memo)
+    } else {
+        None
+    };
     let ServiceCluster {
         cluster,
         adversaries,
@@ -567,18 +678,51 @@ fn run_service_inner(
     let model = service_recommender(config, cache, &mut unit0)?;
     unit0.count(Counter::StormArrivals, storm_injected as u64);
 
-    // Sequential admission pass: a queue estimator (one slot of
-    // `nominal_service_s` per admitted request) decides shed/degrade and
-    // pins each admitted request to the least-loaded lane. Done before any
-    // execution so lane fan-out cannot perturb admission.
+    // Sequential admission pass, event-driven: the queue estimator (one
+    // slot of `nominal_service_s` per admitted request) is advanced by a
+    // next-event queue merging arrivals with estimated slot starts, so
+    // the depth at each arrival is a pending-slot counter instead of an
+    // O(admitted) rescan and idle gaps between arrivals are jumped over
+    // outright. Still done before any execution so lane fan-out cannot
+    // perturb admission.
     let soft = config.queue_capacity.div_ceil(2);
     let mut est_free = vec![0.0f64; config.workers];
-    let mut est_starts: Vec<f64> = Vec::new();
     let mut lanes: Vec<Vec<Planned>> = vec![Vec::new(); config.workers];
     let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.len());
     let mut admitted = 0usize;
-    for req in &trace {
-        let depth = est_starts.iter().filter(|&&s| s > req.arrival_s).count();
+    // Same-time ties: a slot whose estimated start coincides with an
+    // arrival opens *before* the arrival measures depth (the estimator
+    // counts strictly-later starts), hence the lower rank.
+    const RANK_SLOT_START: u8 = 0;
+    const RANK_ARRIVAL: u8 = 1;
+    enum AdmissionEvent {
+        /// A request (by trace index) reaches the admission gate.
+        Arrival(usize),
+        /// An admitted request's estimated service slot begins.
+        SlotStart,
+    }
+    let mut events = EventQueue::new();
+    for (i, req) in trace.iter().enumerate() {
+        events.push(req.arrival_s, RANK_ARRIVAL, AdmissionEvent::Arrival(i));
+    }
+    let mut pending = 0usize;
+    let mut idle_skipped_s = 0.0f64;
+    while let Some((at, event)) = events.pop() {
+        let i = match event {
+            AdmissionEvent::SlotStart => {
+                pending -= 1;
+                continue;
+            }
+            AdmissionEvent::Arrival(i) => i,
+        };
+        let req = &trace[i];
+        // Every lane estimated idle before this arrival: the event clock
+        // jumps the gap instead of stepping through it.
+        let busy_until = est_free.iter().fold(0.0f64, |a, &b| a.max(b));
+        if at > busy_until {
+            idle_skipped_s += at - busy_until;
+        }
+        let depth = pending;
         unit0.service_gauge(ServiceMetric::QueueDepth, req.arrival_s, depth as f64);
         let decision = if depth >= config.queue_capacity {
             match config.shed {
@@ -609,17 +753,20 @@ fn run_service_inner(
         let lane = est_free
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("lane clocks are finite"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let est_start = est_free[lane].max(req.arrival_s);
         est_free[lane] = est_start + config.nominal_service_s;
-        est_starts.push(est_start);
+        pending += 1;
+        events.push(est_start, RANK_SLOT_START, AdmissionEvent::SlotStart);
         lanes[lane].push(Planned {
             req: req.clone(),
             degraded_admit,
         });
     }
+    unit0.count(Counter::EventsProcessed, events.processed());
+    unit0.count(Counter::IdleSkipped, idle_skipped_s.round() as u64);
 
     // Lane execution: each lane replays its requests in order on its own
     // virtual clock, with lane-local breakers. Hunt RNG and fault plans
@@ -639,6 +786,13 @@ fn run_service_inner(
         );
         result.map(|(recs, clock)| (recs, clock, telemetry.into_events()))
     });
+
+    // Counted after all lanes finish: top-level memo consults minus
+    // distinct published keys, which is invariant under lane thread
+    // count (see `SweepMemo::shared_sweeps`).
+    if let Some(memo) = &memo {
+        unit0.count(Counter::SweepsShared, memo.shared_sweeps());
+    }
 
     let mut log = TelemetryLog::new();
     log.merge(unit0);
@@ -717,7 +871,11 @@ fn run_lane(
     telemetry: &mut Telemetry,
 ) -> Result<(Vec<RequestRecord>, f64), BoltError> {
     let mut clock = 0.0f64;
-    let mut breakers = vec![Breaker::default(); config.servers];
+    let mut breakers = vec![BreakerState::Closed { fails: 0 }; config.servers];
+    // Pending cooldown expiries, at most one per tripped breaker: drained
+    // up to each pickup instant so due breakers flip to half-open before
+    // the pickup consults them.
+    let mut expiries: EventQueue<usize> = EventQueue::new();
     let mut records = Vec::with_capacity(lane.len());
     for planned in lane {
         let req = &planned.req;
@@ -727,7 +885,10 @@ fn run_lane(
 
         // Expired in the queue: the deadline passed before pickup. The
         // request is discarded instantly, so the lane clock does not move.
-        if wait >= req.deadline_s {
+        // Strictly past only — a request picked up *exactly* at its
+        // deadline still has its minimum anytime budget and takes the
+        // degraded path below instead of being silently discarded.
+        if wait > req.deadline_s {
             telemetry.count(Counter::RequestsTimedOut, 1);
             telemetry.span(
                 Phase::ServiceRequest,
@@ -744,10 +905,18 @@ fn run_lane(
             continue;
         }
 
-        // Circuit breaker: open → shed fast; past cooldown → half-open
-        // trial probe that re-opens immediately on failure.
-        let trial = match breakers[req.target_server].open_until {
-            Some(until) if start < until => {
+        // Flip every breaker whose cooldown is due by this pickup to
+        // half-open (a pickup landing exactly on the expiry runs the
+        // trial, not a shed).
+        while let Some((_, server)) = expiries.pop_through(start) {
+            debug_assert!(matches!(breakers[server], BreakerState::Open { .. }));
+            breakers[server] = BreakerState::HalfOpen;
+        }
+
+        // Circuit breaker: open → shed fast; half-open (cooldown expired)
+        // → trial probe that re-trips from its own end on failure.
+        let trial = match breakers[req.target_server] {
+            BreakerState::Open { .. } => {
                 telemetry.count(Counter::RequestsShed, 1);
                 records.push(finish(
                     planned,
@@ -757,8 +926,8 @@ fn run_lane(
                 ));
                 continue;
             }
-            Some(_) => true,
-            None => false,
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed { .. } => false,
         };
 
         let mut remaining = req.deadline_s - wait;
@@ -767,7 +936,7 @@ fn run_lane(
             telemetry.count(Counter::ProbeStalls, 1);
             remaining -= stall;
         }
-        if remaining <= 0.0 {
+        if remaining < 0.0 {
             clock = start + stall;
             telemetry.count(Counter::RequestsTimedOut, 1);
             telemetry.span(
@@ -885,26 +1054,41 @@ fn run_lane(
         );
         let breaker = &mut breakers[req.target_server];
         if fault {
-            breaker.fails += 1;
-            if trial || breaker.fails >= config.breaker.fault_threshold {
-                breaker.open_until = Some(end + config.breaker.cooldown_s);
-                breaker.fails = 0;
+            let fails = match *breaker {
+                BreakerState::Closed { fails } => fails + 1,
+                _ => 1,
+            };
+            if trial || fails >= config.breaker.fault_threshold {
+                // Re-arm from the end of *this* hunt: a failed half-open
+                // trial waits out a full fresh cooldown rather than
+                // inheriting the original expiry.
+                let until = end + config.breaker.cooldown_s;
+                *breaker = BreakerState::Open { until };
+                expiries.push(until, 0, req.target_server);
                 telemetry.count(Counter::BreakerTrips, 1);
+            } else {
+                *breaker = BreakerState::Closed { fails };
             }
         } else {
-            if breaker.open_until.take().is_some() {
+            // Success closes the breaker and clears the fault count; a
+            // recovered half-open trial is a reset.
+            if *breaker == BreakerState::HalfOpen {
                 telemetry.count(Counter::BreakerResets, 1);
             }
-            breaker.fails = 0;
+            *breaker = BreakerState::Closed { fails: 0 };
         }
         let open = breakers
             .iter()
-            .filter(|b| b.open_until.is_some_and(|u| u > clock))
+            .filter(|b| matches!(b, BreakerState::Open { until } if *until > clock))
             .count();
         telemetry.service_gauge(ServiceMetric::BreakersOpen, clock, open as f64);
         telemetry.span(Phase::ServiceRequest, req.arrival_s, latency, span_clock);
         records.push(finish(planned, outcome));
     }
+    telemetry.count(
+        Counter::EventsProcessed,
+        lane.len() as u64 + expiries.processed(),
+    );
     Ok((records, clock))
 }
 
@@ -919,6 +1103,29 @@ mod tests {
             requests: 24,
             arrival_rate_per_min: 3.0,
             ..ServiceConfig::default()
+        }
+    }
+
+    fn fitted_model(config: &ServiceConfig) -> Arc<HybridRecommender> {
+        let data = TrainingData::from_examples(observed_training(
+            &training_set(config.training_seed),
+            &config.isolation,
+        ))
+        .unwrap();
+        Arc::new(HybridRecommender::fit(data, config.recommender).unwrap())
+    }
+
+    fn lane_req(id: usize, arrival_s: f64, deadline_s: f64) -> Planned {
+        Planned {
+            req: Request {
+                id,
+                arrival_s,
+                target_server: 0,
+                deadline_s,
+                priority: 1,
+                from_storm: false,
+            },
+            degraded_admit: false,
         }
     }
 
@@ -1151,6 +1358,314 @@ mod tests {
         assert_eq!(
             log.counter_total(Counter::StormArrivals),
             report.storm_injected as u64
+        );
+    }
+
+    #[test]
+    fn pickup_exactly_at_deadline_runs_a_minimum_hunt() {
+        // Regression: `wait >= deadline` used to discard a request picked
+        // up exactly at its deadline without running anything — an
+        // instant timeout with the lane clock unmoved. The boundary now
+        // takes the degraded anytime path: the hunt executes, the clock
+        // advances, and any timeout reports its honest latency.
+        let config = quick_config();
+        let built = build_service_cluster(&config).unwrap();
+        let model = fitted_model(&config);
+        let storm = StormPlan::compile(
+            &config.storm,
+            config.seed ^ STORM_SALT,
+            service_horizon_s(&config),
+        );
+        let first = lane_req(0, 0.0, 100_000.0);
+        let (_, busy_until) = run_lane(
+            &config,
+            &built.cluster,
+            &model,
+            &built.adversaries,
+            &built.server_vms,
+            &built.truths,
+            &storm,
+            std::slice::from_ref(&first),
+            &mut Telemetry::disabled(),
+        )
+        .unwrap();
+        assert!(busy_until > 0.0);
+
+        // The second request arrives mid-hunt and is picked up exactly
+        // when its deadline expires: wait == deadline_s, bit for bit.
+        let arrival = busy_until / 2.0;
+        let deadline = busy_until - arrival;
+        let lane = [first, lane_req(1, arrival, deadline)];
+        let (records, clock) = run_lane(
+            &config,
+            &built.cluster,
+            &model,
+            &built.adversaries,
+            &built.server_vms,
+            &built.truths,
+            &storm,
+            &lane,
+            &mut Telemetry::disabled(),
+        )
+        .unwrap();
+        assert!(
+            clock > busy_until,
+            "the boundary pickup must execute and move the lane clock"
+        );
+        match &records[1].outcome {
+            RequestOutcome::TimedOut { latency_s } => assert!(
+                *latency_s > deadline,
+                "an executed boundary hunt reports its true latency, not the deadline"
+            ),
+            RequestOutcome::Degraded { .. } | RequestOutcome::Completed { .. } => {}
+            other => panic!("boundary pickup must run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_rearms_from_trial_end_and_resets_on_success() {
+        let config = ServiceConfig {
+            breaker: BreakerConfig {
+                fault_threshold: 2,
+                cooldown_s: 50_000.0,
+            },
+            ..quick_config()
+        };
+        let built = build_service_cluster(&config).unwrap();
+        let model = fitted_model(&config);
+        let storm = StormPlan::compile(
+            &config.storm,
+            config.seed ^ STORM_SALT,
+            service_horizon_s(&config),
+        );
+        let run = |lane: &[Planned]| {
+            let mut telemetry = Telemetry::for_unit(1);
+            let (records, clock) = run_lane(
+                &config,
+                &built.cluster,
+                &model,
+                &built.adversaries,
+                &built.server_vms,
+                &built.truths,
+                &storm,
+                lane,
+                &mut telemetry,
+            )
+            .unwrap();
+            (records, clock, telemetry)
+        };
+
+        // Learning pass: two executed timeouts trip the breaker at the
+        // threshold; `trip_end` is when the tripping hunt finished.
+        let tiny = 0.001;
+        let faults = [lane_req(0, 0.0, tiny), lane_req(1, 10_000.0, tiny)];
+        let (_, trip_end, telemetry) = run(&faults);
+        assert_eq!(telemetry.counter_so_far(Counter::BreakerTrips), 1);
+        let c = config.breaker.cooldown_s;
+        let until1 = trip_end + c;
+
+        // Full scenario against the learned timeline.
+        let lane = [
+            faults[0].clone(),
+            faults[1].clone(),
+            // Still cooling down: shed.
+            lane_req(2, trip_end + 1.0, 1_000.0),
+            // Past the expiry: half-open trial that faults and re-trips.
+            lane_req(3, until1 + 50.0, tiny),
+            // One original cooldown after the first expiry. Had the
+            // failed trial inherited the original expiry this would be
+            // the next trial; re-armed from the trial's own end it must
+            // still shed.
+            lane_req(4, until1 + c, 1_000.0),
+            // Far past the re-armed expiry: a trial with a generous
+            // deadline succeeds and closes the breaker.
+            lane_req(5, until1 + 10.0 * c, 100_000.0),
+            // One fresh fault stays below the threshold: the successful
+            // trial reset the consecutive-fault counter.
+            lane_req(6, until1 + 12.0 * c, tiny),
+        ];
+        let (records, _, telemetry) = run(&lane);
+        let shed = |i: usize| {
+            matches!(
+                records[i].outcome,
+                RequestOutcome::Shed {
+                    reason: ShedReason::BreakerOpen
+                }
+            )
+        };
+        assert!(
+            shed(2),
+            "pickup during cooldown must shed: {:?}",
+            records[2]
+        );
+        assert!(!shed(3), "pickup past the expiry is the half-open trial");
+        assert!(
+            shed(4),
+            "a failed trial re-arms from its own end, not the original expiry: {:?}",
+            records[4]
+        );
+        assert!(
+            matches!(records[5].outcome, RequestOutcome::Completed { .. }),
+            "generous half-open trial must succeed: {:?}",
+            records[5]
+        );
+        assert!(!shed(6), "one fault after a reset must not trip");
+        assert_eq!(
+            telemetry.counter_so_far(Counter::BreakerTrips),
+            2,
+            "initial trip + failed-trial re-trip"
+        );
+        assert_eq!(
+            telemetry.counter_so_far(Counter::BreakerResets),
+            1,
+            "exactly the successful trial resets"
+        );
+    }
+
+    #[test]
+    fn degenerate_service_configs_are_rejected_at_the_door() {
+        let bad = [
+            ServiceConfig {
+                workers: 0,
+                ..quick_config()
+            },
+            ServiceConfig {
+                queue_capacity: 0,
+                ..quick_config()
+            },
+            ServiceConfig {
+                arrival_rate_per_min: f64::NAN,
+                ..quick_config()
+            },
+            ServiceConfig {
+                deadline_s: f64::INFINITY,
+                ..quick_config()
+            },
+            ServiceConfig {
+                nominal_service_s: 0.0,
+                ..quick_config()
+            },
+            ServiceConfig {
+                duplicate_rate: 1.5,
+                ..quick_config()
+            },
+            ServiceConfig {
+                duplicate_rate: f64::NAN,
+                ..quick_config()
+            },
+        ];
+        for config in bad {
+            assert!(
+                matches!(
+                    run_service(&config),
+                    Err(BoltError::InvalidExperiment { .. })
+                ),
+                "degenerate config must be rejected: {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_gap_scaling_leaves_verdicts_identical() {
+        // Region tenants are zero-noise and the hunt RNG is request-id
+        // seeded, so stretching the idle gaps between arrivals by 10×
+        // must not change a single verdict — the event-driven clock just
+        // skips more idle time. Latencies agree to float rounding: they
+        // are differences of absolute virtual instants, so shifting a
+        // hunt later in virtual time can move the last few ulps.
+        let base = ServiceConfig {
+            region_tenants: true,
+            requests: 10,
+            arrival_rate_per_min: 0.05,
+            deadline_s: 100_000.0,
+            ..quick_config()
+        };
+        let slow = ServiceConfig {
+            arrival_rate_per_min: 0.005,
+            ..base
+        };
+        let (fast_report, fast_log) = run_service_telemetry(&base).unwrap();
+        let (slow_report, slow_log) = run_service_telemetry(&slow).unwrap();
+        assert_eq!(fast_report.records.len(), slow_report.records.len());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+        for (f, s) in fast_report.records.iter().zip(&slow_report.records) {
+            match (&f.outcome, &s.outcome) {
+                (
+                    RequestOutcome::Completed {
+                        latency_s: fl,
+                        confidence: fc,
+                        label: fla,
+                        correct: fco,
+                    },
+                    RequestOutcome::Completed {
+                        latency_s: sl,
+                        confidence: sc,
+                        label: sla,
+                        correct: sco,
+                    },
+                ) => {
+                    assert!(close(*fl, *sl), "request {} latency diverged: {fl} vs {sl}", f.id);
+                    assert_eq!((fc, fla, fco), (sc, sla, sco), "request {} verdict", f.id);
+                }
+                (a, b) => panic!(
+                    "unloaded region requests must complete identically: request {} got {a:?} vs {b:?}",
+                    f.id
+                ),
+            }
+        }
+        assert!(
+            slow_log.counter_total(Counter::IdleSkipped)
+                > fast_log.counter_total(Counter::IdleSkipped),
+            "10× gaps must skip more idle time"
+        );
+        assert_eq!(
+            fast_log.counter_total(Counter::EventsProcessed),
+            slow_log.counter_total(Counter::EventsProcessed),
+            "event count tracks requests, not the simulated horizon"
+        );
+    }
+
+    #[test]
+    fn sweep_sharing_is_byte_invisible_and_thread_invariant() {
+        // Co-arriving duplicates probe the same server at the same
+        // virtual instants, so the shared memo sees repeat top-level
+        // queries; the memo must not change a single byte of the report,
+        // and the sweeps-shared counter must be identical across thread
+        // counts.
+        let base = ServiceConfig {
+            region_tenants: true,
+            duplicate_rate: 0.6,
+            requests: 12,
+            arrival_rate_per_min: 0.05,
+            deadline_s: 100_000.0,
+            ..quick_config()
+        };
+        let shared = ServiceConfig {
+            share_sweeps: true,
+            ..base
+        };
+        let (plain_report, plain_log) = run_service_telemetry(&base).unwrap();
+        let (shared_report, shared_log) = run_service_telemetry(&shared).unwrap();
+        assert_eq!(
+            plain_report, shared_report,
+            "sweep sharing must be byte-invisible"
+        );
+        assert_eq!(plain_log.counter_total(Counter::SweepsShared), 0);
+        assert!(
+            shared_log.counter_total(Counter::SweepsShared) > 0,
+            "co-arriving duplicates must share sweeps"
+        );
+
+        let threaded = ServiceConfig {
+            parallelism: Parallelism::Threads(3),
+            ..shared
+        };
+        let (report_t, log_t) = run_service_telemetry(&threaded).unwrap();
+        assert_eq!(shared_report, report_t);
+        assert_eq!(
+            shared_log.normalized(),
+            log_t.normalized(),
+            "sweeps-shared must be thread-count invariant"
         );
     }
 }

@@ -202,11 +202,30 @@ pub enum Counter {
     /// Recommender fits warm-started from a cached neighbor model instead
     /// of training from scratch.
     FitWarmStarts,
+    /// Deterministic probe-sweep queries answered from the cross-hunt
+    /// [`SweepMemo`] instead of recomputing the co-resident walk —
+    /// concurrent hunts against the same (server, window) share one
+    /// sweep. Schedule-independent by construction: each hunt consults
+    /// the memo once per *distinct* sweep key it needs, and the count of
+    /// distinct keys ever published is a pure function of the trace.
+    ///
+    /// [`SweepMemo`]: bolt_sim::SweepMemo
+    SweepsShared,
+    /// Events popped from the service's virtual-time queues: arrivals and
+    /// queue-slot starts in the admission pass, plus lane pickups and
+    /// breaker cooldown expiries during execution. The event-driven clock
+    /// makes service cost scale with this count, not with the simulated
+    /// horizon.
+    EventsProcessed,
+    /// Whole simulated seconds the event-driven clock skipped because
+    /// every lane was idle between arrivals — dense per-step advancement
+    /// would have burned work proportional to this.
+    IdleSkipped,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 32] = [
         Counter::SgdIterations,
         Counter::ShortlistPairHits,
         Counter::ExactPairSearches,
@@ -236,6 +255,9 @@ impl Counter {
         Counter::StormArrivals,
         Counter::ProbeStalls,
         Counter::FitWarmStarts,
+        Counter::SweepsShared,
+        Counter::EventsProcessed,
+        Counter::IdleSkipped,
     ];
 
     /// Stable wire name.
@@ -270,6 +292,9 @@ impl Counter {
             Counter::StormArrivals => "storm-arrivals",
             Counter::ProbeStalls => "probe-stalls",
             Counter::FitWarmStarts => "fit-warm-starts",
+            Counter::SweepsShared => "sweeps-shared",
+            Counter::EventsProcessed => "events-processed",
+            Counter::IdleSkipped => "idle-skipped-s",
         }
     }
 
@@ -992,7 +1017,9 @@ impl TelemetryLog {
     /// Order statistics over the simulated durations of `phase`'s spans,
     /// or `None` when the log holds no such span. Uses only `sim_duration_s`
     /// — never wall time — so the summary is byte-identical across thread
-    /// counts.
+    /// counts. Non-finite durations (a corrupt or hand-edited log) are
+    /// dropped rather than poisoning the percentiles with NaN; a log whose
+    /// matching spans are all non-finite yields `None`.
     pub fn latency_summary(&self, phase: Phase) -> Option<LatencySummary> {
         let mut durations: Vec<f64> = self
             .events
@@ -1002,15 +1029,16 @@ impl TelemetryLog {
                     phase: p,
                     sim_duration_s,
                     ..
-                } if *p == phase => Some(*sim_duration_s),
+                } if *p == phase && sim_duration_s.is_finite() => Some(*sim_duration_s),
                 _ => None,
             })
             .collect();
         if durations.is_empty() {
             return None;
         }
-        durations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let pct = |p: f64| bolt_linalg::stats::percentile(&durations, p).unwrap_or(f64::NAN);
+        durations.sort_by(f64::total_cmp);
+        let pct =
+            |p: f64| bolt_linalg::stats::percentile(&durations, p).expect("finite sorted samples");
         Some(LatencySummary {
             p50: pct(50.0),
             p90: pct(90.0),
@@ -1730,6 +1758,33 @@ mod tests {
         // No spans of some other phase → no summary.
         assert_eq!(log.latency_summary(Phase::MrcSweep), None);
         assert_eq!(TelemetryLog::new().latency_summary(Phase::ProbeSweep), None);
+    }
+
+    #[test]
+    fn latency_summary_drops_non_finite_durations() {
+        // A corrupt log must not turn the percentiles into NaN: non-finite
+        // durations are dropped, and an all-non-finite log yields None.
+        let span = |d: f64| TelemetryEvent::Span {
+            phase: Phase::ServiceRequest,
+            unit: 0,
+            sim_start_s: 0.0,
+            sim_duration_s: d,
+            wall_ns: 0,
+        };
+        let mut log = TelemetryLog::new();
+        log.extend(vec![
+            span(7.0),
+            span(f64::NAN),
+            span(f64::INFINITY),
+            span(7.0),
+        ]);
+        let s = log.latency_summary(Phase::ServiceRequest).unwrap();
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (7.0, 7.0, 7.0, 7.0));
+        assert!(s.p50.is_finite() && s.max.is_finite());
+
+        let mut poisoned = TelemetryLog::new();
+        poisoned.extend(vec![span(f64::NAN), span(f64::NEG_INFINITY)]);
+        assert_eq!(poisoned.latency_summary(Phase::ServiceRequest), None);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! correlations below 0.1) and the core reading was non-zero, an extra
 //! *core* benchmark helps disentangle the co-runner on the shared core
 //! (§3.3).
+//!
+//! Every measurement goes through the cluster's interference queries, so
+//! probe batching is transparent here: when the snapshot under
+//! measurement shares a sweep memo (region-scale service), a reading
+//! another hunt already computed is returned byte-identically instead of
+//! being re-scanned — the profiling policy neither knows nor cares.
 
 use rand::seq::SliceRandom;
 use rand::Rng;

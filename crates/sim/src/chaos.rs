@@ -145,7 +145,11 @@ pub struct PlannedFault {
 ///
 /// Compile once per hunt with [`FaultPlan::compile`], then call
 /// [`FaultPlan::apply_due`] as simulated time advances; the plan keeps a
-/// cursor so each event fires exactly once.
+/// cursor so each event fires exactly once. This is the same
+/// next-event discipline the streaming service's virtual clock uses:
+/// chaos is a pre-compiled event list consumed in time order, so a loop
+/// that jumps between events (rather than stepping through time) fires
+/// exactly the faults a dense replay would.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     events: Vec<PlannedFault>,

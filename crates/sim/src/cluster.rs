@@ -10,7 +10,7 @@
 //! *measures* and what victims *suffer* stay consistent.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rand::Rng;
 
@@ -20,7 +20,7 @@ use bolt_workloads::{perf, PressureVector, Resource, WorkloadKind, WorkloadProfi
 use crate::error::SimError;
 use crate::isolation::IsolationConfig;
 use crate::server::{Server, ServerSpec};
-use crate::storage::{AggCache, VmArena};
+use crate::storage::{AggCache, SweepMemo, VmArena};
 use crate::trace::TraceEvent;
 use crate::vm::{VmId, VmRole, VmState};
 
@@ -93,6 +93,12 @@ pub struct Cluster {
     /// `BTreeMap` storage path. The storage-equivalence proptest drives
     /// both modes through identical schedules and compares every output.
     reference_scan: bool,
+    /// Cross-snapshot sweep memo ([`SweepMemo`]): probe queries answered
+    /// once for every concurrent hunt sharing this handle. `None` until a
+    /// driver attaches one via [`Cluster::share_sweeps`]; any mutation
+    /// detaches it again (this instance's world diverged from the base
+    /// placement the memo describes).
+    shared: Option<Arc<SweepMemo>>,
 }
 
 impl Cluster {
@@ -121,16 +127,31 @@ impl Cluster {
             agg: Mutex::new(AggCache::default()),
             neighbor_visits: AtomicU64::new(0),
             reference_scan: false,
+            shared: None,
         })
     }
 
     /// Drops every memoized aggregate; called by every mutation that can
-    /// change what a query observes.
+    /// change what a query observes. The shared sweep memo is *detached*
+    /// rather than cleared: other snapshots of the unmutated base cluster
+    /// may still be reading it, while this instance's queries now answer
+    /// for a diverged placement and must neither read nor publish.
     fn invalidate_aggregates(&mut self) {
         self.agg
             .get_mut()
             .expect("cache lock poisoned")
             .invalidate();
+        self.shared = None;
+    }
+
+    /// Attaches a cross-snapshot [`SweepMemo`]: until this instance next
+    /// mutates, its deterministic probe queries consult (and publish to)
+    /// `memo` after missing the instance-local aggregate cache, and
+    /// [`Cluster::snapshot`]s inherit the handle. Results are
+    /// byte-identical with or without a memo — only repeated co-resident
+    /// walks are skipped; see [`SweepMemo`] for the argument.
+    pub fn share_sweeps(&mut self, memo: Arc<SweepMemo>) {
+        self.shared = Some(memo);
     }
 
     /// True when every resident of `server` emits deterministically
@@ -599,6 +620,17 @@ impl Cluster {
             ) {
                 return Ok(v);
             }
+            if let Some(memo) = &self.shared {
+                if let Some(v) = memo.get_per_core(id.raw(), physical_core, t_bits) {
+                    self.agg.lock().expect("cache lock poisoned").put_per_core(
+                        id.raw(),
+                        physical_core,
+                        t_bits,
+                        v,
+                    );
+                    return Ok(v);
+                }
+            }
             let v = self.per_core_scan(id, state, physical_core, t, rng);
             self.agg.lock().expect("cache lock poisoned").put_per_core(
                 id.raw(),
@@ -606,6 +638,9 @@ impl Cluster {
                 t_bits,
                 v,
             );
+            if let Some(memo) = &self.shared {
+                memo.put_per_core(id.raw(), physical_core, t_bits, v);
+            }
             return Ok(v);
         }
         Ok(self.per_core_scan(id, state, physical_core, t, rng))
@@ -739,6 +774,17 @@ impl Cluster {
             ) {
                 return Ok(v);
             }
+            if let Some(memo) = &self.shared {
+                if let Some(v) = memo.get_sweep(id.raw(), t_bits, alloc_bits) {
+                    self.agg.lock().expect("cache lock poisoned").put_sweep(
+                        id.raw(),
+                        t_bits,
+                        alloc_bits,
+                        v,
+                    );
+                    return Ok(v);
+                }
+            }
             let v = self.sweep_scan(id, state, probe_alloc, t, rng);
             self.agg.lock().expect("cache lock poisoned").put_sweep(
                 id.raw(),
@@ -746,6 +792,9 @@ impl Cluster {
                 alloc_bits,
                 v,
             );
+            if let Some(memo) = &self.shared {
+                memo.put_sweep(id.raw(), t_bits, alloc_bits, v);
+            }
             return Ok(v);
         }
         Ok(self.sweep_scan(id, state, probe_alloc, t, rng))
@@ -814,6 +863,17 @@ impl Cluster {
             ) {
                 return v;
             }
+            if let Some(memo) = &self.shared {
+                if let Some(v) = memo.get_neighbors(id.raw(), couple_progress, t_bits) {
+                    self.agg.lock().expect("cache lock poisoned").put_neighbors(
+                        id.raw(),
+                        couple_progress,
+                        t_bits,
+                        v,
+                    );
+                    return v;
+                }
+            }
             // Computed with the lock released: the couple-progress path
             // recurses back into this function once per neighbor, and the
             // lock is not reentrant.
@@ -824,6 +884,9 @@ impl Cluster {
                 t_bits,
                 v,
             );
+            if let Some(memo) = &self.shared {
+                memo.put_neighbors(id.raw(), couple_progress, t_bits, v);
+            }
             return v;
         }
         self.neighbor_scan(id, state, t, rng, couple_progress)
@@ -1074,6 +1137,10 @@ impl Cluster {
             agg: Mutex::new(AggCache::default()),
             neighbor_visits: AtomicU64::new(0),
             reference_scan: self.reference_scan,
+            // The *shared* memo is inherited: the snapshot observes the
+            // same base placement, so published sweeps stay valid for it
+            // until it mutates (which detaches it).
+            shared: self.shared.clone(),
         }
     }
 

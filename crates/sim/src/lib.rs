@@ -56,6 +56,7 @@ pub use error::SimError;
 pub use isolation::{IsolationConfig, Mechanisms, OsSetting};
 pub use scheduler::{LeastLoaded, Quasar, Scheduler};
 pub use server::{Server, ServerSpec};
+pub use storage::SweepMemo;
 pub use telemetry::{EventSink, NullSink, VecSink};
 pub use trace::{ProbeFaultKind, TraceEvent};
 pub use vm::{VmId, VmRole, VmState};

@@ -26,6 +26,8 @@
 //! cache.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use bolt_workloads::PressureVector;
 
@@ -360,6 +362,183 @@ impl AggCache {
 
     pub(crate) fn put_utilization(&mut self, server: usize, t_bits: u64, v: f64) {
         self.utilization.insert(server, (t_bits, v));
+    }
+}
+
+/// A cross-snapshot probe-sweep memo: batched probe scheduling for
+/// concurrent hunts against one base cluster.
+///
+/// [`AggCache`] is private to one `Cluster` instance and keeps only the
+/// *latest* result per observer, so two hunts running on separate
+/// snapshots of the same base cluster re-walk identical co-resident sets
+/// even when they issue byte-identical queries. A `SweepMemo` is the
+/// sharing layer above that: the service attaches one `Arc<SweepMemo>` to
+/// the base cluster, every snapshot inherits the handle, and the first
+/// hunt to finish a `(observer, time)` probe query publishes the result
+/// for every later hunt targeting the same server.
+///
+/// Determinism contract (same as the aggregate cache, see the module
+/// docs): the memo is consulted only behind the `cacheable(server)` gate,
+/// where query results are pure functions of the key and no RNG is drawn,
+/// so a hit returns exactly the bytes the scan would have produced.
+/// Additionally, a snapshot that *mutates* (chaos churn, migration,
+/// degradation) detaches from the memo outright — its world has diverged
+/// from the base placement, so it neither reads nor publishes entries.
+///
+/// Unlike [`AggCache`], entries are keyed by the full `(observer, time[,
+/// core/alloc])` tuple and never overwritten: the map is bounded by the
+/// number of *distinct* probe queries a run issues, which is what makes
+/// the sharing accounting exact — `shared() = lookups() - distinct()`
+/// counts every consult that was (or raced with) a repeat of an already
+/// computed query, independent of thread schedule.
+#[derive(Debug, Default)]
+pub struct SweepMemo {
+    /// (raw id, couple_progress, t bits) -> interference vector.
+    neighbors: Mutex<HashMap<(u64, bool, u64), PressureVector>>,
+    /// (raw id, physical core, t bits) -> per-core interference.
+    per_core: Mutex<HashMap<(u64, usize, u64), PressureVector>>,
+    /// (raw id, t bits, probe_alloc bits) -> LLC sweep response.
+    sweep: Mutex<HashMap<(u64, u64, u64), f64>>,
+    /// Total consults (hit or miss). A racy duplicate compute counts the
+    /// same as the serial-order hit it would have been.
+    lookups: AtomicU64,
+    /// Consults from *top-level* probe queries only (couple-progress
+    /// neighbor walks, per-core walks, LLC sweeps). Unlike `lookups`,
+    /// which also counts the nested non-coupled consults a cache miss
+    /// recurses into (and a hit short-circuits), this is a pure function
+    /// of the query trace — the basis of the `sweeps-shared` telemetry
+    /// counter's thread-count invariance.
+    query_lookups: AtomicU64,
+}
+
+impl SweepMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SweepMemo::default()
+    }
+
+    pub(crate) fn get_neighbors(
+        &self,
+        id: u64,
+        couple: bool,
+        t_bits: u64,
+    ) -> Option<PressureVector> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if couple {
+            self.query_lookups.fetch_add(1, Ordering::Relaxed);
+        }
+        self.neighbors
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .get(&(id, couple, t_bits))
+            .copied()
+    }
+
+    pub(crate) fn put_neighbors(&self, id: u64, couple: bool, t_bits: u64, v: PressureVector) {
+        self.neighbors
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .insert((id, couple, t_bits), v);
+    }
+
+    pub(crate) fn get_per_core(&self, id: u64, core: usize, t_bits: u64) -> Option<PressureVector> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.query_lookups.fetch_add(1, Ordering::Relaxed);
+        self.per_core
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .get(&(id, core, t_bits))
+            .copied()
+    }
+
+    pub(crate) fn put_per_core(&self, id: u64, core: usize, t_bits: u64, v: PressureVector) {
+        self.per_core
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .insert((id, core, t_bits), v);
+    }
+
+    pub(crate) fn get_sweep(&self, id: u64, t_bits: u64, alloc_bits: u64) -> Option<f64> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.query_lookups.fetch_add(1, Ordering::Relaxed);
+        self.sweep
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .get(&(id, t_bits, alloc_bits))
+            .copied()
+    }
+
+    pub(crate) fn put_sweep(&self, id: u64, t_bits: u64, alloc_bits: u64, v: f64) {
+        self.sweep
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .insert((id, t_bits, alloc_bits), v);
+    }
+
+    /// Total memo consults so far (hits and misses alike).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Distinct probe queries published so far. Every consulted key ends
+    /// up in exactly one map entry (the first missing consult computes and
+    /// publishes it; a racy duplicate publish overwrites with identical
+    /// bytes), so this is schedule-independent.
+    pub fn distinct(&self) -> u64 {
+        let n = self
+            .neighbors
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .len();
+        let c = self
+            .per_core
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .len();
+        let s = self.sweep.lock().expect("sweep memo lock poisoned").len();
+        (n + c + s) as u64
+    }
+
+    /// Probe sweeps served from (or concurrently duplicated against) the
+    /// memo instead of re-walking co-residents: `lookups - distinct`.
+    /// Exact under a serial schedule; under concurrent lanes a racy
+    /// double-compute inflates `lookups` through the nested non-coupled
+    /// consults a hit would have skipped, so prefer [`shared_sweeps`] for
+    /// anything compared across thread counts.
+    ///
+    /// [`shared_sweeps`]: SweepMemo::shared_sweeps
+    pub fn shared(&self) -> u64 {
+        self.lookups().saturating_sub(self.distinct())
+    }
+
+    /// Top-level probe queries answered from (or concurrently duplicated
+    /// against) the memo — the thread-count-invariant sharing count behind
+    /// the service's `sweeps-shared` telemetry counter.
+    ///
+    /// Both terms are pure functions of the query trace: each hunt
+    /// consults the memo exactly once per distinct top-level key it needs
+    /// (its snapshot-local [`AggCache`] absorbs repeats, and is back-filled
+    /// identically on a memo hit or miss), and the set of keys ever
+    /// published is the union of the hunts' key sets regardless of which
+    /// lane computed each entry first.
+    pub fn shared_sweeps(&self) -> u64 {
+        let coupled = self
+            .neighbors
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .keys()
+            .filter(|k| k.1)
+            .count();
+        let c = self
+            .per_core
+            .lock()
+            .expect("sweep memo lock poisoned")
+            .len();
+        let s = self.sweep.lock().expect("sweep memo lock poisoned").len();
+        let distinct_queries = (coupled + c + s) as u64;
+        self.query_lookups
+            .load(Ordering::Relaxed)
+            .saturating_sub(distinct_queries)
     }
 }
 

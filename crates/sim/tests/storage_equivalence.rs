@@ -17,7 +17,7 @@
 //! on the rest of the region.
 
 use bolt_sim::vm::VmRole;
-use bolt_sim::{ChaosConfig, Cluster, FaultPlan, IsolationConfig, ServerSpec, VmId};
+use bolt_sim::{ChaosConfig, Cluster, FaultPlan, IsolationConfig, ServerSpec, SweepMemo, VmId};
 use bolt_workloads::{catalog, DatasetScale, PressureVector, WorkloadProfile};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -291,4 +291,131 @@ fn snapshot_takes_empty_event_buffer() {
     assert_eq!(drained.len(), 2);
     assert!(c.snapshot().events().is_empty());
     assert!(snap.events().is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The cross-snapshot sweep memo is byte-invisible: a cluster whose
+    /// snapshots publish and reuse shared sweeps produces exactly the
+    /// observables (and query-RNG stream state) of one that recomputes
+    /// every query, through arbitrary churn before the attach and another
+    /// mutation (which detaches the memo) after it.
+    #[test]
+    fn shared_sweep_memo_is_byte_invisible(
+        seed in 0u64..500,
+        ops in proptest::collection::vec((0u8..8, 0usize..64), 1..40),
+        t in 0.0f64..500.0,
+    ) {
+        let isolation = IsolationConfig::cloud_default();
+        let mut plain = Cluster::new(SERVERS, ServerSpec::xeon(), isolation).expect("cluster");
+        let mut memod = Cluster::new(SERVERS, ServerSpec::xeon(), isolation).expect("cluster");
+        apply_ops(&mut plain, &ops, seed);
+        apply_ops(&mut memod, &ops, seed);
+
+        let memo = std::sync::Arc::new(SweepMemo::new());
+        memod.share_sweeps(std::sync::Arc::clone(&memo));
+
+        // Two rounds of snapshots: round 0 publishes every deterministic
+        // query, round 1 answers them from the memo. Both must match the
+        // memo-less cluster bit for bit.
+        for round in 0..2u64 {
+            let a = plain.snapshot();
+            let b = memod.snapshot();
+            assert_observables_match(&a, &b, t, seed ^ 0x5EE9 ^ round);
+        }
+
+        // A mutation detaches the memo; stale entries must not serve.
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let p = profile(3, &mut rng).with_vcpus(1);
+        let mut rng2 = StdRng::seed_from_u64(seed ^ 1);
+        let q = profile(3, &mut rng2).with_vcpus(1);
+        if let (Some(sa), Some(sb)) =
+            (plain.least_loaded_server(p.vcpus()), memod.least_loaded_server(q.vcpus()))
+        {
+            plain.launch_on(sa, p, VmRole::Friendly, t).expect("fits");
+            memod.launch_on(sb, q, VmRole::Friendly, t).expect("fits");
+            assert_observables_match(&plain, &memod, t + 0.5, seed ^ 0xDE7A);
+        }
+    }
+}
+
+/// Sharing accounting is exact and mutation detaches: two snapshots
+/// issuing the same deterministic query cost one co-resident walk plus
+/// one memo hit, and a mutated snapshot stops consulting entirely.
+#[test]
+fn sweep_memo_counts_shared_queries_and_detaches_on_mutation() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut c =
+        Cluster::new(2, ServerSpec::xeon(), IsolationConfig::cloud_default()).expect("cluster");
+    let observer = c
+        .launch_on(
+            0,
+            profile(0, &mut rng).with_vcpus(1),
+            VmRole::Adversarial,
+            0.0,
+        )
+        .expect("fits");
+    c.set_pressure_override(observer, Some(PressureVector::zero()))
+        .expect("vm is live");
+    for k in 0..3 {
+        // Zero-noise tenants: the whole server is deterministic, so the
+        // cacheable gate (and with it the memo) engages.
+        c.launch_on(
+            0,
+            profile(k, &mut rng).with_noise(0.0).with_vcpus(1),
+            VmRole::Friendly,
+            0.0,
+        )
+        .expect("fits");
+    }
+    let memo = std::sync::Arc::new(SweepMemo::new());
+    c.share_sweeps(std::sync::Arc::clone(&memo));
+
+    let t = 12.5;
+    let a = c.snapshot();
+    let b = c.snapshot();
+    // Cold query: the top-level probe consults once, and the
+    // couple-progress recursion consults once per deterministic
+    // neighbor — every consult misses and publishes.
+    let va = a.interference_on(observer, t, &mut rng).expect("probe");
+    let cold_lookups = memo.lookups();
+    let published = memo.distinct();
+    assert_eq!(
+        cold_lookups, published,
+        "every cold consult misses and publishes"
+    );
+    assert!(published >= 1, "the deterministic server must publish");
+    // Warm identical query from a sibling snapshot: exactly one consult
+    // (the top-level hit short-circuits the recursion), nothing new
+    // published, and the bytes match the cold computation.
+    let vb = b.interference_on(observer, t, &mut rng).expect("probe");
+    assert_eq!(va, vb, "memo hit must return the computed bytes");
+    assert_eq!(
+        memo.lookups(),
+        cold_lookups + 1,
+        "warm query costs one consult"
+    );
+    assert_eq!(memo.distinct(), published, "warm query publishes nothing");
+    assert_eq!(memo.shared(), 1, "the one warm consult was shared");
+
+    // Mutating a snapshot detaches it: no further consults or publishes.
+    let mut mutated = c.snapshot();
+    let extra = mutated
+        .launch_on(1, profile(5, &mut rng).with_vcpus(1), VmRole::Friendly, 1.0)
+        .expect("fits");
+    mutated.terminate(extra).expect("vm is live");
+    let _ = mutated
+        .interference_on(observer, t, &mut rng)
+        .expect("probe");
+    assert_eq!(
+        memo.lookups(),
+        cold_lookups + 1,
+        "a diverged snapshot must not consult"
+    );
+    assert_eq!(
+        memo.distinct(),
+        published,
+        "a diverged snapshot must not publish"
+    );
 }

@@ -102,6 +102,43 @@ if [ "$SERVE_ELAPSED" -gt 60 ]; then
   echo "service smoke: took ${SERVE_ELAPSED}s (budget 60s)"; exit 1
 fi
 
+echo "==> region-serve smoke (2k servers, storms on: Serial vs Threads(3) must move no bytes)"
+cargo bench --no-run -p bolt-bench --bench service_region
+RSERVE_START=$SECONDS
+cargo run --release -q -- serve --region --servers 2000 --requests 60 --storm 0.5 \
+  --threads 1 > "$REPLAY_DIR/rserve1.txt"
+cargo run --release -q -- serve --region --servers 2000 --requests 60 --storm 0.5 \
+  --threads 3 > "$REPLAY_DIR/rserve3.txt"
+RSERVE_ELAPSED=$((SECONDS - RSERVE_START))
+cmp "$REPLAY_DIR/rserve1.txt" "$REPLAY_DIR/rserve3.txt"
+grep -q "| sweeps shared  *| 0  *|" "$REPLAY_DIR/rserve1.txt" \
+  && { echo "region-serve smoke: no sweeps shared"; cat "$REPLAY_DIR/rserve1.txt"; exit 1; }
+# The event-driven loop serves a 2k-server region in ~2s of wall time;
+# anything near the budget means per-step or per-server cost crept back in.
+if [ "$RSERVE_ELAPSED" -gt 60 ]; then
+  echo "region-serve smoke: took ${RSERVE_ELAPSED}s (budget 60s)"; exit 1
+fi
+
+echo "==> idle invariance (10x sparser arrivals: same verdicts, same wall-time ballpark)"
+IDLE_START=$SECONDS
+cargo run --release -q -- serve --region --servers 500 --requests 60 --rate 2 \
+  > "$REPLAY_DIR/idle_fast.txt"
+cargo run --release -q -- serve --region --servers 500 --requests 60 --rate 0.2 \
+  > "$REPLAY_DIR/idle_slow.txt"
+IDLE_ELAPSED=$((SECONDS - IDLE_START))
+# Verdict rows (offered/admitted/completed/degraded/shed/timed out) must be
+# identical; latency and the idle-skipped counter legitimately differ.
+for f in idle_fast idle_slow; do
+  grep -E "offered|admitted|completed|degraded |shed|timed out" \
+    "$REPLAY_DIR/$f.txt" > "$REPLAY_DIR/$f.verdicts"
+done
+cmp "$REPLAY_DIR/idle_fast.verdicts" "$REPLAY_DIR/idle_slow.verdicts"
+# 10x idle time must not cost 10x wall time: both runs together fit the
+# same small budget because the event clock jumps the gaps.
+if [ "$IDLE_ELAPSED" -gt 60 ]; then
+  echo "idle invariance: took ${IDLE_ELAPSED}s (budget 60s)"; exit 1
+fi
+
 echo "==> region smoke (5k servers / 50k VMs must step within the budget)"
 REGION_START=$SECONDS
 cargo run --release -q -- region --servers 5000 --vms-per-server 10 --steps 5 \

@@ -114,11 +114,13 @@ FLAGS (all optional):
     --chaos-intensity X  cluster-churn intensity in [0,1]     (default 0)
     --threads N       worker-lane thread fan-out (byte-identical at any N)
     --warm-refit      seed recommender refits from cached same-config models
+    --region          serve against a region-scale cluster (zero-noise region
+                      tenants, shared sweep memo, duplicate co-arrivals)
     --telemetry PATH  write a JSONL telemetry trace of the run to PATH";
 
 /// Flags that take no value: `--mrc` alone means `--mrc true`, while an
 /// explicit `--mrc false` (or `=false`) still parses.
-const BOOLEAN_FLAGS: [&str; 4] = ["mrc", "anytime", "no-fit-cache", "warm-refit"];
+const BOOLEAN_FLAGS: [&str; 5] = ["mrc", "anytime", "no-fit-cache", "warm-refit", "region"];
 
 /// Parsed `--flag value` pairs (also accepts `--flag=value`). Values stay
 /// strings until a command asks for them, so path-valued flags like
@@ -725,17 +727,36 @@ fn cmd_region(flags: &Flags) -> Result<(), String> {
 
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     use bolt::service::{run_service_cache_telemetry, ServiceConfig, ShedPolicy};
-    use bolt::Parallelism;
+    use bolt::{Parallelism, RegionConfig};
     use bolt_sim::{ChaosConfig, StormConfig};
 
-    let mut config = ServiceConfig {
-        servers: flags.usize("servers", 8)?,
-        vms_per_server: flags.usize("vms-per-server", 2)?,
-        requests: flags.usize("requests", 200)?,
-        workers: flags.usize("workers", 3)?,
-        queue_capacity: flags.usize("queue-cap", 6)?,
-        warm_refit: flags.bool("warm-refit")?,
-        ..ServiceConfig::default()
+    let mut config = if flags.bool("region")? {
+        // Region mode: wire the region experiment's shape into the
+        // service — zero-noise region tenants, the shared sweep memo, and
+        // co-arriving duplicate requests that exercise it.
+        let region = RegionConfig {
+            servers: flags.usize("servers", RegionConfig::default().servers)?,
+            vms_per_server: flags.usize("vms-per-server", 10)?,
+            ..RegionConfig::default()
+        };
+        let base = ServiceConfig::for_region(&region);
+        ServiceConfig {
+            requests: flags.usize("requests", base.requests)?,
+            workers: flags.usize("workers", base.workers)?,
+            queue_capacity: flags.usize("queue-cap", base.queue_capacity)?,
+            warm_refit: flags.bool("warm-refit")?,
+            ..base
+        }
+    } else {
+        ServiceConfig {
+            servers: flags.usize("servers", 8)?,
+            vms_per_server: flags.usize("vms-per-server", 2)?,
+            requests: flags.usize("requests", 200)?,
+            workers: flags.usize("workers", 3)?,
+            queue_capacity: flags.usize("queue-cap", 6)?,
+            warm_refit: flags.bool("warm-refit")?,
+            ..ServiceConfig::default()
+        }
     };
     if let Some(rate) = flags.f64("rate")? {
         config.arrival_rate_per_min = rate;
@@ -814,6 +835,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     table.row(vec![
         "silent mislabels".into(),
         pct(report.silent_mislabel_rate),
+    ]);
+    table.row(vec![
+        "events processed".into(),
+        log.counter_total(bolt::Counter::EventsProcessed)
+            .to_string(),
+    ]);
+    table.row(vec![
+        "idle skipped (s)".into(),
+        log.counter_total(bolt::Counter::IdleSkipped).to_string(),
+    ]);
+    table.row(vec![
+        "sweeps shared".into(),
+        log.counter_total(bolt::Counter::SweepsShared).to_string(),
     ]);
     println!("{}", table.render());
     println!(
