@@ -37,6 +37,7 @@
 mod error;
 mod matrix;
 
+pub mod kernels;
 pub mod sgd;
 pub mod stats;
 pub mod svd;

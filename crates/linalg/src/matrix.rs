@@ -3,7 +3,7 @@ use std::ops::{Index, IndexMut};
 
 use serde::{Deserialize, Serialize};
 
-use crate::LinalgError;
+use crate::{kernels, LinalgError};
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -176,6 +176,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the underlying row-major buffer (for strided
+    /// kernels that update columns in place).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix and returns the underlying row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -216,14 +222,16 @@ impl Matrix {
             data: vec![0.0; self.rows * rhs.cols],
         };
         for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
-                let a = self[(i, k)];
+                let a = self.data[i * self.cols + k];
+                // Sparse-ish inputs (identity blocks, zero-padded factors)
+                // skip whole row updates; adding 0.0·x is also not a no-op
+                // for -0.0 entries, so the skip is semantic, not just fast.
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
-                }
+                kernels::axpy(out_row, a, &rhs.data[k * rhs.cols..(k + 1) * rhs.cols]);
             }
         }
         Ok(out)
@@ -243,7 +251,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
+            .map(|r| kernels::dot(self.row(r), v))
             .collect())
     }
 
@@ -282,7 +290,7 @@ impl Matrix {
 
     /// The Frobenius norm (square root of the sum of squared entries).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        kernels::sq_norm(&self.data).sqrt()
     }
 
     /// The largest absolute difference between corresponding entries.

@@ -13,7 +13,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{LinalgError, Matrix};
+use crate::{kernels, LinalgError, Matrix};
 
 /// Reusable SGD work buffers: the flat factor matrices, the epoch
 /// shuffle order, and the observation staging area.
@@ -226,15 +226,16 @@ fn complete_inner<R: Rng>(
             let o = &observations[idx];
             let pr = o.row * k;
             let qr = o.col * k;
-            let pred: f64 = (0..k).map(|f| p[pr + f] * q[qr + f]).sum();
+            let pred = kernels::dot(&p[pr..pr + k], &q[qr..qr + k]);
             let err = o.value - pred;
             sq_err += err * err;
-            for f in 0..k {
-                let pf = p[pr + f];
-                let qf = q[qr + f];
-                p[pr + f] += config.learning_rate * (err * qf - config.regularization * pf);
-                q[qr + f] += config.learning_rate * (err * pf - config.regularization * qf);
-            }
+            kernels::sgd_step(
+                &mut p[pr..pr + k],
+                &mut q[qr..qr + k],
+                err,
+                config.learning_rate,
+                config.regularization,
+            );
         }
         rmse = (sq_err / observations.len() as f64).sqrt();
         if !rmse.is_finite() {
@@ -254,7 +255,7 @@ fn complete_inner<R: Rng>(
     let mut completed = Matrix::zeros(rows, cols)?;
     for r in 0..rows {
         for c in 0..cols {
-            completed[(r, c)] = (0..k).map(|f| p[r * k + f] * q[c * k + f]).sum();
+            completed[(r, c)] = kernels::dot(&p[r * k..r * k + k], &q[c * k..c * k + k]);
         }
     }
     Ok(Completion {
@@ -488,15 +489,14 @@ impl PqModel {
             for _ in 0..400 {
                 for &(c, v) in observed {
                     let qr = c * k;
-                    let pred: f64 = (0..k).map(|f| p[f] * self.q[qr + f]).sum();
+                    let q_row = &self.q[qr..qr + k];
+                    let pred = kernels::dot(&p[..k], q_row);
                     let err = v - pred;
-                    for (f, pf) in p.iter_mut().enumerate().take(k) {
-                        *pf += lr * (err * self.q[qr + f] - self.regularization * *pf);
-                    }
+                    kernels::fold_step(&mut p[..k], q_row, err, lr, self.regularization);
                 }
             }
             Ok((0..self.cols)
-                .map(|c| (0..k).map(|f| p[f] * self.q[c * k + f]).sum())
+                .map(|c| kernels::dot(&p[..k], &self.q[c * k..c * k + k]))
                 .collect())
         })
     }
@@ -564,15 +564,16 @@ fn train_q_seeded<R: Rng>(
             let o = &observations[i];
             let pr = o.row * k;
             let qr = o.col * k;
-            let pred: f64 = (0..k).map(|f| p[pr + f] * q[qr + f]).sum();
+            let pred = kernels::dot(&p[pr..pr + k], &q[qr..qr + k]);
             let err = o.value - pred;
             sq += err * err;
-            for f in 0..k {
-                let pf = p[pr + f];
-                let qf = q[qr + f];
-                p[pr + f] += config.learning_rate * (err * qf - config.regularization * pf);
-                q[qr + f] += config.learning_rate * (err * pf - config.regularization * qf);
-            }
+            kernels::sgd_step(
+                &mut p[pr..pr + k],
+                &mut q[qr..qr + k],
+                err,
+                config.learning_rate,
+                config.regularization,
+            );
         }
         rmse = (sq / observations.len() as f64).sqrt();
         if !rmse.is_finite() {

@@ -8,7 +8,29 @@
 //! estimation (for tail-latency reporting), and simple histograms (for the
 //! paper's PDF plots).
 
-use crate::LinalgError;
+use crate::{kernels, LinalgError};
+
+/// Validates a fused weight sum: errors on an empty input, a zero or
+/// denormal weight sum (no usable mass — dividing by it yields NaN or
+/// garbage), or a non-finite weight sum (a NaN/∞ weight slipped in).
+///
+/// Centralizing this check is the "never a silent NaN" guarantee for
+/// [`weighted_mean`], [`weighted_covariance`], and [`weighted_pearson`]:
+/// previously a NaN weight produced `wsum = NaN ≠ 0.0`, sailed past the
+/// zero check, and returned NaN to the caller.
+fn check_wsum(wsum: f64, n: usize, op: &'static str) -> Result<(), LinalgError> {
+    if n == 0 || wsum == 0.0 || wsum.is_subnormal() {
+        return Err(LinalgError::InsufficientData {
+            op,
+            got: n,
+            need: 1,
+        });
+    }
+    if !wsum.is_finite() {
+        return Err(LinalgError::NonFiniteInput { op });
+    }
+    Ok(())
+}
 
 /// Arithmetic mean.
 ///
@@ -124,7 +146,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, LinalgError> {
 /// # Errors
 ///
 /// * [`LinalgError::DimensionMismatch`] if lengths differ.
-/// * [`LinalgError::InsufficientData`] if empty or all weights are zero.
+/// * [`LinalgError::InsufficientData`] if empty or the weight sum is zero
+///   or denormal (no usable weight mass).
+/// * [`LinalgError::NonFiniteInput`] if the weight sum is not finite.
 pub fn weighted_mean(xs: &[f64], weights: &[f64]) -> Result<f64, LinalgError> {
     if xs.len() != weights.len() {
         return Err(LinalgError::DimensionMismatch {
@@ -133,15 +157,9 @@ pub fn weighted_mean(xs: &[f64], weights: &[f64]) -> Result<f64, LinalgError> {
             op: "weighted_mean",
         });
     }
-    let wsum: f64 = weights.iter().sum();
-    if xs.is_empty() || wsum == 0.0 {
-        return Err(LinalgError::InsufficientData {
-            op: "weighted_mean",
-            got: xs.len(),
-            need: 1,
-        });
-    }
-    Ok(xs.iter().zip(weights).map(|(x, w)| x * w).sum::<f64>() / wsum)
+    let (wsum, sx) = kernels::weighted_sum(xs, weights);
+    check_wsum(wsum, xs.len(), "weighted_mean")?;
+    Ok(sx / wsum)
 }
 
 /// Weighted covariance
@@ -151,23 +169,18 @@ pub fn weighted_mean(xs: &[f64], weights: &[f64]) -> Result<f64, LinalgError> {
 ///
 /// Same conditions as [`weighted_mean`].
 pub fn weighted_covariance(xs: &[f64], ys: &[f64], weights: &[f64]) -> Result<f64, LinalgError> {
-    if xs.len() != ys.len() {
+    if xs.len() != ys.len() || xs.len() != weights.len() {
         return Err(LinalgError::DimensionMismatch {
             left: (xs.len(), 1),
-            right: (ys.len(), 1),
+            right: (ys.len().max(weights.len()), 1),
             op: "weighted_covariance",
         });
     }
-    let mx = weighted_mean(xs, weights)?;
-    let my = weighted_mean(ys, weights)?;
-    let wsum: f64 = weights.iter().sum();
-    Ok(xs
-        .iter()
-        .zip(ys)
-        .zip(weights)
-        .map(|((x, y), w)| w * (x - mx) * (y - my))
-        .sum::<f64>()
-        / wsum)
+    let (wsum, sx, sy) = kernels::weighted_sums2(xs, ys, weights);
+    check_wsum(wsum, xs.len(), "weighted_covariance")?;
+    let mx = sx / wsum;
+    let my = sy / wsum;
+    Ok(kernels::weighted_comoment(xs, ys, weights, mx, my) / wsum)
 }
 
 /// Weighted Pearson correlation (paper Eq. 1):
@@ -221,9 +234,18 @@ pub fn weighted_pearson(xs: &[f64], ys: &[f64], weights: &[f64]) -> Result<f64, 
             op: "weighted_pearson",
         });
     }
-    let cxy = weighted_covariance(xs, ys, weights)?;
-    let cxx = weighted_covariance(xs, xs, weights)?;
-    let cyy = weighted_covariance(ys, ys, weights)?;
+    // One fused pass for (Σw, Σxw, Σyw) and one for the three second
+    // moments, instead of three `weighted_covariance` calls that each
+    // recompute the weight sum and means (~8 passes). Each accumulator's
+    // add order matches the separate loops, so results are bit-identical.
+    let (wsum, sx, sy) = kernels::weighted_sums2(xs, ys, weights);
+    check_wsum(wsum, xs.len(), "weighted_pearson")?;
+    let mx = sx / wsum;
+    let my = sy / wsum;
+    let (sxy, sxx, syy) = kernels::weighted_moments(xs, ys, weights, mx, my);
+    let cxy = sxy / wsum;
+    let cxx = sxx / wsum;
+    let cyy = syy / wsum;
     let denom = (cxx * cyy).sqrt();
     if denom == 0.0 {
         return Ok(0.0);
@@ -394,6 +416,74 @@ mod tests {
     fn weighted_pearson_rejects_negative_weights() {
         assert!(matches!(
             weighted_pearson(&[1.0, 2.0], &[1.0, 2.0], &[1.0, -1.0]),
+            Err(LinalgError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_weight_sum_is_error_not_nan() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 1.0, 2.0];
+        let zeros = [0.0; 3];
+        assert!(matches!(
+            weighted_mean(&a, &zeros),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            weighted_covariance(&a, &b, &zeros),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            weighted_pearson(&a, &b, &zeros),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn denormal_weight_sum_is_error_not_garbage() {
+        // Individually denormal weights sum to a denormal: dividing by it
+        // overflows or flushes and used to yield silently-wrong numbers.
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 1.0, 2.0];
+        let tiny = [1e-320; 3];
+        assert!((tiny.iter().sum::<f64>()).is_subnormal());
+        assert!(matches!(
+            weighted_mean(&a, &tiny),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            weighted_covariance(&a, &b, &tiny),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            weighted_pearson(&a, &b, &tiny),
+            Err(LinalgError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_weight_is_error_not_silent_nan() {
+        // A NaN weight made wsum NaN, which passed the old `wsum == 0.0`
+        // guard and leaked NaN through mean and covariance.
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 1.0, 2.0];
+        let w = [1.0, f64::NAN, 1.0];
+        assert!(matches!(
+            weighted_mean(&a, &w),
+            Err(LinalgError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(
+            weighted_covariance(&a, &b, &w),
+            Err(LinalgError::NonFiniteInput { .. })
+        ));
+        // weighted_pearson already rejected non-finite weights up front.
+        assert!(matches!(
+            weighted_pearson(&a, &b, &w),
+            Err(LinalgError::NonFiniteInput { .. })
+        ));
+        let winf = [1.0, f64::INFINITY, 1.0];
+        assert!(matches!(
+            weighted_mean(&a, &winf),
             Err(LinalgError::NonFiniteInput { .. })
         ));
     }

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{LinalgError, Matrix};
+use crate::{kernels, LinalgError, Matrix};
 
 /// Maximum number of Jacobi sweeps before declaring non-convergence.
 const MAX_SWEEPS: usize = 128;
@@ -89,17 +89,9 @@ impl Svd {
             sweeps += 1;
             for p in 0..cols.saturating_sub(1) {
                 for q in (p + 1)..cols {
-                    // Gram entries for the (p, q) column pair.
-                    let mut alpha = 0.0;
-                    let mut beta = 0.0;
-                    let mut gamma = 0.0;
-                    for r in 0..rows {
-                        let ap = a[(r, p)];
-                        let aq = a[(r, q)];
-                        alpha += ap * ap;
-                        beta += aq * aq;
-                        gamma += ap * aq;
-                    }
+                    // Gram entries for the (p, q) column pair, fused into
+                    // one strided pass over the rows.
+                    let (alpha, beta, gamma) = kernels::gram_strided(a.as_slice(), cols, p, q);
                     if gamma.abs() <= TOL * (alpha * beta).sqrt() || gamma == 0.0 {
                         continue;
                     }
@@ -109,18 +101,8 @@ impl Svd {
                     let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = c * t;
-                    for r in 0..rows {
-                        let ap = a[(r, p)];
-                        let aq = a[(r, q)];
-                        a[(r, p)] = c * ap - s * aq;
-                        a[(r, q)] = s * ap + c * aq;
-                    }
-                    for r in 0..cols {
-                        let vp = v[(r, p)];
-                        let vq = v[(r, q)];
-                        v[(r, p)] = c * vp - s * vq;
-                        v[(r, q)] = s * vp + c * vq;
-                    }
+                    kernels::rotate_pair_strided(a.as_mut_slice(), cols, p, q, c, s);
+                    kernels::rotate_pair_strided(v.as_mut_slice(), cols, p, q, c, s);
                 }
             }
         }
@@ -134,7 +116,7 @@ impl Svd {
         // Column norms of the rotated matrix are the singular values.
         let mut order: Vec<usize> = (0..cols).collect();
         let norms: Vec<f64> = (0..cols)
-            .map(|c| (0..rows).map(|r| a[(r, c)] * a[(r, c)]).sum::<f64>().sqrt())
+            .map(|c| kernels::col_sq_norm_strided(a.as_slice(), cols, c).sqrt())
             .collect();
         order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
 

@@ -15,6 +15,7 @@
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use bolt_linalg::kernels;
 use bolt_linalg::sgd::{PqModel, SgdConfig};
 use bolt_linalg::stats::{pearson, weighted_pearson};
 use bolt_linalg::svd::{energy_rank, Svd};
@@ -1356,9 +1357,7 @@ fn pair_pursuit_warm(
     warm: Option<&mut Vec<usize>>,
     stats: &mut RecommenderStats,
 ) -> Vec<(usize, f64, f64)> {
-    let total_energy: f64 = (0..target.len())
-        .map(|d| weights[d] * target[d] * target[d])
-        .sum();
+    let total_energy = kernels::wdot3(weights, target, target);
     if total_energy == 0.0 {
         return Vec::new();
     }
@@ -1373,20 +1372,10 @@ fn pair_pursuit_warm(
     const CENSOR: f64 = 95.0;
     let censored: Vec<bool> = target.iter().map(|&v| v >= CENSOR).collect();
     let self_sq: Vec<f64> = (0..n)
-        .map(|a| {
-            (0..ndims)
-                .filter(|&d| !censored[d])
-                .map(|d| weights[d] * atom(a)[d] * atom(a)[d])
-                .sum()
-        })
+        .map(|a| kernels::wdot3_masked(weights, atom(a), atom(a), &censored))
         .collect();
     let with_target: Vec<f64> = (0..n)
-        .map(|a| {
-            (0..ndims)
-                .filter(|&d| !censored[d])
-                .map(|d| weights[d] * target[d] * atom(a)[d])
-                .sum()
-        })
+        .map(|a| kernels::wdot3_masked(weights, target, atom(a), &censored))
         .collect();
     let err_of = |picks: &[(usize, f64)]| -> f64 {
         (0..ndims)
@@ -1491,10 +1480,7 @@ fn pair_pursuit_warm(
             if indices[a] == indices[b] {
                 continue;
             }
-            let sab: f64 = (0..ndims)
-                .filter(|&d| !censored[d])
-                .map(|d| weights[d] * atom(a)[d] * atom(b)[d])
-                .sum();
+            let sab = kernels::wdot3_masked(weights, atom(a), atom(b), &censored);
             let det = self_sq[a] * self_sq[b] - sab * sab;
             let (mut la, mut lb) = if det.abs() < 1e-9 {
                 ((with_target[a] / self_sq[a]).clamp(0.0, 1.05), 0.0)
@@ -1574,7 +1560,7 @@ fn pair_pursuit_warm(
 /// Normalizes a vector to unit Euclidean norm; an all-zero vector stays
 /// zero.
 fn normalize(v: &[f64]) -> Vec<f64> {
-    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let norm = kernels::sq_norm(v).sqrt();
     if norm == 0.0 {
         return v.to_vec();
     }

@@ -14,8 +14,11 @@ use std::sync::{Arc, Mutex};
 
 use rand::Rng;
 
+use bolt_linalg::kernels;
 use bolt_workloads::mrc;
-use bolt_workloads::{perf, PressureVector, Resource, WorkloadKind, WorkloadProfile};
+use bolt_workloads::{
+    perf, PressureVector, Resource, WorkloadKind, WorkloadProfile, RESOURCE_COUNT,
+};
 
 use crate::error::SimError;
 use crate::isolation::IsolationConfig;
@@ -658,6 +661,7 @@ impl Cluster {
         rng: &mut R,
     ) -> PressureVector {
         let tpc = self.servers[state.server].spec().threads_per_core;
+        let atten = self.isolation.attenuation_array();
         let mut total = PressureVector::zero();
         if self.reference_scan {
             for other_id in self.vms.iter_ids() {
@@ -669,7 +673,7 @@ impl Cluster {
                 if other.server != state.server || !other.cores(tpc).contains(&physical_core) {
                     continue;
                 }
-                self.add_core_contribution(other, t, rng, &mut total);
+                self.add_core_contribution(other, t, rng, &atten, &mut total);
             }
         } else {
             // Sibling owners in ascending id order — the same visit order
@@ -680,7 +684,7 @@ impl Cluster {
                     continue;
                 }
                 let other = self.vms.get(other_id).expect("occupant is live");
-                self.add_core_contribution(other, t, rng, &mut total);
+                self.add_core_contribution(other, t, rng, &atten, &mut total);
             }
         }
         let d = self.degradation[state.server];
@@ -698,17 +702,21 @@ impl Cluster {
         other: &VmState,
         t: f64,
         rng: &mut R,
+        atten: &[f64; RESOURCE_COUNT],
         total: &mut PressureVector,
     ) {
         let p = match other.pressure_override {
             Some(p) => p,
             None => other.profile.pressure_at(t, 1.0, rng),
         };
-        let mut contribution = PressureVector::zero();
+        // Only core lanes carry pressure here; the fused kernel still
+        // touches all ten (adding +0.0 elsewhere), matching the old
+        // zero-contribution saturating_add lane for lane.
+        let mut visible = [0.0; RESOURCE_COUNT];
         for r in Resource::CORE {
-            contribution[r] = p[r] * self.isolation.attenuation(r);
+            visible[r.index()] = p[r];
         }
-        *total = total.saturating_add(&contribution);
+        kernels::sat_accum(total.as_mut_array(), &visible, atten, 100.0);
     }
 
     /// The contention a VM experiences from its co-residents at time `t`,
@@ -907,6 +915,9 @@ impl Cluster {
         let server = &self.servers[state.server];
         let tpc = server.spec().threads_per_core;
         let my_cores = state.cores(tpc);
+        // Attenuation depends only on the isolation config: hoist all ten
+        // factors once per scan instead of re-matching per neighbor lane.
+        let atten = self.isolation.attenuation_array();
 
         let mut total = PressureVector::zero();
         // Scheduler-float candidates: without pinning, threads of
@@ -945,20 +956,17 @@ impl Cluster {
             let shares_core = my_cores.iter().any(|c| other_cores.contains(c));
             has_static_sharer |= shares_core;
 
-            let mut contribution = PressureVector::zero();
-            for r in Resource::ALL {
-                let visible = if r.is_core() {
-                    if shares_core {
-                        p[r]
-                    } else {
-                        0.0
-                    }
-                } else {
-                    p[r]
-                };
-                contribution[r] = visible * self.isolation.attenuation(r);
+            // Core lanes are only visible from static core-sharers; zeroing
+            // them and running one fused multiply-accumulate-saturate over
+            // all ten lanes reproduces the old per-lane math bit for bit
+            // (0.0 · attenuation adds +0.0, as before).
+            let mut visible = *p.as_array();
+            if !shares_core {
+                for r in Resource::CORE {
+                    visible[r.index()] = 0.0;
+                }
             }
-            total = total.saturating_add(&contribution);
+            kernels::sat_accum(total.as_mut_array(), &visible, &atten, 100.0);
 
             if !shares_core && float > 0.0 {
                 let core_total: f64 = Resource::CORE.iter().map(|&r| p[r]).sum();
@@ -969,7 +977,7 @@ impl Cluster {
                 if core_total > best_total {
                     let mut leak = PressureVector::zero();
                     for r in Resource::CORE {
-                        leak[r] = p[r] * float * self.isolation.attenuation(r);
+                        leak[r] = p[r] * float * atten[r.index()];
                     }
                     float_candidate = Some(leak);
                 }
@@ -987,9 +995,7 @@ impl Cluster {
         // bit-identical when no degradation was ever injected.
         let d = self.degradation[state.server];
         if d > 0.0 {
-            for r in Resource::ALL {
-                total[r] = (total[r] * (1.0 + d)).min(100.0);
-            }
+            kernels::sat_scale(total.as_mut_array(), 1.0 + d, 100.0);
         }
         total
     }

@@ -179,6 +179,19 @@ impl IsolationConfig {
         factor
     }
 
+    /// All ten attenuation factors in [`Resource::ALL`] order.
+    ///
+    /// [`Self::attenuation`] is a pure function of the configuration, so
+    /// aggregation loops hoist this array once per scan instead of
+    /// recomputing the match per neighbor per lane.
+    pub fn attenuation_array(&self) -> [f64; bolt_workloads::RESOURCE_COUNT] {
+        let mut a = [0.0; bolt_workloads::RESOURCE_COUNT];
+        for (i, slot) in a.iter_mut().enumerate() {
+            *slot = self.attenuation(Resource::from_index(i));
+        }
+        a
+    }
+
     /// Additive measurement noise (percentage points of pressure) on
     /// `resource`, reflecting OS-scheduler churn. Thread pinning removes
     /// most of it; baremetal without pinning is the noisiest (threads float

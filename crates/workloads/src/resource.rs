@@ -182,6 +182,13 @@ impl PressureVector {
         &self.0
     }
 
+    /// Mutable raw access in [`Resource::ALL`] order, for aggregation
+    /// kernels that update all lanes in place. Unlike [`Self::from_raw`]
+    /// this performs no clamping — callers own the `[0, 100]` invariant.
+    pub fn as_mut_array(&mut self) -> &mut [f64; RESOURCE_COUNT] {
+        &mut self.0
+    }
+
     /// The resource with the highest pressure. Ties break toward the
     /// earlier resource in canonical order; an all-zero vector reports
     /// [`Resource::L1i`].

@@ -45,6 +45,18 @@ cargo bench --no-run -p bolt-bench --bench crit_fit_cache
 echo "==> region-scale bench harnesses compile"
 cargo bench --no-run -p bolt-bench --bench region_scale --bench crit_region_scale
 
+echo "==> kernel bit-exactness (property tests: kernel(x) == reference(x) to the bit)"
+cargo test -q -p bolt-linalg --test kernels_proptests
+
+echo "==> kernel end-to-end invariance (force_reference moves no bytes)"
+cargo test -q -p bolt --test kernel_invariance
+
+echo "==> kernel bench harnesses compile"
+cargo bench --no-run -p bolt-bench --bench crit_kernels --bench kernels_scale
+
+echo "==> pgo-bolt.sh dry-run smoke (prerequisite check must not error)"
+scripts/pgo-bolt.sh --dry-run > /dev/null
+
 echo "==> anytime contracts (off is byte-invisible, on is deterministic & monotone)"
 cargo test -q -p bolt --test anytime
 
